@@ -1,0 +1,48 @@
+"""Category confusion analysis (extension experiment).
+
+Breaks the Table 1 average down per category: which categories the
+low-level features mix up, for the combined ranking and for the weakest
+single feature.
+"""
+
+from repro.eval.confusion import run_confusion
+
+
+def test_confusion_report(benchmark, eval_setup):
+    system, gt = eval_setup
+    result = benchmark.pedantic(
+        lambda: run_confusion(system, gt, top_k=10, queries_per_category=6, use_index=False),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n=== Category confusion (combined, top-10, row-normalized) ===")
+    print(result.to_text())
+    print(f"\ndiagonal mean: {result.diagonal_mean():.3f} (chance 0.200)")
+    a, b, rate = result.most_confused()
+    print(f"most confused: {a} -> {b} ({rate:.3f})")
+
+    assert result.diagonal_mean() > 0.4  # far above the 0.2 chance level
+    # every category must retrieve itself more often than any other single
+    # category on average
+    import numpy as np
+
+    for i in range(len(result.categories)):
+        row = result.matrix[i]
+        assert row[i] == row.max(), f"{result.categories[i]} retrieves others more"
+
+
+def test_confusion_weakest_feature(benchmark, eval_setup):
+    """The correlogram alone: much flatter diagonal, same matrix mechanics."""
+    system, gt = eval_setup
+    result = benchmark.pedantic(
+        lambda: run_confusion(
+            system, gt, top_k=10, queries_per_category=4,
+            features=["acc"], use_index=False,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n=== Category confusion (correlogram only) ===")
+    print(result.to_text())
+    print(f"diagonal mean: {result.diagonal_mean():.3f}")
+    assert result.diagonal_mean() > 0.2  # still above chance, but weaker

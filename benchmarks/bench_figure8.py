@@ -1,0 +1,67 @@
+"""Experiment F8 -- §5.1's per-algorithm sample outputs (Figure 8).
+
+The paper dumps, for one query image: the range-finder's min/max, the
+256-value histogram, 6 GLCM statistics, 60 Gabor values, 18 Tamura values,
+the correlogram, the naive vector and the major-region count.  This bench
+regenerates each dump (run with ``-s``) and times each extractor on the
+same frame.
+"""
+
+import pytest
+
+from repro.features import (
+    AutoColorCorrelogram,
+    GaborTexture,
+    GlcmTexture,
+    NaiveSignature,
+    SimpleColorHistogram,
+    SimpleRegionGrowing,
+    TamuraTexture,
+)
+from repro.indexing.rangefinder import RangeFinder
+from repro.video.generator import VideoSpec, generate_video
+
+EXTRACTORS = {
+    "sch": (SimpleColorHistogram, 256),
+    "glcm": (GlcmTexture, 6),
+    "gabor": (GaborTexture, 60),
+    "tamura": (TamuraTexture, 18),
+    "acc": (AutoColorCorrelogram, 256),
+    "naive": (NaiveSignature, 75),
+    "regions": (SimpleRegionGrowing, 3),
+}
+
+
+@pytest.fixture(scope="module")
+def query_frame():
+    video = generate_video(
+        VideoSpec(category="movies", seed=42, n_shots=1, frames_per_shot=1)
+    )
+    return video.frames[0]
+
+
+def test_figure8_dump(benchmark, query_frame):
+    """Print every algorithm's output for the sample query frame."""
+
+    def extract_all():
+        bucket = RangeFinder().bucket_for_image(query_frame)
+        vectors = {name: cls().extract(query_frame) for name, (cls, _n) in EXTRACTORS.items()}
+        return bucket, vectors
+
+    bucket, vectors = benchmark.pedantic(extract_all, rounds=1, iterations=1)
+    print("\n=== Figure 8: sample query frame outputs ===")
+    print(f"HistogramRangeFinder: min = {bucket.min}, max = {bucket.max}")
+    for name, (cls, expected_len) in EXTRACTORS.items():
+        vector = vectors[name]
+        text = vector.to_string()
+        head = text if len(text) < 90 else text[:90] + " ..."
+        print(f"{name:8s} ({len(vector):3d} values): {head}")
+        assert len(vector) == expected_len, f"{name} dimensionality changed"
+
+
+@pytest.mark.parametrize("name", sorted(EXTRACTORS))
+def test_extractor_latency(benchmark, query_frame, name):
+    """Per-extractor wall clock on one 128x96 frame."""
+    cls, _n = EXTRACTORS[name]
+    extractor = cls()
+    benchmark(lambda: extractor.extract(query_frame))

@@ -1,0 +1,76 @@
+"""Experiment F7 -- the §4.2 range-finder index (Figure 7's tree).
+
+Reports what the paper's indexing tree delivers in practice: bucket
+occupancy per level, the pruning factor (fraction of the corpus excluded
+per query), the recall retained after pruning, and the wall-clock speedup
+of an indexed query over a full scan.
+"""
+
+import pytest
+
+from repro.eval.metrics import precision_at_k
+
+
+def test_index_occupancy_report(benchmark, eval_system):
+    """Print the Figure 7 tree as actually populated by the corpus."""
+    stats = benchmark.pedantic(eval_system.index_stats, rounds=1, iterations=1)
+    print(f"\n=== Range-finder index occupancy ===")
+    print(f"entries: {stats.n_entries}, buckets: {stats.n_buckets}, "
+          f"mean bucket size: {stats.mean_bucket_size:.1f}")
+    by_level = {}
+    for bucket, size in sorted(stats.bucket_sizes.items()):
+        by_level.setdefault(bucket.level, []).append((bucket, size))
+    for level in sorted(by_level):
+        row = ", ".join(f"[{b.min},{b.max}]:{n}" for b, n in by_level[level])
+        print(f"  level {level}: {row}")
+    assert stats.n_buckets >= 2  # the corpus must spread over the tree
+
+
+def test_pruning_and_recall(benchmark, eval_system, eval_ground_truth):
+    """Pruning factor and the retrieval quality retained under pruning."""
+    store = eval_system._store
+    query_ids = store.frame_ids()[::5]
+
+    def sweep():
+        pruned_fractions = []
+        p_indexed, p_full = [], []
+        for fid in query_ids:
+            query = eval_system.get_key_frame(fid)
+            r_idx = eval_system.search(query, top_k=21, use_index=True)
+            r_all = eval_system.search(query, top_k=21, use_index=False)
+            pruned_fractions.append(r_idx.pruning_fraction)
+            ranked_idx = [h.frame_id for h in r_idx if h.frame_id != fid][:20]
+            ranked_all = [h.frame_id for h in r_all if h.frame_id != fid][:20]
+            p_indexed.append(
+                precision_at_k(eval_ground_truth.relevance_list(fid, ranked_idx), 20)
+            )
+            p_full.append(
+                precision_at_k(eval_ground_truth.relevance_list(fid, ranked_all), 20)
+            )
+        return pruned_fractions, p_indexed, p_full
+
+    pruned_fractions, p_indexed, p_full = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    mean_pruned = sum(pruned_fractions) / len(pruned_fractions)
+    mp_idx = sum(p_indexed) / len(p_indexed)
+    mp_full = sum(p_full) / len(p_full)
+    print(f"\n=== Index pruning ({len(query_ids)} queries) ===")
+    print(f"mean corpus fraction pruned: {mean_pruned:.1%}")
+    print(f"precision@20 with index:    {mp_idx:.3f}")
+    print(f"precision@20 full scan:     {mp_full:.3f}")
+    # The §4.2 index is a coarse gray-range filter: it excludes a large
+    # fraction of the corpus per query but also loses some same-category
+    # frames whose intensity distribution differs (measured cost here is
+    # ~0.2 precision@20 for ~60% pruning -- recorded in EXPERIMENTS.md).
+    assert mean_pruned > 0.2, "index should prune a meaningful fraction"
+    assert mp_idx >= mp_full - 0.3, "pruning cost exceeded the documented band"
+    assert mp_idx > 0.4, "indexed retrieval must stay far above the 0.2 chance level"
+
+
+def test_indexed_query_speed(benchmark, eval_system):
+    query = eval_system.any_key_frame()
+    benchmark(lambda: eval_system.search(query, top_k=20, use_index=True))
+
+
+def test_full_scan_query_speed(benchmark, eval_system):
+    query = eval_system.any_key_frame()
+    benchmark(lambda: eval_system.search(query, top_k=20, use_index=False))

@@ -1,0 +1,33 @@
+"""T1-recall -- the paper's §6 recall claim.
+
+"multiple features produce effective and efficient system as precision
+**and recall** values are improved."  Table 1 shows only precision; this
+bench measures recall@k and MAP per method over the same protocol and
+checks that the combined ranking improves them too.
+"""
+
+from repro.eval.prcurves import run_recall
+
+
+def test_recall_and_map_report(benchmark, eval_setup):
+    system, gt = eval_setup
+    result = benchmark.pedantic(
+        lambda: run_recall(system, gt, queries_per_category=6, use_index=False),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n=== Recall@k and MAP (full scan, category ground truth) ===")
+    print(result.to_text())
+    print("combined wins MAP:", result.combined_wins_map())
+
+    # the paper's claim: the combination improves recall as well
+    singles = [m for m in result.methods if m != "combined"]
+    best_single_map = max(result.mean_ap[m] for m in singles)
+    assert result.mean_ap["combined"] >= best_single_map - 0.02
+    for k in result.cutoffs:
+        best_single_recall = max(result.recall[m][k] for m in singles)
+        assert result.recall["combined"][k] >= best_single_recall - 0.05
+    # recall must grow with k for every method
+    for m in result.methods:
+        values = [result.recall[m][k] for k in sorted(result.cutoffs)]
+        assert values == sorted(values)

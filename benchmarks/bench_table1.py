@@ -1,0 +1,64 @@
+"""Experiment T1 -- the paper's Table 1.
+
+Regenerates "average precision at 20, 30, 50 and 100 retrieved frames" for
+every individual feature and the combined fusion, printing the measured
+table next to the paper's reported values.  Run with ``-s`` to see the
+table; ``--full-scale`` uses the paper-sized corpus.
+
+Expected shape (§5, Table 1): combined >= every single feature at every
+cutoff; precision decreases with the cutoff; texture features (Gabor,
+Tamura) lead the singles; the plain histogram trails.
+"""
+
+import pytest
+
+from repro.eval.table1 import PAPER_TABLE1, run_table1
+from repro.eval.userstudy import JudgePanel
+
+
+def test_table1_report(benchmark, eval_setup):
+    """Regenerate (and time) Table 1, print it, check the paper's claims."""
+    system, gt = eval_setup
+    eval_system = system
+    table1_result = benchmark.pedantic(
+        lambda: run_table1(
+            system=system,
+            ground_truth=gt,
+            queries_per_category=6,
+            judge_panel=JudgePanel(n_judges=3, error_rate=0.05, seed=99),
+            cutoffs=(20, 30, 50, 100),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n=== Table 1: average precision at 20/30/50/100 frames ===")
+    print(f"corpus: {eval_system.n_videos()} videos, "
+          f"{eval_system.n_key_frames()} key frames, "
+          f"{table1_result.n_queries} queries\n")
+    print(table1_result.to_text(paper=PAPER_TABLE1))
+    print("\ncombined wins at:", table1_result.combined_wins())
+    print("monotone decreasing:", table1_result.monotone_decreasing())
+
+    # uncertainty around the headline cell, and the paired comparison the
+    # paper never reports
+    mean, low, high = table1_result.confidence_interval("combined", 20)
+    singles = [m for m in table1_result.methods if m != "combined"]
+    best_single = max(singles, key=lambda m: table1_result.precision[m][20])
+    p = table1_result.paired_pvalue("combined", best_single, 20)
+    print(f"combined @20: {mean:.3f} [95% CI {low:.3f}, {high:.3f}]; "
+          f"paired-bootstrap p(combined <= {best_single}) = {p:.3f}")
+
+    # Shape assertions (the paper's headline claims)
+    wins = table1_result.combined_wins()
+    assert sum(wins.values()) >= 3, f"combined must win at most cutoffs: {wins}"
+    assert all(table1_result.monotone_decreasing().values())
+    # every method clearly beats the 0.2 chance level at @20
+    for m in table1_result.methods:
+        assert table1_result.precision[m][20] > 0.3
+
+
+def test_table1_query_latency(benchmark, eval_system):
+    """Time one combined query at evaluation-corpus scale."""
+    query = eval_system.any_key_frame()
+    result = benchmark(lambda: eval_system.search(query, top_k=100))
+    assert len(result) > 0

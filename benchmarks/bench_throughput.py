@@ -1,0 +1,62 @@
+"""PERF -- pipeline throughput micro-benchmarks.
+
+Times the stages behind Figures 9/10's interactive flow: key-frame
+extraction, full-video ingest, frame search, video-to-video search, and
+RVF encode/decode.
+"""
+
+import pytest
+
+from repro.core.system import VideoRetrievalSystem
+from repro.video.codec import RvfReader, encode_rvf_bytes
+from repro.video.generator import VideoSpec, generate_video
+from repro.video.keyframes import KeyFrameExtractor
+
+
+def test_keyframe_extraction(benchmark, small_clip):
+    extractor = KeyFrameExtractor(base_size=150)
+    frames = list(small_clip.frames)
+    result = benchmark(lambda: extractor.extract(frames))
+    assert len(result) >= 1
+
+
+def test_video_ingest(benchmark, small_clip):
+    """Full admin pipeline for one 12-frame clip (fresh system each round)."""
+
+    def ingest():
+        system = VideoRetrievalSystem.in_memory()
+        system.admin.add_video(small_clip)
+        return system
+
+    system = benchmark.pedantic(ingest, rounds=3, iterations=1)
+    assert system.n_videos() == 1
+
+
+def test_frame_search(benchmark, eval_system):
+    query = eval_system.any_key_frame()
+    benchmark(lambda: eval_system.search(query, top_k=20))
+
+
+def test_single_feature_search(benchmark, eval_system):
+    query = eval_system.any_key_frame()
+    benchmark(lambda: eval_system.search(query, features="sch", top_k=20))
+
+
+def test_video_search(benchmark, eval_system):
+    clip = generate_video(
+        VideoSpec(category="sports", seed=9999, n_shots=2, frames_per_shot=5)
+    )
+    result = benchmark.pedantic(
+        lambda: eval_system.search_by_video(clip, top_k=5), rounds=3, iterations=1
+    )
+    assert result
+
+
+def test_rvf_encode(benchmark, small_clip):
+    frames = list(small_clip.frames)
+    benchmark(lambda: encode_rvf_bytes(frames))
+
+
+def test_rvf_decode(benchmark, small_clip):
+    data = encode_rvf_bytes(list(small_clip.frames))
+    benchmark(lambda: list(RvfReader(data)))

@@ -1,0 +1,51 @@
+"""Shared benchmark fixtures.
+
+The evaluation corpus is expensive (minutes of feature extraction), so it
+is built once per session at a scale where the paper's cutoffs (@20..@100)
+are meaningful: 8 videos x 5 categories x 6 shots -> ~240 key frames.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.table1 import build_table1_system
+from repro.video.generator import make_corpus
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--full-scale",
+        action="store_true",
+        default=False,
+        help="run benchmarks at the paper's full corpus scale (slower)",
+    )
+
+
+@pytest.fixture(scope="session")
+def corpus_scale(request):
+    if request.config.getoption("--full-scale"):
+        return dict(videos_per_category=12, n_shots=6, frames_per_shot=5)
+    return dict(videos_per_category=8, n_shots=6, frames_per_shot=5)
+
+
+@pytest.fixture(scope="session")
+def eval_setup(corpus_scale):
+    """(system, ground_truth) with the evaluation corpus ingested."""
+    return build_table1_system(seed=2012, **corpus_scale)
+
+
+@pytest.fixture(scope="session")
+def eval_system(eval_setup):
+    return eval_setup[0]
+
+
+@pytest.fixture(scope="session")
+def eval_ground_truth(eval_setup):
+    return eval_setup[1]
+
+
+@pytest.fixture(scope="session")
+def small_clip():
+    """A single short video for micro-benchmarks."""
+    return make_corpus(videos_per_category=1, seed=3, n_shots=2, frames_per_shot=6)[0]

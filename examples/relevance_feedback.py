@@ -1,0 +1,57 @@
+"""Interactive retrieval with relevance feedback (extension).
+
+The paper motivates retrieval "through user interactions"; this example
+simulates a user who marks the first page of results and lets the Rocchio
+loop (query-point movement + feature reweighting) refine the ranking.
+
+Run:  python examples/relevance_feedback.py
+"""
+
+from repro import VideoRetrievalSystem, make_corpus
+from repro.core.feedback import FeedbackSession
+from repro.eval.metrics import precision_at_k
+from repro.video.generator import VideoSpec, generate_video
+
+
+def precision(results, category, k):
+    rel = [h.category == category for h in results[:k]]
+    return precision_at_k(rel, k)
+
+
+def main() -> None:
+    corpus = make_corpus(videos_per_category=3, seed=17, n_shots=3, frames_per_shot=5)
+    system = VideoRetrievalSystem.in_memory()
+    admin = system.login_admin()
+    for video in corpus:
+        admin.add_video(video)
+    print(f"corpus: {system.n_videos()} videos / {system.n_key_frames()} key frames")
+
+    # a fresh query clip frame (not stored): the user wants more "news"
+    query_clip = generate_video(
+        VideoSpec(category="news", seed=999, n_shots=1, frames_per_shot=3)
+    )
+    query = query_clip.frames[0]
+
+    session = FeedbackSession(system, query)
+    results = session.search(top_k=10)
+    print(f"\nround 0: precision@5 = {precision(results, 'news', 5):.2f}")
+    for hit in results[:5]:
+        print(f"   {hit.video_name:<16} [{hit.category}] d={hit.distance:.3f}")
+
+    # the simulated user truthfully marks the first 8 hits
+    for round_no in range(1, 3):
+        for hit in results[:8]:
+            if hit.category == "news":
+                session.mark_relevant(hit.frame_id)
+            else:
+                session.mark_irrelevant(hit.frame_id)
+        results = session.refine(top_k=10)
+        print(f"\nround {round_no}: precision@5 = {precision(results, 'news', 5):.2f} "
+              f"(weights: " +
+              ", ".join(f"{k}={v:.2f}" for k, v in sorted(session.weights.items())) + ")")
+        for hit in results[:5]:
+            print(f"   {hit.video_name:<16} [{hit.category}] d={hit.distance:.3f}")
+
+
+if __name__ == "__main__":
+    main()

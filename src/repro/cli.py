@@ -1,0 +1,238 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Wraps the library's main entry points so the system is usable without
+writing Python:
+
+- ``demo-corpus``  -- render a synthetic corpus into ``.rvf`` video files
+- ``ingest``       -- add ``.rvf`` videos to a durable library
+- ``list``         -- show the library's videos
+- ``search``       -- query the library with an image file (PPM/PGM/BMP)
+- ``delete``       -- remove a video
+- ``export-frame`` -- write a stored key frame to an image file
+- ``serve``        -- start the HTTP facade on a library
+- ``table1``       -- run the paper's Table 1 experiment
+
+Every command prints plain text and exits non-zero on errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Content-based video retrieval (Patel & Meshram, IJMA 2012)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("demo-corpus", help="render synthetic .rvf videos")
+    p.add_argument("out_dir", help="directory to write .rvf files into")
+    p.add_argument("--per-category", type=int, default=2)
+    p.add_argument("--seed", type=int, default=2012)
+    p.add_argument("--shots", type=int, default=3)
+    p.add_argument("--frames-per-shot", type=int, default=6)
+
+    p = sub.add_parser("ingest", help="add .rvf videos to a library")
+    p.add_argument("library", help="library database path (.rdb)")
+    p.add_argument("videos", nargs="+", help=".rvf files to ingest")
+    p.add_argument("--category", default=None,
+                   help="category label (default: inferred from file name)")
+
+    p = sub.add_parser("list", help="list the library's videos")
+    p.add_argument("library")
+
+    p = sub.add_parser("search", help="query by image file")
+    p.add_argument("library")
+    p.add_argument("image", help="query image (PPM/PGM/BMP)")
+    p.add_argument("--top-k", type=int, default=10)
+    p.add_argument("--features", default=None,
+                   help="comma-separated feature names (default: combined)")
+    p.add_argument("--no-index", action="store_true",
+                   help="full scan instead of range-finder pruning")
+
+    p = sub.add_parser("delete", help="delete a video by id")
+    p.add_argument("library")
+    p.add_argument("video_id", type=int)
+
+    p = sub.add_parser("export-frame", help="write a stored key frame to a file")
+    p.add_argument("library")
+    p.add_argument("frame_id", type=int)
+    p.add_argument("out", help="output image path (.ppm/.pgm/.bmp)")
+
+    p = sub.add_parser("serve", help="serve the HTTP facade")
+    p.add_argument("library")
+    p.add_argument("--port", type=int, default=8765)
+    p.add_argument("--admin-password", default=None)
+
+    p = sub.add_parser("table1", help="run the paper's Table 1 experiment")
+    p.add_argument("--videos-per-category", type=int, default=8)
+    p.add_argument("--queries-per-category", type=int, default=6)
+    p.add_argument("--seed", type=int, default=2012)
+    p.add_argument("--no-index", action="store_true")
+
+    return parser
+
+
+def _open_system(path: str, admin_password: Optional[str] = None):
+    from repro.core.config import SystemConfig
+    from repro.core.system import VideoRetrievalSystem
+
+    config = SystemConfig(admin_password=admin_password) if admin_password else None
+    return VideoRetrievalSystem.open(path, config)
+
+
+def _cmd_demo_corpus(args) -> int:
+    from repro.video.codec import write_rvf
+    from repro.video.generator import make_corpus
+
+    os.makedirs(args.out_dir, exist_ok=True)
+    corpus = make_corpus(
+        videos_per_category=args.per_category,
+        seed=args.seed,
+        n_shots=args.shots,
+        frames_per_shot=args.frames_per_shot,
+    )
+    for video in corpus:
+        path = os.path.join(args.out_dir, f"{video.name}.rvf")
+        write_rvf(video.frames, path)
+        print(f"wrote {path} ({video.n_frames} frames, {video.category})")
+    return 0
+
+
+def _cmd_ingest(args) -> int:
+    from repro.video.codec import RvfReader
+
+    system = _open_system(args.library)
+    admin = system.login_admin()
+    for path in args.videos:
+        name = os.path.splitext(os.path.basename(path))[0]
+        category = args.category or name.rsplit("_", 1)[0]
+        frames = list(RvfReader.open(path))
+        report = admin.add_video(frames, name=name, category=category)
+        print(f"ingested {name}: video {report.video_id}, "
+              f"{report.n_frames} frames -> {report.n_keyframes} key frames")
+    admin.checkpoint()
+    system.close()
+    return 0
+
+
+def _cmd_list(args) -> int:
+    system = _open_system(args.library)
+    videos = system.list_videos()
+    if not videos:
+        print("(library is empty)")
+    for v in videos:
+        frames = system.key_frames_of(v["V_ID"])
+        print(f"{v['V_ID']:4d}  {v['V_NAME']:<24} {str(v['CATEGORY']):<12} "
+              f"{len(frames)} key frames")
+    system.close()
+    return 0
+
+
+def _cmd_search(args) -> int:
+    from repro.imaging.image import read_image
+
+    system = _open_system(args.library)
+    query = read_image(args.image)
+    features = args.features.split(",") if args.features else None
+    results = system.search(
+        query,
+        features=features,
+        top_k=args.top_k,
+        use_index=not args.no_index,
+    )
+    print(f"{len(results)} hits "
+          f"(pruned {results.pruning_fraction:.0%} of {results.n_total} frames)")
+    for row in results.to_rows():
+        print(f"  #{row['rank']:2d}  {row['video']:<24} "
+              f"[{row['category']}]  frame {row['frame_id']}  d={row['distance']}")
+    system.close()
+    return 0
+
+
+def _cmd_delete(args) -> int:
+    system = _open_system(args.library)
+    removed = system.login_admin().delete_video(args.video_id)
+    print(f"deleted video {args.video_id} ({removed} key frames)")
+    system.close()
+    return 0
+
+
+def _cmd_export_frame(args) -> int:
+    system = _open_system(args.library)
+    image = system.get_key_frame(args.frame_id)
+    image.save(args.out)
+    print(f"wrote {args.out} ({image.width}x{image.height})")
+    system.close()
+    return 0
+
+
+def _cmd_serve(args) -> int:  # pragma: no cover - blocking loop
+    from repro.web.server import make_server
+
+    system = _open_system(args.library, admin_password=args.admin_password)
+    server, port = make_server(system, port=args.port)
+    print(f"serving {args.library} on http://127.0.0.1:{port} "
+          f"({system.n_videos()} videos)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        system.close()
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    from repro.eval.table1 import PAPER_TABLE1, run_table1
+
+    result = run_table1(
+        videos_per_category=args.videos_per_category,
+        queries_per_category=args.queries_per_category,
+        seed=args.seed,
+        use_index=not args.no_index,
+    )
+    print(result.to_text(paper=PAPER_TABLE1))
+    print("combined wins at:", result.combined_wins())
+    return 0
+
+
+_COMMANDS = {
+    "demo-corpus": _cmd_demo_corpus,
+    "ingest": _cmd_ingest,
+    "list": _cmd_list,
+    "search": _cmd_search,
+    "delete": _cmd_delete,
+    "export-frame": _cmd_export_frame,
+    "serve": _cmd_serve,
+    "table1": _cmd_table1,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (OSError, KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except Exception as exc:  # database / format errors carry messages
+        from repro.db.errors import DatabaseError
+        from repro.imaging.image import ImageFormatError
+        from repro.video.codec import RvfError
+
+        if isinstance(exc, (DatabaseError, RvfError, ImageFormatError)):
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        raise
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,71 @@
+"""System configuration.
+
+Collects every tunable the paper mentions (key-frame threshold 800, the
+range-finder thresholds 55/60, the feature set, fusion weights) in one
+immutable object so experiments and ablations can vary them cleanly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Mapping, Optional, Tuple
+
+__all__ = ["SystemConfig", "TABLE1_FEATURES"]
+
+#: The six individual features evaluated in Table 1 (plus "combined").
+TABLE1_FEATURES: Tuple[str, ...] = ("glcm", "gabor", "tamura", "sch", "acc", "regions")
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """All tunables of the retrieval system.
+
+    ``features`` are the extractors run at ingest; ``fusion_weights`` maps
+    feature name -> weight for the combined ranking (missing features get
+    equal weight 1.0).  ``keyframe_*`` configures §4.1, ``index_*`` §4.2.
+    """
+
+    features: Tuple[str, ...] = TABLE1_FEATURES
+    fusion_weights: Mapping[str, float] = field(default_factory=dict)
+    # §4.1 key-frame extraction
+    keyframe_threshold: float = 800.0
+    keyframe_base_size: int = 150  # 300 in the paper; 150 halves the cost
+    # §4.2 range-finder index
+    use_index: bool = True
+    index_first_threshold: float = 55.0
+    index_threshold: float = 60.0
+    index_max_level: int = 3
+    # video-to-video similarity
+    sequence_method: str = "dtw"  # 'dtw' or 'align'
+    sequence_gap_penalty: float = 0.5
+    #: weight of the clip-level motion descriptor in video queries
+    #: (0 = appearance only, the paper's system; 1 = equal to appearance)
+    video_motion_weight: float = 0.0
+    # admin authentication (None = open access)
+    admin_password: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.features:
+            raise ValueError("at least one feature is required")
+        from repro.features.base import all_extractors
+
+        known = set(all_extractors())
+        unknown = set(self.features) - known
+        if unknown:
+            raise ValueError(f"unknown features {sorted(unknown)}; known: {sorted(known)}")
+        if self.keyframe_threshold < 0:
+            raise ValueError("keyframe_threshold must be >= 0")
+        if self.sequence_method not in ("dtw", "align"):
+            raise ValueError("sequence_method must be 'dtw' or 'align'")
+        if self.video_motion_weight < 0:
+            raise ValueError("video_motion_weight must be non-negative")
+
+    def weight_of(self, feature: str) -> float:
+        return float(self.fusion_weights.get(feature, 1.0))
+
+    def weights_dict(self) -> Dict[str, float]:
+        return {f: self.weight_of(f) for f in self.features}
+
+    def with_(self, **changes) -> "SystemConfig":
+        """A modified copy (dataclasses.replace wrapper)."""
+        return replace(self, **changes)

@@ -1,0 +1,216 @@
+"""The admin ingest pipeline (the left half of the Fig. 3 DFD).
+
+``add_video`` runs the full chain the paper describes:
+
+1. serialize the frames into an RVF blob (``VIDEO_STORE.VIDEO``);
+2. extract key frames with the §4.1 threshold algorithm;
+3. for each key frame: run every configured feature extractor, compute the
+   §4.2 ``(min, max)`` index bucket, encode the frame as a PPM blob;
+4. insert the ``KEY_FRAMES`` rows, update the range index and the
+   in-memory feature store -- all inside one transaction so a failing
+   extractor leaves nothing half-ingested.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.core.catalog import FEATURE_COLUMNS
+from repro.core.config import SystemConfig
+from repro.core.store import FeatureStore, FrameRecord
+from repro.db.engine import Database
+from repro.db.errors import DatabaseError
+from repro.features.base import FeatureExtractor, FeatureVector, get_extractor
+from repro.imaging.image import Image
+from repro.indexing.rangefinder import RangeFinder
+from repro.indexing.tree import RangeIndex
+from repro.video.codec import encode_rvf_bytes
+from repro.video.generator import SyntheticVideo
+from repro.video.keyframes import KeyFrameExtractor
+
+__all__ = ["Ingestor", "IngestReport"]
+
+
+@dataclass(frozen=True)
+class IngestReport:
+    """What one ``add_video`` call produced."""
+
+    video_id: int
+    video_name: str
+    n_frames: int
+    keyframe_ids: List[int]
+
+    @property
+    def n_keyframes(self) -> int:
+        return len(self.keyframe_ids)
+
+
+class Ingestor:
+    """Admin-side pipeline bound to one database + store + index."""
+
+    def __init__(
+        self,
+        db: Database,
+        config: SystemConfig,
+        store: FeatureStore,
+        index: RangeIndex,
+    ):
+        self.db = db
+        self.config = config
+        self.store = store
+        self.index = index
+        self.extractors: Dict[str, FeatureExtractor] = {
+            name: get_extractor(name) for name in config.features
+        }
+        self.keyframe_extractor = KeyFrameExtractor(
+            threshold=config.keyframe_threshold,
+            base_size=config.keyframe_base_size,
+        )
+        # regions is needed for the MAJORREGIONS column even if not an
+        # active search feature
+        self._regions = self.extractors.get("regions") or get_extractor("regions")
+
+    @staticmethod
+    def _motion_descriptor(frames: Sequence[Image]) -> FeatureVector:
+        """Clip-level motion activity (zeros for single-frame clips)."""
+        import numpy as np
+
+        from repro.video.motion import MOTION_DIMS, motion_activity
+
+        if len(frames) < 2:
+            values = np.zeros(MOTION_DIMS)
+        else:
+            values = motion_activity(frames)
+        return FeatureVector(kind="motion", values=values, tag="MOTION")
+
+    # -- id allocation ----------------------------------------------------------
+
+    def _next_id(self, table: str, column: str) -> int:
+        rows = self.db.execute(f"SELECT {column} FROM {table}").rows
+        return 1 + max((int(r[column]) for r in rows), default=0)
+
+    # -- operations -----------------------------------------------------------------
+
+    def add_video(
+        self,
+        video: Union[SyntheticVideo, Sequence[Image]],
+        name: Optional[str] = None,
+        category: Optional[str] = None,
+        stored_on: Optional[datetime.date] = None,
+    ) -> IngestReport:
+        """Ingest a video (SyntheticVideo or a plain frame sequence)."""
+        if isinstance(video, SyntheticVideo):
+            frames = list(video.frames)
+            name = name or video.name
+            category = category or video.category
+        else:
+            frames = list(video)
+            if name is None:
+                raise ValueError("a name is required when ingesting raw frames")
+        if not frames:
+            raise ValueError("cannot ingest an empty video")
+
+        video_id = self._next_id("VIDEO_STORE", "V_ID")
+        next_frame_id = self._next_id("KEY_FRAMES", "I_ID")
+        video_blob = encode_rvf_bytes(frames)
+        key_frames = self.keyframe_extractor.extract(frames)
+        stored_on = stored_on or datetime.date(2012, 10, 1)
+        motion = self._motion_descriptor(frames)
+
+        new_records: List[FrameRecord] = []
+        with self.db.transaction():
+            self.db.execute(
+                "INSERT INTO VIDEO_STORE (V_ID, V_NAME, CATEGORY, VIDEO, MOTION, DOSTORE)"
+                " VALUES (?, ?, ?, ?, ?, ?)",
+                (video_id, name, category, video_blob, motion.to_string(), stored_on),
+            )
+            for offset, (frame_index, frame) in enumerate(key_frames):
+                frame_id = next_frame_id + offset
+                record = self._ingest_frame(frame_id, video_id, name, category, frame_index, frame)
+                new_records.append(record)
+
+        # DB committed; now mirror into store + index
+        for record in new_records:
+            self.store.add(record)
+            self.index.insert_bucket(record.frame_id, record.bucket)
+        self.store.set_video_motion(video_id, motion)
+        return IngestReport(
+            video_id=video_id,
+            video_name=name,
+            n_frames=len(frames),
+            keyframe_ids=[r.frame_id for r in new_records],
+        )
+
+    def _ingest_frame(
+        self,
+        frame_id: int,
+        video_id: int,
+        video_name: str,
+        category: Optional[str],
+        frame_index: int,
+        frame: Image,
+    ) -> FrameRecord:
+        features: Dict[str, FeatureVector] = {
+            name: extractor.extract(frame) for name, extractor in self.extractors.items()
+        }
+        bucket = self.index.finder.bucket_for_image(frame)
+        if "regions" in features:
+            major_regions = int(features["regions"].values[2])
+        else:
+            major_regions = int(self._regions.extract(frame).values[2])
+        frame_name = f"{video_name}_f{frame_index:04d}"
+
+        columns = ["I_ID", "I_NAME", "IMAGE", "MIN", "MAX", "MAJORREGIONS", "V_ID"]
+        values: List[object] = [
+            frame_id,
+            frame_name,
+            frame.encode("ppm"),
+            bucket.min,
+            bucket.max,
+            major_regions,
+            video_id,
+        ]
+        for name, vector in features.items():
+            columns.append(FEATURE_COLUMNS[name])
+            values.append(vector.to_string())
+        placeholders = ", ".join("?" for _ in values)
+        self.db.execute(
+            f"INSERT INTO KEY_FRAMES ({', '.join(columns)}) VALUES ({placeholders})",
+            tuple(values),
+        )
+        return FrameRecord(
+            frame_id=frame_id,
+            video_id=video_id,
+            video_name=video_name,
+            frame_name=frame_name,
+            category=category,
+            bucket=bucket,
+            features=features,
+        )
+
+    def delete_video(self, video_id: int) -> int:
+        """Remove a video and its key frames; returns removed frame count."""
+        rows = self.db.execute(
+            "SELECT V_ID FROM VIDEO_STORE WHERE V_ID = ?", (video_id,)
+        ).rows
+        if not rows:
+            raise DatabaseError(f"no video with id {video_id}")
+        with self.db.transaction():
+            self.db.execute("DELETE FROM KEY_FRAMES WHERE V_ID = ?", (video_id,))
+            self.db.execute("DELETE FROM VIDEO_STORE WHERE V_ID = ?", (video_id,))
+        frame_ids = self.store.remove_video(video_id)
+        for fid in frame_ids:
+            if fid in self.index:
+                self.index.remove(fid)
+        return len(frame_ids)
+
+    def rename_video(self, video_id: int, new_name: str) -> None:
+        """Update V_NAME (metadata-only update; features are untouched)."""
+        count = self.db.execute(
+            "UPDATE VIDEO_STORE SET V_NAME = ? WHERE V_ID = ?", (new_name, video_id)
+        ).rowcount
+        if count == 0:
+            raise DatabaseError(f"no video with id {video_id}")
+        self.store.rebuild_from_db(self.db, list(self.config.features))

@@ -1,0 +1,84 @@
+"""Search result containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+__all__ = ["RetrievalResult", "SearchResults"]
+
+
+@dataclass(frozen=True)
+class RetrievalResult:
+    """One ranked hit: a key frame and the video it came from.
+
+    ``distance`` is the fused (or single-feature) dissimilarity used for
+    ranking; ``per_feature`` holds the raw per-feature distances.
+    """
+
+    frame_id: int
+    video_id: int
+    video_name: str
+    frame_name: str
+    category: Optional[str]
+    distance: float
+    per_feature: Dict[str, float] = field(default_factory=dict)
+
+
+class SearchResults:
+    """An ordered result list with convenience accessors."""
+
+    def __init__(self, hits: List[RetrievalResult], n_candidates: int, n_total: int):
+        self.hits = list(hits)
+        #: how many frames survived index pruning and were actually scored
+        self.n_candidates = n_candidates
+        #: corpus size at query time
+        self.n_total = n_total
+
+    def __len__(self) -> int:
+        return len(self.hits)
+
+    def __iter__(self) -> Iterator[RetrievalResult]:
+        return iter(self.hits)
+
+    def __getitem__(self, i):
+        return self.hits[i]
+
+    def frame_ids(self) -> List[int]:
+        return [h.frame_id for h in self.hits]
+
+    def video_ids(self) -> List[int]:
+        """Video ids in rank order, first occurrence only."""
+        seen, out = set(), []
+        for h in self.hits:
+            if h.video_id not in seen:
+                seen.add(h.video_id)
+                out.append(h.video_id)
+        return out
+
+    def categories(self) -> List[Optional[str]]:
+        return [h.category for h in self.hits]
+
+    @property
+    def pruning_fraction(self) -> float:
+        """Fraction of the corpus skipped thanks to the index."""
+        if self.n_total == 0:
+            return 0.0
+        return 1.0 - self.n_candidates / self.n_total
+
+    def to_rows(self) -> List[Dict[str, object]]:
+        """Plain dicts (for printing / JSON)."""
+        return [
+            {
+                "rank": i + 1,
+                "frame_id": h.frame_id,
+                "video": h.video_name,
+                "category": h.category,
+                "distance": round(h.distance, 6),
+            }
+            for i, h in enumerate(self.hits)
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        head = ", ".join(f"{h.video_name}:{h.distance:.3f}" for h in self.hits[:3])
+        return f"SearchResults({len(self.hits)} hits; top: {head})"

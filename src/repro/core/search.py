@@ -1,0 +1,265 @@
+"""The user-side search engine (the right half of the Fig. 3 DFD).
+
+Frame queries: extract the query frame's features, prune candidates with
+the range index, compute per-feature distances, min-max normalize each
+feature over the candidate set, and rank by the weighted sum (§5's
+"combined" approach) or by one feature alone (the individual Table 1
+columns).
+
+Video queries: key-frame the query clip and align its feature sequence
+against every stored video's sequence with the paper's dynamic-programming
+similarity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.config import SystemConfig
+from repro.core.results import RetrievalResult, SearchResults
+from repro.core.store import FeatureStore, FrameRecord
+from repro.features.base import FeatureExtractor, FeatureVector, get_extractor
+from repro.imaging.image import Image
+from repro.indexing.tree import RangeIndex
+from repro.similarity.dp import dtw_distance, sequence_similarity
+from repro.similarity.fusion import CombinedScorer, FeatureWeights, normalize_scores
+from repro.video.generator import SyntheticVideo
+from repro.video.keyframes import KeyFrameExtractor
+
+__all__ = ["SearchEngine", "VideoMatch"]
+
+
+class VideoMatch:
+    """One hit of a video-to-video query."""
+
+    def __init__(self, video_id: int, video_name: str, category: Optional[str], distance: float):
+        self.video_id = video_id
+        self.video_name = video_name
+        self.category = category
+        self.distance = distance
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"VideoMatch({self.video_name}, d={self.distance:.4f})"
+
+
+class SearchEngine:
+    """Query execution over a feature store + range index."""
+
+    def __init__(self, config: SystemConfig, store: FeatureStore, index: RangeIndex):
+        self.config = config
+        self.store = store
+        self.index = index
+        self.extractors: Dict[str, FeatureExtractor] = {
+            name: get_extractor(name) for name in config.features
+        }
+        self.keyframe_extractor = KeyFrameExtractor(
+            threshold=config.keyframe_threshold,
+            base_size=config.keyframe_base_size,
+        )
+
+    # -- frame query ------------------------------------------------------------
+
+    def query_frame(
+        self,
+        image: Image,
+        features: Optional[Sequence[str]] = None,
+        top_k: int = 20,
+        use_index: Optional[bool] = None,
+    ) -> SearchResults:
+        """Rank stored key frames against a query frame.
+
+        ``features`` selects the ranking signal: a single name ranks by that
+        feature alone; several (or None = all configured) are fused with the
+        configured weights.
+        """
+        names = self._resolve_features(features)
+        use_index = self.config.use_index if use_index is None else use_index
+
+        if use_index:
+            candidate_ids = sorted(self.index.candidates(image))
+        else:
+            candidate_ids = self.store.frame_ids()
+        query_vectors = {name: self.extractors[name].extract(image) for name in names}
+        return self.query_with_vectors(query_vectors, top_k=top_k, candidate_ids=candidate_ids)
+
+    def query_with_vectors(
+        self,
+        query_vectors: Dict[str, FeatureVector],
+        top_k: int = 20,
+        candidate_ids: Optional[Sequence[int]] = None,
+        weights: Optional[Dict[str, float]] = None,
+    ) -> SearchResults:
+        """Rank stored frames against precomputed query feature vectors.
+
+        This is the feedback loop's entry point: relevance feedback moves
+        the query vectors and reweights features, then re-ranks without
+        needing an actual query image.  ``weights`` overrides the
+        configuration's fusion weights; ``candidate_ids`` defaults to the
+        whole store (no index pruning -- a moved query vector has no image
+        to bucket).
+        """
+        names = [n for n in query_vectors if n in self.extractors]
+        if not names:
+            raise ValueError("query_vectors holds no configured features")
+        if candidate_ids is None:
+            candidate_ids = self.store.frame_ids()
+        n_total = len(self.store)
+        if not candidate_ids:
+            return SearchResults([], n_candidates=0, n_total=n_total)
+
+        records = [self.store.get(fid) for fid in candidate_ids]
+        per_feature: Dict[str, List[float]] = {}
+        for name in names:
+            extractor = self.extractors[name]
+            qv = query_vectors[name]
+            per_feature[name] = [
+                extractor.distance(qv, rec.features[name]) for rec in records
+            ]
+
+        if len(names) == 1:
+            fused = np.asarray(per_feature[names[0]], dtype=np.float64)
+        else:
+            if weights is None:
+                weights = {n: self.config.weight_of(n) for n in names}
+            fused = CombinedScorer(FeatureWeights(weights)).fuse(per_feature)
+
+        order = np.argsort(fused, kind="stable")[: max(0, top_k)]
+        hits = [
+            RetrievalResult(
+                frame_id=records[i].frame_id,
+                video_id=records[i].video_id,
+                video_name=records[i].video_name,
+                frame_name=records[i].frame_name,
+                category=records[i].category,
+                distance=float(fused[i]),
+                per_feature={n: per_feature[n][i] for n in names},
+            )
+            for i in order
+        ]
+        return SearchResults(hits, n_candidates=len(candidate_ids), n_total=n_total)
+
+    # -- video query ---------------------------------------------------------------
+
+    def query_video(
+        self,
+        video: Union[SyntheticVideo, Sequence[Image]],
+        features: Optional[Sequence[str]] = None,
+        top_k: int = 10,
+    ) -> List[VideoMatch]:
+        """Rank stored videos against a query clip via DP sequence alignment."""
+        frames = list(video.frames) if isinstance(video, SyntheticVideo) else list(video)
+        if not frames:
+            raise ValueError("query video has no frames")
+        names = self._resolve_features(features)
+        key_frames = [f for _i, f in self.keyframe_extractor.extract(frames)]
+        query_seq = [
+            {name: self.extractors[name].extract(f) for name in names} for f in key_frames
+        ]
+
+        video_ids = self.store.video_ids()
+        if not video_ids:
+            return []
+
+        # Pairwise per-feature distances between the query sequence and the
+        # *entire* stored frame population, so min-max normalization is
+        # global: a video whose frames are all far from the query must keep
+        # a large cost, not normalize down to zero.
+        all_records: List[FrameRecord] = []
+        spans: Dict[int, slice] = {}
+        for video_id in video_ids:
+            records = self.store.frames_of_video(video_id)
+            spans[video_id] = slice(len(all_records), len(all_records) + len(records))
+            all_records.extend(records)
+
+        nq, nr = len(query_seq), len(all_records)
+        combined = np.zeros((nq, nr))
+        total_weight = 0.0
+        for name in names:
+            extractor = self.extractors[name]
+            m = np.empty((nq, nr))
+            for i, qf in enumerate(query_seq):
+                for j, rec in enumerate(all_records):
+                    m[i, j] = extractor.distance(qf[name], rec.features[name])
+            w = self.config.weight_of(name)
+            combined += w * normalize_scores(m.ravel()).reshape(nq, nr)
+            total_weight += w
+        if total_weight > 0:
+            combined /= total_weight
+
+        matches: List[VideoMatch] = []
+        for video_id in video_ids:
+            span = spans[video_id]
+            if span.stop == span.start:
+                continue
+            records = all_records[span]
+            distance = self._sequence_distance(combined[:, span])
+            matches.append(
+                VideoMatch(
+                    video_id=video_id,
+                    video_name=records[0].video_name,
+                    category=records[0].category,
+                    distance=distance,
+                )
+            )
+        matches = self._blend_motion(frames, matches)
+        matches.sort(key=lambda m: m.distance)
+        return matches[: max(0, top_k)]
+
+    def _blend_motion(self, frames: Sequence[Image], matches: List["VideoMatch"]) -> List["VideoMatch"]:
+        """Mix the clip-level motion distance into the appearance ranking.
+
+        Active only when ``config.video_motion_weight > 0`` and the stored
+        videos carry motion descriptors; both components are min-max
+        normalized over the match set before the weighted blend.
+        """
+        weight = self.config.video_motion_weight
+        if weight <= 0 or len(matches) < 2 or len(frames) < 2:
+            return matches
+        from repro.similarity.measures import canberra
+        from repro.video.motion import motion_activity
+
+        stored = [self.store.video_motion(m.video_id) for m in matches]
+        if any(s is None for s in stored):
+            return matches
+        query_motion = motion_activity(frames)
+        motion_d = np.array([canberra(query_motion, s.values) for s in stored])
+        appearance_d = np.array([m.distance for m in matches])
+        blended = (
+            normalize_scores(appearance_d) + weight * normalize_scores(motion_d)
+        ) / (1.0 + weight)
+        return [
+            VideoMatch(m.video_id, m.video_name, m.category, float(d))
+            for m, d in zip(matches, blended)
+        ]
+
+    def _sequence_distance(self, cost_matrix: np.ndarray) -> float:
+        """DP distance over a precomputed (fused, globally-normalized) matrix."""
+        nq, nr = cost_matrix.shape
+        indices_q = list(range(nq))
+        indices_r = list(range(nr))
+        cost = lambda i, j: float(cost_matrix[i, j])
+        if self.config.sequence_method == "dtw":
+            return dtw_distance(indices_q, indices_r, cost)
+        return sequence_similarity(
+            indices_q, indices_r, cost, method="align",
+            gap_penalty=self.config.sequence_gap_penalty,
+        )
+
+    # -- helpers -------------------------------------------------------------------------
+
+    def _resolve_features(self, features: Optional[Sequence[str]]) -> List[str]:
+        if features is None:
+            return list(self.config.features)
+        if isinstance(features, str):
+            features = [features]
+        names = list(features)
+        if not names:
+            raise ValueError("features must not be empty")
+        unknown = [n for n in names if n not in self.extractors]
+        if unknown:
+            raise ValueError(
+                f"features {unknown} are not configured; active: {sorted(self.extractors)}"
+            )
+        return names

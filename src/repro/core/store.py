@@ -1,0 +1,128 @@
+"""In-memory feature store mirroring the KEY_FRAMES table.
+
+Search must compare the query against every candidate's feature vectors;
+re-parsing feature strings out of the DB on every query would dominate
+latency, so the system keeps this write-through cache: ingest updates it
+and the DB together, and on open it is rebuilt from the table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.core.catalog import FEATURE_COLUMNS
+from repro.db.engine import Database
+from repro.features.base import FeatureVector
+from repro.indexing.rangefinder import Bucket
+
+__all__ = ["FrameRecord", "FeatureStore"]
+
+
+@dataclass(frozen=True)
+class FrameRecord:
+    """One key frame's metadata + parsed feature vectors."""
+
+    frame_id: int
+    video_id: int
+    video_name: str
+    frame_name: str
+    category: Optional[str]
+    bucket: Bucket
+    features: Dict[str, FeatureVector] = field(default_factory=dict)
+
+
+class FeatureStore:
+    """frame_id -> FrameRecord, with per-video grouping."""
+
+    def __init__(self):
+        self._frames: Dict[int, FrameRecord] = {}
+        self._by_video: Dict[int, List[int]] = {}
+        # clip-level motion descriptors (extension; see repro.video.motion)
+        self._video_motion: Dict[int, FeatureVector] = {}
+
+    # -- container protocol --------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    def __contains__(self, frame_id: int) -> bool:
+        return frame_id in self._frames
+
+    def get(self, frame_id: int) -> FrameRecord:
+        return self._frames[frame_id]
+
+    def frame_ids(self) -> List[int]:
+        return sorted(self._frames)
+
+    def video_ids(self) -> List[int]:
+        return sorted(self._by_video)
+
+    def frames_of_video(self, video_id: int) -> List[FrameRecord]:
+        """The video's key frames in frame-id (i.e. temporal) order."""
+        return [self._frames[i] for i in sorted(self._by_video.get(video_id, []))]
+
+    # -- mutation -------------------------------------------------------------
+
+    def add(self, record: FrameRecord) -> None:
+        if record.frame_id in self._frames:
+            raise KeyError(f"frame id {record.frame_id} already in store")
+        self._frames[record.frame_id] = record
+        self._by_video.setdefault(record.video_id, []).append(record.frame_id)
+
+    def remove_video(self, video_id: int) -> List[int]:
+        """Drop every frame of a video; returns the removed frame ids."""
+        frame_ids = self._by_video.pop(video_id, [])
+        for fid in frame_ids:
+            del self._frames[fid]
+        self._video_motion.pop(video_id, None)
+        return frame_ids
+
+    def clear(self) -> None:
+        self._frames.clear()
+        self._by_video.clear()
+        self._video_motion.clear()
+
+    # -- clip-level motion ------------------------------------------------------
+
+    def set_video_motion(self, video_id: int, descriptor: FeatureVector) -> None:
+        self._video_motion[video_id] = descriptor
+
+    def video_motion(self, video_id: int) -> Optional[FeatureVector]:
+        return self._video_motion.get(video_id)
+
+    # -- rebuild -----------------------------------------------------------------
+
+    def rebuild_from_db(self, db: Database, feature_names: Sequence[str]) -> None:
+        """Repopulate from VIDEO_STORE + KEY_FRAMES (used by ``open``)."""
+        self.clear()
+        videos = {
+            row["V_ID"]: row
+            for row in db.execute(
+                "SELECT V_ID, V_NAME, CATEGORY, MOTION FROM VIDEO_STORE"
+            ).rows
+        }
+        for v_id, row in videos.items():
+            if row.get("MOTION"):
+                self._video_motion[int(v_id)] = FeatureVector.from_string(
+                    "motion", row["MOTION"]
+                )
+        wanted = [(name, FEATURE_COLUMNS[name]) for name in feature_names]
+        for row in db.execute("SELECT * FROM KEY_FRAMES").rows:
+            features: Dict[str, FeatureVector] = {}
+            for name, column in wanted:
+                text = row.get(column)
+                if text:
+                    features[name] = FeatureVector.from_string(name, text)
+            video = videos.get(row["V_ID"], {})
+            self.add(
+                FrameRecord(
+                    frame_id=int(row["I_ID"]),
+                    video_id=int(row["V_ID"]),
+                    video_name=video.get("V_NAME", f"video_{row['V_ID']}"),
+                    frame_name=row["I_NAME"],
+                    category=video.get("CATEGORY"),
+                    bucket=Bucket(int(row["MIN"]), int(row["MAX"])),
+                    features=features,
+                )
+            )

@@ -1,0 +1,181 @@
+"""The :class:`VideoRetrievalSystem` facade.
+
+Mirrors the paper's two-role design (Fig. 2 use cases, Fig. 4 block
+diagram): an **administrator** manages the stored videos; a **user** only
+searches.  Construction bootstraps the DB schema, and opening an existing
+database rebuilds the in-memory feature store and range index from the
+``KEY_FRAMES`` table.
+
+    system = VideoRetrievalSystem.in_memory()
+    admin = system.login_admin()
+    admin.add_video(my_video)
+    results = system.search(query_frame, top_k=20)
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+from repro.core.catalog import bootstrap
+from repro.core.config import SystemConfig
+from repro.core.ingest import Ingestor, IngestReport
+from repro.core.results import SearchResults
+from repro.core.search import SearchEngine, VideoMatch
+from repro.core.store import FeatureStore
+from repro.db.engine import Database
+from repro.db.types import ORD_VIDEO
+from repro.imaging.image import Image, decode_image
+from repro.indexing.rangefinder import RangeFinder
+from repro.indexing.tree import RangeIndex
+from repro.video.generator import SyntheticVideo
+
+__all__ = ["VideoRetrievalSystem", "AdminSession", "AuthenticationError"]
+
+
+class AuthenticationError(Exception):
+    """Wrong admin password."""
+
+
+class AdminSession:
+    """The administrator's view: full content management."""
+
+    def __init__(self, system: "VideoRetrievalSystem"):
+        self._system = system
+
+    def add_video(self, video, name: Optional[str] = None, category: Optional[str] = None, **kwargs) -> IngestReport:
+        return self._system._ingestor.add_video(video, name=name, category=category, **kwargs)
+
+    def delete_video(self, video_id: int) -> int:
+        return self._system._ingestor.delete_video(video_id)
+
+    def rename_video(self, video_id: int, new_name: str) -> None:
+        self._system._ingestor.rename_video(video_id, new_name)
+
+    def checkpoint(self) -> None:
+        """Fold the WAL into a snapshot (durable systems only)."""
+        self._system.db.checkpoint()
+
+
+class VideoRetrievalSystem:
+    """End-to-end content-based video retrieval."""
+
+    def __init__(self, db: Optional[Database] = None, config: Optional[SystemConfig] = None):
+        self.config = config or SystemConfig()
+        self.db = db or Database()
+        bootstrap(self.db)
+        self._store = FeatureStore()
+        finder = RangeFinder(
+            first_threshold=self.config.index_first_threshold,
+            threshold=self.config.index_threshold,
+            max_level=self.config.index_max_level,
+        )
+        self._index = RangeIndex(finder)
+        self._ingestor = Ingestor(self.db, self.config, self._store, self._index)
+        self._engine = SearchEngine(self.config, self._store, self._index)
+        self._reload_from_db()
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def in_memory(cls, config: Optional[SystemConfig] = None) -> "VideoRetrievalSystem":
+        """A volatile system (no files touched)."""
+        return cls(Database(), config)
+
+    @classmethod
+    def open(cls, path, config: Optional[SystemConfig] = None) -> "VideoRetrievalSystem":
+        """A durable system at ``path`` (snapshot + WAL)."""
+        return cls(Database.open(path), config)
+
+    def _reload_from_db(self) -> None:
+        self._store.rebuild_from_db(self.db, list(self.config.features))
+        for fid in self._store.frame_ids():
+            self._index.insert_bucket(fid, self._store.get(fid).bucket)
+
+    # -- roles ----------------------------------------------------------------------
+
+    def login_admin(self, password: Optional[str] = None) -> AdminSession:
+        """Authenticate as administrator (open access if no password set)."""
+        if self.config.admin_password is not None and password != self.config.admin_password:
+            raise AuthenticationError("wrong administrator password")
+        return AdminSession(self)
+
+    @property
+    def admin(self) -> AdminSession:
+        """Shortcut for systems without a password."""
+        return self.login_admin()
+
+    # -- user API ----------------------------------------------------------------------
+
+    def search(
+        self,
+        image: Image,
+        features: Optional[Sequence[str]] = None,
+        top_k: int = 20,
+        use_index: Optional[bool] = None,
+    ) -> SearchResults:
+        """Query by frame; see :meth:`SearchEngine.query_frame`."""
+        return self._engine.query_frame(image, features=features, top_k=top_k, use_index=use_index)
+
+    def search_by_video(
+        self,
+        video: Union[SyntheticVideo, Sequence[Image]],
+        features: Optional[Sequence[str]] = None,
+        top_k: int = 10,
+    ) -> List[VideoMatch]:
+        """Query by clip; see :meth:`SearchEngine.query_video`."""
+        return self._engine.query_video(video, features=features, top_k=top_k)
+
+    def search_by_name(self, pattern: str) -> List[dict]:
+        """Metadata search over video names (SQL LIKE pattern)."""
+        return self.db.execute(
+            "SELECT V_ID, V_NAME, CATEGORY FROM VIDEO_STORE WHERE V_NAME LIKE ? ORDER BY V_ID",
+            (pattern,),
+        ).rows
+
+    # -- content access -----------------------------------------------------------------------
+
+    def list_videos(self) -> List[dict]:
+        return self.db.execute(
+            "SELECT V_ID, V_NAME, CATEGORY, DOSTORE FROM VIDEO_STORE ORDER BY V_ID"
+        ).rows
+
+    def n_videos(self) -> int:
+        return len(self.list_videos())
+
+    def n_key_frames(self) -> int:
+        return len(self._store)
+
+    def get_video_frames(self, video_id: int) -> List[Image]:
+        """Decode the stored RVF blob back into frames (Fig. 10's player)."""
+        rows = self.db.execute(
+            "SELECT VIDEO FROM VIDEO_STORE WHERE V_ID = ?", (video_id,)
+        ).rows
+        if not rows or rows[0]["VIDEO"] is None:
+            raise KeyError(f"no stored video with id {video_id}")
+        return list(ORD_VIDEO.decode(rows[0]["VIDEO"]))
+
+    def get_key_frame(self, frame_id: int) -> Image:
+        """Decode one stored key-frame image."""
+        rows = self.db.execute(
+            "SELECT IMAGE FROM KEY_FRAMES WHERE I_ID = ?", (frame_id,)
+        ).rows
+        if not rows or rows[0]["IMAGE"] is None:
+            raise KeyError(f"no key frame with id {frame_id}")
+        return decode_image(rows[0]["IMAGE"])
+
+    def key_frames_of(self, video_id: int):
+        """FrameRecords of one video, in temporal order."""
+        return self._store.frames_of_video(video_id)
+
+    def any_key_frame(self) -> Image:
+        """An arbitrary stored key frame (handy for demos and tests)."""
+        ids = self._store.frame_ids()
+        if not ids:
+            raise KeyError("the system holds no key frames yet")
+        return self.get_key_frame(ids[0])
+
+    def index_stats(self):
+        return self._index.stats()
+
+    def close(self) -> None:
+        self.db.close()

@@ -1,0 +1,45 @@
+"""Typed error hierarchy for the mini relational engine."""
+
+from __future__ import annotations
+
+__all__ = [
+    "DatabaseError",
+    "SqlSyntaxError",
+    "CatalogError",
+    "ConstraintError",
+    "TypeMismatchError",
+    "TransactionError",
+    "StorageError",
+]
+
+
+class DatabaseError(Exception):
+    """Base class for every engine error."""
+
+
+class SqlSyntaxError(DatabaseError):
+    """The SQL text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, position: int = -1):
+        super().__init__(message if position < 0 else f"{message} (at position {position})")
+        self.position = position
+
+
+class CatalogError(DatabaseError):
+    """Unknown or duplicate table/column."""
+
+
+class ConstraintError(DatabaseError):
+    """Primary-key duplicate, NOT NULL violation, or similar."""
+
+
+class TypeMismatchError(DatabaseError):
+    """A value does not fit its column type."""
+
+
+class TransactionError(DatabaseError):
+    """Illegal transaction state transition (e.g. COMMIT with no BEGIN)."""
+
+
+class StorageError(DatabaseError):
+    """Snapshot or WAL file is missing, truncated, or corrupt."""

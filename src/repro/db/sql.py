@@ -1,0 +1,623 @@
+"""SQL dialect: tokenizer, AST, and recursive-descent parser.
+
+Supported statements (enough to run the paper's §3.4 DDL verbatim and the
+system's whole workload):
+
+- ``CREATE TABLE name (col TYPE [NOT NULL] [PRIMARY KEY] [ENABLE], ...,
+  PRIMARY KEY (col, ...) [ENABLE])``
+- ``DROP TABLE name``
+- ``INSERT INTO name [(col, ...)] VALUES (expr, ...)``
+- ``SELECT * | col, ... FROM name [WHERE expr] [ORDER BY col [ASC|DESC],
+  ...] [LIMIT n]``
+- ``UPDATE name SET col = expr, ... [WHERE expr]``
+- ``DELETE FROM name [WHERE expr]``
+
+WHERE supports comparisons, ``BETWEEN``, ``IN (...)``, ``LIKE`` (with ``%``
+and ``_``), ``IS [NOT] NULL``, ``AND`` / ``OR`` / ``NOT`` and parentheses.
+``?`` placeholders bind positional parameters, which is how BLOB values
+travel.  Identifiers may be double-quoted, as in the paper's DDL.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from repro.db.errors import SqlSyntaxError
+from repro.db.schema import Column, TableSchema
+from repro.db.types import type_from_name
+
+__all__ = [
+    "tokenize",
+    "parse",
+    "CreateTable",
+    "DropTable",
+    "Insert",
+    "Select",
+    "Aggregate",
+    "Update",
+    "Delete",
+    "ColumnRef",
+    "Literal",
+    "Param",
+    "Compare",
+    "Between",
+    "InList",
+    "Like",
+    "IsNull",
+    "And",
+    "Or",
+    "Not",
+    "OrderItem",
+]
+
+# ---------------------------------------------------------------------------
+# tokenizer
+# ---------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>--[^\n]*)
+  | (?P<number>-?(\d+(\.\d*)?([eE][+-]?\d+)?|\.\d+))
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<qident>"[^"]+")
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_$#]*)
+  | (?P<op><>|!=|<=|>=|=|<|>)
+  | (?P<punct>[(),.*?;])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'number' | 'string' | 'ident' | 'op' | 'punct'
+    value: str
+    position: int
+
+    def matches(self, kind: str, value: Optional[str] = None) -> bool:
+        return self.kind == kind and (value is None or self.value == value)
+
+
+def tokenize(text: str) -> List[Token]:
+    """Token stream (whitespace and comments dropped)."""
+    tokens: List[Token] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise SqlSyntaxError(f"unexpected character {text[pos]!r}", pos)
+        kind = m.lastgroup
+        value = m.group()
+        if kind == "qident":
+            tokens.append(Token("ident", value[1:-1].upper(), pos))
+        elif kind == "ident":
+            tokens.append(Token("ident", value.upper(), pos))
+        elif kind not in ("ws", "comment"):
+            tokens.append(Token(kind, value, pos))
+        pos = m.end()
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# AST nodes
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    name: str
+
+
+@dataclass(frozen=True)
+class Literal:
+    value: object
+
+
+@dataclass(frozen=True)
+class Param:
+    index: int  # 0-based position among the statement's '?' placeholders
+
+
+Operand = Union[ColumnRef, Literal, Param]
+
+
+@dataclass(frozen=True)
+class Compare:
+    op: str  # '=', '!=', '<', '<=', '>', '>='
+    left: Operand
+    right: Operand
+
+
+@dataclass(frozen=True)
+class Between:
+    operand: Operand
+    low: Operand
+    high: Operand
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InList:
+    operand: Operand
+    items: Tuple[Operand, ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Like:
+    operand: Operand
+    pattern: Operand
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class IsNull:
+    operand: Operand
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class And:
+    left: object
+    right: object
+
+
+@dataclass(frozen=True)
+class Or:
+    left: object
+    right: object
+
+
+@dataclass(frozen=True)
+class Not:
+    child: object
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    column: str
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class CreateTable:
+    schema: TableSchema
+
+
+@dataclass(frozen=True)
+class DropTable:
+    table: str
+    if_exists: bool = False
+
+
+@dataclass(frozen=True)
+class Insert:
+    table: str
+    columns: Tuple[str, ...]  # empty = schema order
+    values: Tuple[Operand, ...]
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """``COUNT(*)`` / ``COUNT(col)`` / ``MIN|MAX|SUM|AVG(col)``."""
+
+    func: str  # 'COUNT', 'MIN', 'MAX', 'SUM', 'AVG'
+    column: Optional[str]  # None only for COUNT(*)
+
+    @property
+    def label(self) -> str:
+        return f"{self.func}({self.column or '*'})"
+
+
+@dataclass(frozen=True)
+class Select:
+    table: str
+    columns: Tuple[str, ...]  # empty = '*'
+    where: Optional[object] = None
+    order_by: Tuple[OrderItem, ...] = ()
+    limit: Optional[int] = None
+    aggregate: Optional[Aggregate] = None
+    group_by: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class Update:
+    table: str
+    assignments: Tuple[Tuple[str, Operand], ...]
+    where: Optional[object] = None
+
+
+@dataclass(frozen=True)
+class Delete:
+    table: str
+    where: Optional[object] = None
+
+
+Statement = Union[CreateTable, DropTable, Insert, Select, Update, Delete]
+
+
+# ---------------------------------------------------------------------------
+# parser
+# ---------------------------------------------------------------------------
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token], text: str):
+        self.tokens = tokens
+        self.text = text
+        self.i = 0
+        self.n_params = 0
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _error(self, message: str) -> SqlSyntaxError:
+        pos = self.tokens[self.i].position if self.i < len(self.tokens) else len(self.text)
+        return SqlSyntaxError(message, pos)
+
+    def peek(self) -> Optional[Token]:
+        return self.tokens[self.i] if self.i < len(self.tokens) else None
+
+    def advance(self) -> Token:
+        if self.i >= len(self.tokens):
+            raise self._error("unexpected end of statement")
+        tok = self.tokens[self.i]
+        self.i += 1
+        return tok
+
+    def accept(self, kind: str, value: Optional[str] = None) -> Optional[Token]:
+        tok = self.peek()
+        if tok is not None and tok.matches(kind, value):
+            self.i += 1
+            return tok
+        return None
+
+    def expect(self, kind: str, value: Optional[str] = None) -> Token:
+        tok = self.accept(kind, value)
+        if tok is None:
+            want = value or kind
+            got = self.peek().value if self.peek() else "end of input"
+            raise self._error(f"expected {want!r}, got {got!r}")
+        return tok
+
+    def accept_keyword(self, *words: str) -> bool:
+        """Consume a keyword sequence like ('NOT', 'NULL') if present."""
+        save = self.i
+        for word in words:
+            if not self.accept("ident", word):
+                self.i = save
+                return False
+        return True
+
+    def expect_keyword(self, *words: str) -> None:
+        if not self.accept_keyword(*words):
+            got = self.peek().value if self.peek() else "end of input"
+            raise self._error(f"expected {' '.join(words)!r}, got {got!r}")
+
+    # -- entry point ---------------------------------------------------------------
+
+    def parse_statement(self) -> Statement:
+        tok = self.peek()
+        if tok is None:
+            raise self._error("empty statement")
+        dispatch = {
+            "CREATE": self._create,
+            "DROP": self._drop,
+            "INSERT": self._insert,
+            "SELECT": self._select,
+            "UPDATE": self._update,
+            "DELETE": self._delete,
+        }
+        handler = dispatch.get(tok.value if tok.kind == "ident" else "")
+        if handler is None:
+            raise self._error(f"unknown statement start {tok.value!r}")
+        stmt = handler()
+        self.accept("punct", ";")
+        if self.peek() is not None:
+            raise self._error(f"trailing input after statement: {self.peek().value!r}")
+        return stmt
+
+    # -- statements -----------------------------------------------------------------
+
+    def _create(self) -> CreateTable:
+        self.expect_keyword("CREATE", "TABLE")
+        name = self.expect("ident").value
+        self.expect("punct", "(")
+        columns: List[Column] = []
+        table_pk: List[str] = []
+        while True:
+            if self.accept_keyword("PRIMARY", "KEY"):
+                self.expect("punct", "(")
+                while True:
+                    table_pk.append(self.expect("ident").value)
+                    if not self.accept("punct", ","):
+                        break
+                self.expect("punct", ")")
+                self.accept("ident", "ENABLE")
+            else:
+                columns.append(self._column_def())
+            if not self.accept("punct", ","):
+                break
+        self.expect("punct", ")")
+
+        if table_pk:
+            known = {c.name for c in columns}
+            for pk_col in table_pk:
+                if pk_col not in known:
+                    raise self._error(f"PRIMARY KEY references unknown column {pk_col!r}")
+            columns = [
+                Column(c.name, c.sql_type, nullable=c.nullable and c.name not in table_pk,
+                       primary_key=c.primary_key or c.name in table_pk)
+                for c in columns
+            ]
+        return CreateTable(TableSchema(name=name, columns=tuple(columns)))
+
+    def _column_def(self) -> Column:
+        name = self.expect("ident").value
+        type_name = self.expect("ident").value
+        # the paper's "ORD_ Video" splits into two idents; merge them
+        if type_name == "ORD_" or (type_name.startswith("ORD") and type_name.endswith("_")):
+            type_name += self.expect("ident").value
+        arg = None
+        if self.accept("punct", "("):
+            arg_tok = self.expect("number")
+            arg = int(float(arg_tok.value))
+            self.expect("punct", ")")
+        try:
+            sql_type = type_from_name(type_name, arg)
+        except Exception as exc:
+            raise self._error(str(exc)) from exc
+        nullable = True
+        primary = False
+        while True:
+            if self.accept_keyword("NOT", "NULL"):
+                nullable = False
+            elif self.accept_keyword("PRIMARY", "KEY"):
+                primary = True
+            elif self.accept("ident", "ENABLE") or self.accept("ident", "NULL"):
+                pass
+            else:
+                break
+        return Column(name, sql_type, nullable=nullable, primary_key=primary)
+
+    def _drop(self) -> DropTable:
+        self.expect_keyword("DROP", "TABLE")
+        if_exists = self.accept_keyword("IF", "EXISTS")
+        name = self.expect("ident").value
+        return DropTable(table=name, if_exists=if_exists)
+
+    def _insert(self) -> Insert:
+        self.expect_keyword("INSERT", "INTO")
+        table = self.expect("ident").value
+        columns: List[str] = []
+        if self.accept("punct", "("):
+            while True:
+                columns.append(self.expect("ident").value)
+                if not self.accept("punct", ","):
+                    break
+            self.expect("punct", ")")
+        self.expect_keyword("VALUES")
+        self.expect("punct", "(")
+        values: List[Operand] = []
+        while True:
+            values.append(self._operand())
+            if not self.accept("punct", ","):
+                break
+        self.expect("punct", ")")
+        if columns and len(columns) != len(values):
+            raise self._error(
+                f"INSERT has {len(columns)} columns but {len(values)} values"
+            )
+        return Insert(table=table, columns=tuple(columns), values=tuple(values))
+
+    _AGGREGATES = ("COUNT", "MIN", "MAX", "SUM", "AVG")
+
+    def _at_aggregate(self) -> bool:
+        tok = self.peek()
+        return (
+            tok is not None
+            and tok.kind == "ident"
+            and tok.value in self._AGGREGATES
+            and self.i + 1 < len(self.tokens)
+            and self.tokens[self.i + 1].matches("punct", "(")
+        )
+
+    def _parse_aggregate(self) -> Aggregate:
+        func = self.advance().value
+        self.expect("punct", "(")
+        if self.accept("punct", "*"):
+            if func != "COUNT":
+                raise self._error(f"{func}(*) is not valid; only COUNT(*)")
+            column = None
+        else:
+            column = self.expect("ident").value
+        self.expect("punct", ")")
+        return Aggregate(func=func, column=column)
+
+    def _select(self) -> Select:
+        self.expect_keyword("SELECT")
+        columns: List[str] = []
+        aggregate = None
+        if self.accept("punct", "*"):
+            pass
+        else:
+            while True:
+                if self._at_aggregate():
+                    if aggregate is not None:
+                        raise self._error("only one aggregate per SELECT is supported")
+                    aggregate = self._parse_aggregate()
+                else:
+                    columns.append(self.expect("ident").value)
+                if not self.accept("punct", ","):
+                    break
+        self.expect_keyword("FROM")
+        table = self.expect("ident").value
+        where = self._where_clause()
+        group_by: List[str] = []
+        if self.accept_keyword("GROUP", "BY"):
+            while True:
+                group_by.append(self.expect("ident").value)
+                if not self.accept("punct", ","):
+                    break
+        if columns and aggregate is not None and not group_by:
+            raise self._error("plain columns beside an aggregate require GROUP BY")
+        if group_by:
+            if aggregate is None:
+                raise self._error("GROUP BY requires an aggregate in the select list")
+            missing = [c for c in columns if c not in group_by]
+            if missing:
+                raise self._error(
+                    f"selected column(s) {missing} must appear in GROUP BY"
+                )
+        order: List[OrderItem] = []
+        if self.accept_keyword("ORDER", "BY"):
+            while True:
+                col = self.expect("ident").value
+                descending = False
+                if self.accept("ident", "DESC"):
+                    descending = True
+                else:
+                    self.accept("ident", "ASC")
+                order.append(OrderItem(column=col, descending=descending))
+                if not self.accept("punct", ","):
+                    break
+        limit = None
+        if self.accept_keyword("LIMIT"):
+            limit = int(float(self.expect("number").value))
+            if limit < 0:
+                raise self._error("LIMIT must be non-negative")
+        if aggregate is not None and not group_by and (order or limit is not None):
+            raise self._error("ungrouped aggregates cannot combine with ORDER BY / LIMIT")
+        if group_by:
+            for item in order:
+                if item.column not in group_by:
+                    raise self._error("ORDER BY on grouped selects must use GROUP BY columns")
+        return Select(table=table, columns=tuple(columns), where=where,
+                      order_by=tuple(order), limit=limit, aggregate=aggregate,
+                      group_by=tuple(group_by))
+
+    def _update(self) -> Update:
+        self.expect_keyword("UPDATE")
+        table = self.expect("ident").value
+        self.expect_keyword("SET")
+        assignments: List[Tuple[str, Operand]] = []
+        while True:
+            col = self.expect("ident").value
+            self.expect("op", "=")
+            assignments.append((col, self._operand()))
+            if not self.accept("punct", ","):
+                break
+        where = self._where_clause()
+        return Update(table=table, assignments=tuple(assignments), where=where)
+
+    def _delete(self) -> Delete:
+        self.expect_keyword("DELETE", "FROM")
+        table = self.expect("ident").value
+        return Delete(table=table, where=self._where_clause())
+
+    # -- expressions -------------------------------------------------------------------
+
+    def _where_clause(self):
+        if self.accept_keyword("WHERE"):
+            return self._or_expr()
+        return None
+
+    def _or_expr(self):
+        node = self._and_expr()
+        while self.accept_keyword("OR"):
+            node = Or(node, self._and_expr())
+        return node
+
+    def _and_expr(self):
+        node = self._not_expr()
+        while self.accept_keyword("AND"):
+            node = And(node, self._not_expr())
+        return node
+
+    def _not_expr(self):
+        if self.accept_keyword("NOT"):
+            return Not(self._not_expr())
+        return self._predicate()
+
+    def _predicate(self):
+        # parenthesized boolean sub-expression?
+        if self.peek() is not None and self.peek().matches("punct", "("):
+            save = self.i
+            self.advance()
+            try:
+                node = self._or_expr()
+                self.expect("punct", ")")
+                return node
+            except SqlSyntaxError:
+                self.i = save  # fall through: it was a parenthesized operand
+
+        operand = self._operand()
+        tok = self.peek()
+        if tok is not None and tok.kind == "op":
+            op = self.advance().value
+            if op == "<>":
+                op = "!="
+            return Compare(op=op, left=operand, right=self._operand())
+        negated = self.accept_keyword("NOT")
+        if self.accept_keyword("BETWEEN"):
+            low = self._operand()
+            self.expect_keyword("AND")
+            return Between(operand=operand, low=low, high=self._operand(), negated=negated)
+        if self.accept_keyword("IN"):
+            self.expect("punct", "(")
+            items: List[Operand] = []
+            while True:
+                items.append(self._operand())
+                if not self.accept("punct", ","):
+                    break
+            self.expect("punct", ")")
+            return InList(operand=operand, items=tuple(items), negated=negated)
+        if self.accept_keyword("LIKE"):
+            return Like(operand=operand, pattern=self._operand(), negated=negated)
+        if negated:
+            raise self._error("expected BETWEEN, IN or LIKE after NOT")
+        if self.accept_keyword("IS"):
+            neg = self.accept_keyword("NOT")
+            self.expect_keyword("NULL")
+            return IsNull(operand=operand, negated=neg)
+        raise self._error("expected a comparison after operand")
+
+    def _operand(self) -> Operand:
+        tok = self.peek()
+        if tok is None:
+            raise self._error("expected an operand")
+        if tok.kind == "number":
+            self.advance()
+            text = tok.value
+            value = float(text) if any(c in text for c in ".eE") else int(text)
+            return Literal(value)
+        if tok.kind == "string":
+            self.advance()
+            return Literal(tok.value[1:-1].replace("''", "'"))
+        if tok.matches("punct", "?"):
+            self.advance()
+            param = Param(self.n_params)
+            self.n_params += 1
+            return param
+        if tok.matches("punct", "-"):
+            raise self._error("unary minus not supported; fold the sign into the literal")
+        if tok.kind == "ident":
+            if tok.value == "NULL":
+                self.advance()
+                return Literal(None)
+            if tok.value == "DATE":
+                self.advance()
+                s = self.expect("string")
+                return Literal(s.value[1:-1])
+            self.advance()
+            return ColumnRef(tok.value)
+        raise self._error(f"unexpected token {tok.value!r} in expression")
+
+
+def parse(text: str) -> Tuple[Statement, int]:
+    """Parse one statement; returns ``(ast, n_params)``."""
+    parser = _Parser(tokenize(text), text)
+    stmt = parser.parse_statement()
+    return stmt, parser.n_params

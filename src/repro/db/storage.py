@@ -1,0 +1,177 @@
+"""Durability: snapshot files + a write-ahead log.
+
+A durable database lives in two files:
+
+- ``<path>``      -- the snapshot: catalog DDL + all rows, binary encoded.
+- ``<path>.wal``  -- the write-ahead log: every committed write statement
+  (text + bound parameters), CRC-protected, appended and flushed as it
+  commits.
+
+On open, the snapshot is loaded and the WAL replayed on top; a torn final
+record (crash mid-append) is detected by its CRC and ignored.
+``checkpoint()`` folds everything into a fresh snapshot (written to a temp
+file and atomically renamed) and truncates the WAL.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from typing import List, Sequence, Tuple, Union
+
+from repro.db.errors import StorageError
+from repro.db.types import decode_value, encode_value
+
+__all__ = ["Storage"]
+
+_SNAPSHOT_MAGIC = b"RDB1"
+_WAL_MAGIC = b"RWL1"
+_U32 = struct.Struct("<I")
+
+
+def _pack_str(s: str) -> bytes:
+    raw = s.encode("utf-8")
+    return _U32.pack(len(raw)) + raw
+
+
+def _read_u32(buf: bytes, offset: int) -> Tuple[int, int]:
+    if offset + 4 > len(buf):
+        raise StorageError("file truncated")
+    return _U32.unpack_from(buf, offset)[0], offset + 4
+
+
+def _read_str(buf: bytes, offset: int) -> Tuple[str, int]:
+    n, offset = _read_u32(buf, offset)
+    raw = buf[offset : offset + n]
+    if len(raw) != n:
+        raise StorageError("file truncated")
+    try:
+        return raw.decode("utf-8"), offset + n
+    except UnicodeDecodeError as exc:
+        raise StorageError(f"corrupt string data: {exc}") from exc
+
+
+class Storage:
+    """Snapshot + WAL manager bound to one path."""
+
+    def __init__(self, path: Union[str, "os.PathLike[str]"]):
+        self.path = os.fspath(path)
+        self.wal_path = self.path + ".wal"
+        self._wal_fh = None
+
+    # -- WAL ------------------------------------------------------------------
+
+    def _ensure_wal(self):
+        if self._wal_fh is None:
+            new = not os.path.exists(self.wal_path) or os.path.getsize(self.wal_path) == 0
+            self._wal_fh = open(self.wal_path, "ab")
+            if new:
+                self._wal_fh.write(_WAL_MAGIC)
+                self._wal_fh.flush()
+        return self._wal_fh
+
+    def log_statement(self, text: str, params: Sequence) -> None:
+        """Append one committed write statement to the WAL and flush."""
+        body = _pack_str(text) + _U32.pack(len(params))
+        for value in params:
+            body += encode_value(value)
+        record = _U32.pack(len(body)) + body + _U32.pack(zlib.crc32(body))
+        fh = self._ensure_wal()
+        fh.write(record)
+        fh.flush()
+        os.fsync(fh.fileno())
+
+    def read_wal(self) -> List[Tuple[str, Tuple]]:
+        """Parse the WAL; a torn/corrupt tail ends the replay silently."""
+        if not os.path.exists(self.wal_path):
+            return []
+        with open(self.wal_path, "rb") as fh:
+            buf = fh.read()
+        if not buf:
+            return []
+        if buf[:4] != _WAL_MAGIC:
+            raise StorageError(f"bad WAL magic in {self.wal_path}")
+        records: List[Tuple[str, Tuple]] = []
+        offset = 4
+        while offset < len(buf):
+            try:
+                body_len, o = _read_u32(buf, offset)
+                body = buf[o : o + body_len]
+                if len(body) != body_len:
+                    break  # torn write
+                o += body_len
+                crc, o = _read_u32(buf, o)
+                if zlib.crc32(body) != crc:
+                    break  # torn/corrupt record: stop replay here
+                text, bo = _read_str(body, 0)
+                n_params, bo = _read_u32(body, bo)
+                params = []
+                for _ in range(n_params):
+                    value, bo = decode_value(body, bo)
+                    params.append(value)
+                records.append((text, tuple(params)))
+                offset = o
+            except StorageError:
+                break
+        return records
+
+    # -- snapshot ---------------------------------------------------------------
+
+    def write_snapshot(self, db) -> None:
+        """Serialize the whole database, atomically replace, truncate WAL."""
+        chunks = [_SNAPSHOT_MAGIC, _U32.pack(len(db.tables))]
+        for name in sorted(db.tables):
+            table = db.tables[name]
+            chunks.append(_pack_str(table.schema.render_ddl()))
+            rows = [row for _rid, row in table.rows()]
+            chunks.append(_U32.pack(len(rows)))
+            for row in rows:
+                for value in row:
+                    chunks.append(encode_value(value))
+        tmp = self.path + ".tmp"
+        with open(tmp, "wb") as fh:
+            fh.write(b"".join(chunks))
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+        # WAL content is now folded into the snapshot
+        if self._wal_fh is not None:
+            self._wal_fh.close()
+            self._wal_fh = None
+        with open(self.wal_path, "wb") as fh:
+            fh.write(_WAL_MAGIC)
+
+    def load_into(self, db) -> None:
+        """Populate an empty Database from snapshot + WAL."""
+        if db.tables:
+            raise StorageError("load_into requires an empty database")
+        if os.path.exists(self.path) and os.path.getsize(self.path) > 0:
+            with open(self.path, "rb") as fh:
+                buf = fh.read()
+            if buf[:4] != _SNAPSHOT_MAGIC:
+                raise StorageError(f"bad snapshot magic in {self.path}")
+            offset = 4
+            n_tables, offset = _read_u32(buf, offset)
+            from repro.db import sql as ast
+
+            for _ in range(n_tables):
+                ddl, offset = _read_str(buf, offset)
+                db.execute(ddl)
+                stmt, _n = ast.parse(ddl)
+                table = db.tables[stmt.schema.name]
+                n_rows, offset = _read_u32(buf, offset)
+                n_cols = len(table.schema.columns)
+                for _r in range(n_rows):
+                    values = []
+                    for _c in range(n_cols):
+                        value, offset = decode_value(buf, offset)
+                        values.append(value)
+                    table.insert(dict(zip(table.schema.column_names, values)))
+        for text, params in self.read_wal():
+            db.execute(text, params)
+
+    def close(self) -> None:
+        if self._wal_fh is not None:
+            self._wal_fh.close()
+            self._wal_fh = None

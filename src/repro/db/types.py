@@ -1,0 +1,253 @@
+"""Column types for the mini relational engine.
+
+These mirror the types in the paper's DDL (§3.4)::
+
+    CREATE TABLE "VIDEO_STORE" (
+        "V_ID"   NUMBER NOT NULL ENABLE,
+        "V_NAME" VARCHAR2(60),
+        "VIDEO"  ORD_Video,
+        "STREAM" BLOB,
+        "DOSTORE" DATE, ...)
+
+Each type validates and canonicalizes Python values, and serializes them
+for the snapshot/WAL files.  ORD_VIDEO and ORD_IMAGE are Oracle interMedia
+object types; here they are BLOBs that additionally know how to decode
+their payload (RVF video bytes / PPM-PGM-BMP image bytes).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import struct
+from typing import Optional
+
+from repro.db.errors import TypeMismatchError
+
+__all__ = [
+    "SqlType",
+    "NUMBER",
+    "VARCHAR2",
+    "DATE",
+    "BLOB",
+    "ORD_VIDEO",
+    "ORD_IMAGE",
+    "type_from_name",
+    "encode_value",
+    "decode_value",
+]
+
+
+class SqlType:
+    """Base class: a named type with validation and an SQL rendering."""
+
+    type_name = "ANY"
+
+    def validate(self, value):
+        """Return the canonical Python value, or raise TypeMismatchError."""
+        return value
+
+    def render(self) -> str:
+        """The type as it appears in DDL."""
+        return self.type_name
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()
+
+    def __eq__(self, other) -> bool:
+        return type(self) is type(other) and self.__dict__ == other.__dict__
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, tuple(sorted(self.__dict__.items()))))
+
+
+class NUMBER(SqlType):
+    """Oracle NUMBER: int or float (bools rejected -- they are not numbers)."""
+
+    type_name = "NUMBER"
+
+    def validate(self, value):
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise TypeMismatchError(f"NUMBER expects int/float, got {type(value).__name__}")
+        if isinstance(value, float) and (value != value):  # NaN breaks ordering
+            raise TypeMismatchError("NUMBER cannot store NaN")
+        return value
+
+
+class VARCHAR2(SqlType):
+    """Bounded string. ``VARCHAR2(60)`` rejects strings longer than 60."""
+
+    type_name = "VARCHAR2"
+
+    def __init__(self, max_length: int = 4000):
+        if max_length < 1:
+            raise ValueError("VARCHAR2 length must be >= 1")
+        self.max_length = max_length
+
+    def validate(self, value):
+        if not isinstance(value, str):
+            raise TypeMismatchError(f"VARCHAR2 expects str, got {type(value).__name__}")
+        if len(value) > self.max_length:
+            raise TypeMismatchError(
+                f"value of length {len(value)} exceeds VARCHAR2({self.max_length})"
+            )
+        return value
+
+    def render(self) -> str:
+        return f"VARCHAR2({self.max_length})"
+
+
+class DATE(SqlType):
+    """Calendar date (datetime.date). ISO-format strings are coerced."""
+
+    type_name = "DATE"
+
+    def validate(self, value):
+        if isinstance(value, _dt.datetime):
+            return value.date()
+        if isinstance(value, _dt.date):
+            return value
+        if isinstance(value, str):
+            try:
+                return _dt.date.fromisoformat(value)
+            except ValueError as exc:
+                raise TypeMismatchError(f"DATE string must be ISO format: {value!r}") from exc
+        raise TypeMismatchError(f"DATE expects date or ISO string, got {type(value).__name__}")
+
+
+class BLOB(SqlType):
+    """Arbitrary bytes."""
+
+    type_name = "BLOB"
+
+    def validate(self, value):
+        if isinstance(value, bytearray):
+            return bytes(value)
+        if not isinstance(value, bytes):
+            raise TypeMismatchError(f"BLOB expects bytes, got {type(value).__name__}")
+        return value
+
+
+class ORD_VIDEO(BLOB):
+    """Oracle interMedia ORDVideo stand-in: a BLOB holding RVF video bytes."""
+
+    type_name = "ORD_VIDEO"
+
+    @staticmethod
+    def decode(value: bytes):
+        """Open the stored bytes as an RVF video reader."""
+        from repro.video.codec import RvfReader
+
+        return RvfReader(value)
+
+
+class ORD_IMAGE(BLOB):
+    """Oracle interMedia ORDImage stand-in: a BLOB holding encoded image bytes."""
+
+    type_name = "ORD_IMAGE"
+
+    @staticmethod
+    def decode(value: bytes):
+        """Decode the stored bytes into an Image."""
+        from repro.imaging.image import decode_image
+
+        return decode_image(value)
+
+
+_SIMPLE_TYPES = {
+    "NUMBER": NUMBER,
+    "DATE": DATE,
+    "BLOB": BLOB,
+    "ORDVIDEO": ORD_VIDEO,
+    "ORDIMAGE": ORD_IMAGE,
+}
+
+
+def type_from_name(name: str, arg: Optional[int] = None) -> SqlType:
+    """Instantiate a type from its DDL spelling (case-insensitive).
+
+    Accepts the paper's spacing/underscore variants: ``ORD_Video``,
+    ``ORD_ Video`` and ``ORDVideo`` all mean :class:`ORD_VIDEO`.
+    """
+    key = name.upper().replace(" ", "").replace("_", "")
+    if key in ("VARCHAR2", "VARCHAR"):
+        return VARCHAR2(arg) if arg is not None else VARCHAR2()
+    cls = _SIMPLE_TYPES.get(key)
+    if cls is None:
+        raise TypeMismatchError(f"unknown SQL type {name!r}")
+    if arg is not None:
+        raise TypeMismatchError(f"type {name} takes no length argument")
+    return cls()
+
+
+# ---------------------------------------------------------------------------
+# binary value encoding for snapshot/WAL files
+# ---------------------------------------------------------------------------
+
+_TAG_NULL = 0
+_TAG_INT = 1
+_TAG_FLOAT = 2
+_TAG_STR = 3
+_TAG_BYTES = 4
+_TAG_DATE = 5
+
+_U32 = struct.Struct("<I")
+_I64 = struct.Struct("<q")
+_F64 = struct.Struct("<d")
+
+
+def encode_value(value) -> bytes:
+    """Tag + payload encoding of one cell value."""
+    if value is None:
+        return bytes([_TAG_NULL])
+    if isinstance(value, bool):
+        raise TypeMismatchError("bool is not a storable SQL value")
+    if isinstance(value, int):
+        return bytes([_TAG_INT]) + _I64.pack(value)
+    if isinstance(value, float):
+        return bytes([_TAG_FLOAT]) + _F64.pack(value)
+    if isinstance(value, str):
+        raw = value.encode("utf-8")
+        return bytes([_TAG_STR]) + _U32.pack(len(raw)) + raw
+    if isinstance(value, (bytes, bytearray)):
+        return bytes([_TAG_BYTES]) + _U32.pack(len(value)) + bytes(value)
+    if isinstance(value, _dt.date):
+        raw = value.isoformat().encode("ascii")
+        return bytes([_TAG_DATE]) + _U32.pack(len(raw)) + raw
+    raise TypeMismatchError(f"cannot encode value of type {type(value).__name__}")
+
+
+def decode_value(buf: bytes, offset: int):
+    """Decode one value; returns ``(value, next_offset)``."""
+    from repro.db.errors import StorageError
+
+    if offset >= len(buf):
+        raise StorageError("value stream truncated")
+    tag = buf[offset]
+    offset += 1
+    if tag == _TAG_NULL:
+        return None, offset
+    if tag in (_TAG_INT, _TAG_FLOAT):
+        if offset + 8 > len(buf):
+            raise StorageError("value payload truncated")
+        if tag == _TAG_INT:
+            return _I64.unpack_from(buf, offset)[0], offset + 8
+        return _F64.unpack_from(buf, offset)[0], offset + 8
+    if tag in (_TAG_STR, _TAG_BYTES, _TAG_DATE):
+        if offset + 4 > len(buf):
+            raise StorageError("value payload truncated")
+        (n,) = _U32.unpack_from(buf, offset)
+        offset += 4
+        raw = buf[offset : offset + n]
+        if len(raw) != n:
+            raise StorageError("value payload truncated")
+        offset += n
+        if tag == _TAG_BYTES:
+            return bytes(raw), offset
+        try:
+            text = raw.decode("utf-8")
+            if tag == _TAG_DATE:
+                return _dt.date.fromisoformat(text), offset
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise StorageError(f"corrupt encoded value: {exc}") from exc
+        return text, offset
+    raise StorageError(f"unknown value tag {tag}")

@@ -1,0 +1,99 @@
+"""Category confusion analysis (extension).
+
+Table 1 averages over all queries; this driver breaks retrieval down *per
+category*: for each query, how the top-k splits across the corpus's
+categories.  The row-normalized confusion matrix shows which categories
+the low-level features actually mix up (e.g. fullscreen news graphics vs.
+slides), which is the error analysis the paper's discussion gestures at
+but never quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.system import VideoRetrievalSystem
+from repro.eval.groundtruth import CategoryGroundTruth
+
+__all__ = ["ConfusionResult", "run_confusion"]
+
+
+@dataclass
+class ConfusionResult:
+    """Row-normalized confusion over categories.
+
+    ``matrix[i, j]`` = fraction of the top-k retrieved for queries of
+    category ``categories[i]`` that belong to category ``categories[j]``.
+    """
+
+    categories: Tuple[str, ...]
+    matrix: np.ndarray
+    top_k: int
+    n_queries: int
+
+    def diagonal_mean(self) -> float:
+        """Mean per-category precision (chance = 1 / n_categories)."""
+        return float(np.mean(np.diag(self.matrix)))
+
+    def most_confused(self) -> Tuple[str, str, float]:
+        """The largest off-diagonal cell: (query_cat, retrieved_cat, rate)."""
+        m = self.matrix.copy()
+        np.fill_diagonal(m, -1.0)
+        i, j = np.unravel_index(int(np.argmax(m)), m.shape)
+        return self.categories[i], self.categories[j], float(m[i, j])
+
+    def to_text(self) -> str:
+        width = max(len(c) for c in self.categories) + 2
+        header = " " * width + "".join(f"{c[:9]:>10}" for c in self.categories)
+        lines = [header]
+        for i, cat in enumerate(self.categories):
+            row = f"{cat:<{width}}" + "".join(
+                f"{self.matrix[i, j]:>10.3f}" for j in range(len(self.categories))
+            )
+            lines.append(row)
+        return "\n".join(lines)
+
+
+def run_confusion(
+    system: VideoRetrievalSystem,
+    ground_truth: CategoryGroundTruth,
+    top_k: int = 10,
+    queries_per_category: int = 6,
+    features: Optional[Sequence[str]] = None,
+    seed: int = 7,
+    use_index: Optional[bool] = None,
+) -> ConfusionResult:
+    """Build the confusion matrix from sampled per-category queries."""
+    if top_k < 1:
+        raise ValueError("top_k must be >= 1")
+    categories = tuple(ground_truth.categories())
+    index_of = {c: i for i, c in enumerate(categories)}
+    counts = np.zeros((len(categories), len(categories)))
+    rng = np.random.default_rng(seed)
+
+    n_queries = 0
+    for category in categories:
+        ids = ground_truth.ids_of_category(category)
+        take = min(queries_per_category, len(ids))
+        chosen = rng.choice(len(ids), size=take, replace=False)
+        for qi in sorted(chosen):
+            query_id = ids[qi]
+            image = system.get_key_frame(query_id)
+            results = system.search(
+                image, features=features, top_k=top_k + 1, use_index=use_index
+            )
+            retrieved = [
+                h for h in results if h.frame_id != query_id and h.category is not None
+            ][:top_k]
+            for hit in retrieved:
+                counts[index_of[category], index_of[hit.category]] += 1
+            n_queries += 1
+
+    row_sums = counts.sum(axis=1, keepdims=True)
+    matrix = np.divide(counts, np.maximum(row_sums, 1e-12))
+    return ConfusionResult(
+        categories=categories, matrix=matrix, top_k=top_k, n_queries=n_queries
+    )

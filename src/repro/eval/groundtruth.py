@@ -1,0 +1,65 @@
+"""Relevance ground truth.
+
+The paper's corpus is organized into categories ("e-learning, sports,
+cartoon, movies, etc."), and a retrieved frame counts as correct when it
+comes from the query's category -- the standard CBVR protocol its
+precision table implies.  :class:`CategoryGroundTruth` captures exactly
+that mapping.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence
+
+__all__ = ["CategoryGroundTruth"]
+
+
+class CategoryGroundTruth:
+    """item id -> category, with relevance judgments derived from equality."""
+
+    def __init__(self, categories: Mapping[Hashable, str]):
+        if not categories:
+            raise ValueError("ground truth must not be empty")
+        self._categories: Dict[Hashable, str] = dict(categories)
+
+    @classmethod
+    def from_store(cls, store) -> "CategoryGroundTruth":
+        """Build from a :class:`~repro.core.store.FeatureStore` (frame level)."""
+        mapping = {}
+        for fid in store.frame_ids():
+            rec = store.get(fid)
+            if rec.category is not None:
+                mapping[fid] = rec.category
+        return cls(mapping)
+
+    def __len__(self) -> int:
+        return len(self._categories)
+
+    def __contains__(self, item_id: Hashable) -> bool:
+        return item_id in self._categories
+
+    def category_of(self, item_id: Hashable) -> str:
+        return self._categories[item_id]
+
+    def categories(self) -> List[str]:
+        return sorted(set(self._categories.values()))
+
+    def is_relevant(self, query_id: Hashable, item_id: Hashable) -> bool:
+        """True when both items share a category."""
+        return self._categories[query_id] == self._categories[item_id]
+
+    def relevance_list(self, query_id: Hashable, ranked_ids: Sequence[Hashable]) -> List[bool]:
+        """Booleans for a ranked result list (unknown ids are irrelevant)."""
+        qcat = self._categories[query_id]
+        return [self._categories.get(i) == qcat for i in ranked_ids]
+
+    def n_relevant(self, query_id: Hashable, exclude_self: bool = True) -> int:
+        """Corpus-wide relevant count for a query (for recall)."""
+        qcat = self._categories[query_id]
+        count = sum(1 for c in self._categories.values() if c == qcat)
+        return count - 1 if exclude_self and query_id in self._categories else count
+
+    def ids_of_category(self, category: str) -> List[Hashable]:
+        return sorted(
+            (i for i, c in self._categories.items() if c == category), key=repr
+        )

@@ -1,0 +1,96 @@
+"""Recall / MAP evaluation (the paper's "precision and recall" claim).
+
+§6 concludes that "multiple features produce effective and efficient
+system as precision and recall values are improved", but Table 1 reports
+only precision.  This driver measures the missing half: recall@k and mean
+average precision per method, using the same protocol as the Table 1
+experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import TABLE1_FEATURES
+from repro.core.system import VideoRetrievalSystem
+from repro.eval.groundtruth import CategoryGroundTruth
+from repro.eval.metrics import average_precision, recall_at_k
+from repro.eval.table1 import _sample_queries
+
+__all__ = ["RecallResult", "run_recall"]
+
+DEFAULT_CUTOFFS: Tuple[int, ...] = (20, 50, 100)
+
+
+@dataclass
+class RecallResult:
+    """recall@k and MAP per method."""
+
+    recall: Dict[str, Dict[int, float]]
+    mean_ap: Dict[str, float]
+    n_queries: int
+    cutoffs: Tuple[int, ...]
+
+    @property
+    def methods(self) -> Tuple[str, ...]:
+        return tuple(self.recall)
+
+    def combined_wins_map(self) -> bool:
+        singles = [m for m in self.methods if m != "combined"]
+        return all(self.mean_ap["combined"] >= self.mean_ap[m] for m in singles)
+
+    def to_text(self) -> str:
+        header = f"{'method':<16}" + "".join(
+            f"{'R@' + str(k):>9}" for k in self.cutoffs
+        ) + f"{'MAP':>9}"
+        lines = [header, "-" * len(header)]
+        for m in self.methods:
+            row = f"{m:<16}" + "".join(
+                f"{self.recall[m][k]:>9.3f}" for k in self.cutoffs
+            )
+            row += f"{self.mean_ap[m]:>9.3f}"
+            lines.append(row)
+        return "\n".join(lines)
+
+
+def run_recall(
+    system: VideoRetrievalSystem,
+    ground_truth: CategoryGroundTruth,
+    features: Sequence[str] = TABLE1_FEATURES,
+    queries_per_category: int = 6,
+    seed: int = 99,
+    cutoffs: Tuple[int, ...] = DEFAULT_CUTOFFS,
+    use_index: Optional[bool] = None,
+) -> RecallResult:
+    """Measure recall@k and MAP for every feature plus the combination."""
+    rng = np.random.default_rng(seed)
+    queries = _sample_queries(ground_truth, queries_per_category, rng)
+    if not queries:
+        raise ValueError("no queries sampled")
+    max_k = max(cutoffs)
+    methods = list(features) + ["combined"]
+    recall_sums = {m: {k: 0.0 for k in cutoffs} for m in methods}
+    ap_sums = {m: 0.0 for m in methods}
+
+    for query_id in queries:
+        image = system.get_key_frame(query_id)
+        n_relevant = ground_truth.n_relevant(query_id)
+        for method in methods:
+            wanted = None if method == "combined" else [method]
+            results = system.search(image, features=wanted, top_k=max_k + 1, use_index=use_index)
+            ranked = [f for f in results.frame_ids() if f != query_id][:max_k]
+            rel = ground_truth.relevance_list(query_id, ranked)
+            for k in cutoffs:
+                recall_sums[method][k] += recall_at_k(rel, k, n_relevant)
+            ap_sums[method] += average_precision(rel, n_relevant=n_relevant)
+
+    n = len(queries)
+    return RecallResult(
+        recall={m: {k: recall_sums[m][k] / n for k in cutoffs} for m in methods},
+        mean_ap={m: ap_sums[m] / n for m in methods},
+        n_queries=n,
+        cutoffs=tuple(cutoffs),
+    )

@@ -1,0 +1,59 @@
+"""Bootstrap statistics for retrieval comparisons (extension).
+
+The paper asserts that the combined method "outperforms all the other
+methods" from point estimates alone.  These helpers quantify the
+uncertainty: percentile bootstrap confidence intervals over per-query
+precision samples, and a paired bootstrap test for "method A beats method
+B" that respects the fact that both methods answered the *same* queries.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["bootstrap_ci", "paired_bootstrap_pvalue"]
+
+
+def bootstrap_ci(
+    samples: Sequence[float],
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    seed: int = 0,
+) -> Tuple[float, float, float]:
+    """Percentile bootstrap CI for the mean: ``(mean, low, high)``."""
+    arr = np.asarray(samples, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("bootstrap_ci needs at least one sample")
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, arr.size, size=(n_resamples, arr.size))
+    means = arr[idx].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(means, [alpha, 1.0 - alpha])
+    return float(arr.mean()), float(low), float(high)
+
+
+def paired_bootstrap_pvalue(
+    a: Sequence[float],
+    b: Sequence[float],
+    n_resamples: int = 2000,
+    seed: int = 0,
+) -> float:
+    """One-sided paired bootstrap p-value for "mean(a) > mean(b)".
+
+    ``a[i]`` and ``b[i]`` must come from the same query.  Returns the
+    fraction of resamples in which a's mean does NOT exceed b's -- small
+    values mean the advantage is stable across query resamples.
+    """
+    va = np.asarray(a, dtype=np.float64)
+    vb = np.asarray(b, dtype=np.float64)
+    if va.shape != vb.shape or va.size == 0:
+        raise ValueError("paired samples must be equal-length and non-empty")
+    diffs = va - vb
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, diffs.size, size=(n_resamples, diffs.size))
+    resampled_means = diffs[idx].mean(axis=1)
+    return float(np.mean(resampled_means <= 0.0))

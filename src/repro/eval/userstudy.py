@@ -1,0 +1,55 @@
+"""Simulated user study.
+
+The paper: "a user study measured correctness of response."  Human judges
+are unavailable offline, so the measurement process is simulated: each
+:class:`NoisyJudge` sees the true (category) relevance of a retrieved frame
+and reports it with some per-judge error probability; a :class:`JudgePanel`
+aggregates several judges by majority vote.  With ``error_rate=0`` the
+panel degenerates to exact ground truth, which the tests exploit; with a
+realistic error rate (~5-10%) the precision numbers wobble the way human
+studies do without changing who wins.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = ["NoisyJudge", "JudgePanel"]
+
+
+class NoisyJudge:
+    """One judge: flips each true judgment with probability ``error_rate``."""
+
+    def __init__(self, error_rate: float, seed: int):
+        if not 0.0 <= error_rate < 0.5:
+            raise ValueError("error_rate must be in [0, 0.5) for a meaningful judge")
+        self.error_rate = error_rate
+        self._rng = np.random.default_rng(seed)
+
+    def judge(self, true_relevance: Sequence[bool]) -> List[bool]:
+        flips = self._rng.random(len(true_relevance)) < self.error_rate
+        return [bool(r) != bool(f) for r, f in zip(true_relevance, flips)]
+
+
+class JudgePanel:
+    """A panel of noisy judges aggregated by majority vote."""
+
+    def __init__(self, n_judges: int = 3, error_rate: float = 0.05, seed: int = 0):
+        if n_judges < 1:
+            raise ValueError("need at least one judge")
+        self.judges = [
+            NoisyJudge(error_rate, seed=seed * 1000 + i) for i in range(n_judges)
+        ]
+
+    @property
+    def n_judges(self) -> int:
+        return len(self.judges)
+
+    def judge(self, true_relevance: Sequence[bool]) -> List[bool]:
+        """Majority vote over all judges' (independently noisy) judgments."""
+        votes = np.zeros(len(true_relevance), dtype=np.int64)
+        for judge in self.judges:
+            votes += np.asarray(judge.judge(true_relevance), dtype=np.int64)
+        return [bool(v * 2 > self.n_judges) for v in votes]

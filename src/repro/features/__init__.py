@@ -1,0 +1,56 @@
+"""Feature extractors (paper §4.3-4.8).
+
+Each extractor turns a key frame into a :class:`FeatureVector` that can be
+serialized to a string -- the paper stores every feature as a ``VARCHAR2``
+column of the ``KEY_FRAMES`` table -- and compared with a per-feature
+default distance.
+
+================  =======================  =============================
+paper section     extractor                DB column / string tag
+================  =======================  =============================
+§4.3              GlcmTexture              ``glcm``  / ``GLCM texture``
+§4.4              GaborTexture             ``gabor`` / ``gabor``
+(Table schema)    TamuraTexture            ``tamura``/ ``Tamura``
+§4.5              SimpleColorHistogram     ``sch``   / ``RGB``
+§4.6              NaiveSignature           (used for key-frame distance)
+§4.7              AutoColorCorrelogram     (stored with keyframe) ``ACC``
+§4.8              SimpleRegionGrowing      ``majorRegions``
+================  =======================  =============================
+"""
+
+from repro.features.base import (
+    FeatureExtractor,
+    FeatureVector,
+    all_extractors,
+    default_extractors,
+    get_extractor,
+    parse_feature_string,
+    register_extractor,
+)
+from repro.features.color_histogram import SimpleColorHistogram
+from repro.features.correlogram import AutoColorCorrelogram
+from repro.features.edges import EdgeHistogram
+from repro.features.gabor import GaborTexture
+from repro.features.glcm import GlcmTexture
+from repro.features.naive import NaiveSignature
+from repro.features.regions import RegionGrowingResult, SimpleRegionGrowing
+from repro.features.tamura import TamuraTexture
+
+__all__ = [
+    "FeatureExtractor",
+    "FeatureVector",
+    "register_extractor",
+    "get_extractor",
+    "all_extractors",
+    "default_extractors",
+    "parse_feature_string",
+    "SimpleColorHistogram",
+    "GlcmTexture",
+    "GaborTexture",
+    "TamuraTexture",
+    "AutoColorCorrelogram",
+    "EdgeHistogram",
+    "NaiveSignature",
+    "SimpleRegionGrowing",
+    "RegionGrowingResult",
+]

@@ -1,0 +1,131 @@
+"""A tiny primitive rasterizer.
+
+The synthetic video generator composes scenes from primitives: filled
+rectangles, circles, lines, linear gradients, and "text blocks" (rows of
+dark rectangles standing in for rendered text on e-learning slides).
+Everything draws into a mutable float canvas which is converted to an
+:class:`~repro.imaging.image.Image` at the end.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.imaging.image import Image
+
+__all__ = ["Canvas"]
+
+Color = Tuple[float, float, float]
+
+
+class Canvas:
+    """A mutable (h, w, 3) float canvas with simple drawing primitives.
+
+    Coordinates are (x, y) with the origin at the top-left, matching the
+    pixel addressing in the paper's pseudo-code.
+    """
+
+    def __init__(self, width: int, height: int, background: Color = (0, 0, 0)):
+        if width <= 0 or height <= 0:
+            raise ValueError("canvas must have positive dimensions")
+        self.width = width
+        self.height = height
+        self.buf = np.empty((height, width, 3), dtype=np.float64)
+        self.buf[:, :] = background
+
+    # -- helpers ------------------------------------------------------------
+
+    def _clip_box(self, x0: int, y0: int, x1: int, y1: int):
+        x0, x1 = sorted((int(x0), int(x1)))
+        y0, y1 = sorted((int(y0), int(y1)))
+        return (
+            max(0, x0),
+            max(0, y0),
+            min(self.width, x1),
+            min(self.height, y1),
+        )
+
+    # -- primitives -----------------------------------------------------------
+
+    def fill(self, color: Color) -> None:
+        self.buf[:, :] = color
+
+    def rect(self, x0: int, y0: int, x1: int, y1: int, color: Color) -> None:
+        """Filled axis-aligned rectangle covering [x0, x1) x [y0, y1)."""
+        x0, y0, x1, y1 = self._clip_box(x0, y0, x1, y1)
+        if x0 < x1 and y0 < y1:
+            self.buf[y0:y1, x0:x1] = color
+
+    def circle(self, cx: float, cy: float, radius: float, color: Color) -> None:
+        """Filled circle."""
+        if radius <= 0:
+            return
+        x0, y0, x1, y1 = self._clip_box(
+            int(np.floor(cx - radius)),
+            int(np.floor(cy - radius)),
+            int(np.ceil(cx + radius)) + 1,
+            int(np.ceil(cy + radius)) + 1,
+        )
+        if x0 >= x1 or y0 >= y1:
+            return
+        ys, xs = np.mgrid[y0:y1, x0:x1]
+        mask = (xs - cx) ** 2 + (ys - cy) ** 2 <= radius**2
+        self.buf[y0:y1, x0:x1][mask] = color
+
+    def line(self, x0: float, y0: float, x1: float, y1: float, color: Color, width: int = 1) -> None:
+        """Line drawn by dense sampling (adequate for synthetic scenes)."""
+        length = max(abs(x1 - x0), abs(y1 - y0))
+        n = max(int(np.ceil(length)) * 2, 2)
+        ts = np.linspace(0.0, 1.0, n)
+        xs = x0 + (x1 - x0) * ts
+        ys = y0 + (y1 - y0) * ts
+        half = max(0, (width - 1) // 2)
+        for dx in range(-half, width - half):
+            for dy in range(-half, width - half):
+                xi = np.clip(np.rint(xs) + dx, 0, self.width - 1).astype(np.int64)
+                yi = np.clip(np.rint(ys) + dy, 0, self.height - 1).astype(np.int64)
+                self.buf[yi, xi] = color
+
+    def vertical_gradient(self, top: Color, bottom: Color) -> None:
+        """Fill the whole canvas with a top-to-bottom linear gradient."""
+        t = np.linspace(0.0, 1.0, self.height)[:, np.newaxis]
+        top_a = np.asarray(top, dtype=np.float64)
+        bot_a = np.asarray(bottom, dtype=np.float64)
+        rows = top_a[np.newaxis, :] * (1 - t) + bot_a[np.newaxis, :] * t
+        self.buf[:, :] = rows[:, np.newaxis, :]
+
+    def text_block(
+        self,
+        x: int,
+        y: int,
+        width: int,
+        lines: int,
+        color: Color,
+        line_height: int = 6,
+        rng: np.random.Generator = None,
+    ) -> None:
+        """Rows of thin rectangles approximating lines of text."""
+        rng = rng or np.random.default_rng(0)
+        for i in range(lines):
+            ly = y + i * (line_height + 3)
+            lw = int(width * float(rng.uniform(0.55, 1.0)))
+            self.rect(x, ly, x + lw, ly + line_height, color)
+
+    def add_noise(self, sigma: float, rng: np.random.Generator) -> None:
+        """Additive Gaussian pixel noise (sensor-noise stand-in)."""
+        if sigma <= 0:
+            return
+        self.buf += rng.normal(0.0, sigma, self.buf.shape)
+
+    def blend_texture(self, texture: np.ndarray, alpha: float) -> None:
+        """Blend a (h, w) float texture into all channels."""
+        if texture.shape != (self.height, self.width):
+            raise ValueError("texture shape must match canvas")
+        self.buf = self.buf * (1 - alpha) + texture[:, :, np.newaxis] * alpha
+
+    # -- output -----------------------------------------------------------------
+
+    def to_image(self) -> Image:
+        return Image.from_array(self.buf)

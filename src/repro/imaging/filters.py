@@ -1,0 +1,99 @@
+"""Spatial filtering: 2-D convolution and the classic kernels.
+
+Used by the Gabor bank (§4.4), the Tamura directionality measure (Sobel
+gradients), and the synthetic generator (Gaussian smoothing of noise fields).
+Convolution uses a direct sliding-window path for small kernels and an FFT
+path for large ones; both support 'reflect' and 'constant' boundaries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "convolve2d",
+    "gaussian_kernel",
+    "box_kernel",
+    "sobel_gradients",
+    "SOBEL_X",
+    "SOBEL_Y",
+]
+
+SOBEL_X = np.array([[-1.0, 0.0, 1.0], [-2.0, 0.0, 2.0], [-1.0, 0.0, 1.0]])
+SOBEL_Y = SOBEL_X.T.copy()
+
+
+def convolve2d(arr: np.ndarray, kernel: np.ndarray, mode: str = "reflect") -> np.ndarray:
+    """Convolve a 2-D float array with a 2-D kernel (true convolution).
+
+    ``mode`` is ``'reflect'`` (default) or ``'constant'`` (zero padding).
+    The output has the same shape as ``arr``; the kernel anchor is its
+    center, ``((kh - 1) // 2, (kw - 1) // 2)``.
+    """
+    a = np.asarray(arr, dtype=np.float64)
+    k = np.asarray(kernel, dtype=np.float64)
+    if a.ndim != 2 or k.ndim != 2:
+        raise ValueError("convolve2d expects 2-D array and kernel")
+    if mode not in ("reflect", "constant"):
+        raise ValueError(f"unknown boundary mode {mode!r}")
+
+    kh, kw = k.shape
+    # Pad so that a full sliding window sweep yields exactly a.shape outputs
+    # anchored at the kernel center.
+    top, bottom = (kh - 1) // 2, kh // 2
+    left, right = (kw - 1) // 2, kw // 2
+    pad_mode = "reflect" if mode == "reflect" else "constant"
+    if pad_mode == "reflect" and (top >= a.shape[0] or left >= a.shape[1]):
+        pad_mode = "constant"  # reflect cannot pad wider than the image
+    padded = np.pad(a, ((top, bottom), (left, right)), mode=pad_mode)
+
+    if kh * kw >= 169:  # FFT pays off for kernels 13x13 and up
+        return _convolve_fft_valid(padded, k)
+
+    kf = k[::-1, ::-1]  # flip for true convolution
+    windows = np.lib.stride_tricks.sliding_window_view(padded, (kh, kw))
+    return np.einsum("ijkl,kl->ij", windows, kf)
+
+
+def _convolve_fft_valid(padded: np.ndarray, k: np.ndarray) -> np.ndarray:
+    """'valid'-size FFT convolution of a pre-padded array."""
+    kh, kw = k.shape
+    sh = padded.shape[0] + kh - 1
+    sw = padded.shape[1] + kw - 1
+    fa = np.fft.rfft2(padded, (sh, sw))
+    fk = np.fft.rfft2(k, (sh, sw))
+    full = np.fft.irfft2(fa * fk, (sh, sw))
+    # 'valid' region of the full convolution:
+    return full[kh - 1 : padded.shape[0], kw - 1 : padded.shape[1]]
+
+
+def gaussian_kernel(sigma: float, radius: int = 0) -> np.ndarray:
+    """Normalized 2-D Gaussian kernel. ``radius`` defaults to ceil(3*sigma)."""
+    if sigma <= 0:
+        raise ValueError("sigma must be positive")
+    if radius <= 0:
+        radius = int(np.ceil(3.0 * sigma))
+    ax = np.arange(-radius, radius + 1, dtype=np.float64)
+    g1 = np.exp(-(ax**2) / (2.0 * sigma**2))
+    k = np.outer(g1, g1)
+    return k / k.sum()
+
+
+def box_kernel(size: int) -> np.ndarray:
+    """Normalized size x size box (mean) kernel."""
+    if size <= 0:
+        raise ValueError("size must be positive")
+    return np.full((size, size), 1.0 / (size * size))
+
+
+def sobel_gradients(gray: np.ndarray) -> tuple:
+    """Return ``(gx, gy, magnitude, direction)`` Sobel gradients.
+
+    ``direction`` is ``arctan2(gy, gx)`` in radians.
+    """
+    a = np.asarray(gray, dtype=np.float64)
+    gx = convolve2d(a, SOBEL_X)
+    gy = convolve2d(a, SOBEL_Y)
+    mag = np.hypot(gx, gy)
+    direction = np.arctan2(gy, gx)
+    return gx, gy, mag, direction

@@ -1,0 +1,12 @@
+"""Histogram-based range-finder indexing (paper §4.2).
+
+Every key frame is assigned a gray-level ``(min, max)`` bucket by a
+level-by-level binary descent over its histogram; buckets form a binary
+tree over intensity ranges (Figure 7) and searches only need to scan
+frames whose bucket lies on the query bucket's root path or subtree.
+"""
+
+from repro.indexing.rangefinder import Bucket, RangeFinder, paper_range_finder
+from repro.indexing.tree import IndexStats, RangeIndex
+
+__all__ = ["Bucket", "RangeFinder", "paper_range_finder", "RangeIndex", "IndexStats"]

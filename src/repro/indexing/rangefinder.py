@@ -1,0 +1,133 @@
+"""The §4.2 min-max range finder.
+
+The paper's unrolled pseudo-code walks a binary tree over gray-level
+ranges: start at [0, 255]; at each level check whether one half of the
+current range holds at least a threshold *percentage* of the image's
+pixels; if so descend into that half, otherwise stop and group the frame at
+the current range.  The listing's magic ``sum / 900.0`` is exactly that
+percentage for its 300x300 = 90 000-pixel frames (``sum/90000*100``), with
+thresholds 55% at the first level and 60% below.
+
+Two quirks of the listing are preserved under ``paper_exact=True``:
+
+- the first level *always* descends -- ``if (result > 55) {0..127} else
+  {128..255}`` has no "stay at [0, 255]" branch;
+- half-range sums iterate ``for (i = 64; i < 127; i++)`` etc., skipping the
+  last bin of each half.
+
+The generalized finder (default) fixes both and descends to arbitrary
+depth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.imaging.histogram import gray_histogram
+from repro.imaging.image import Image
+
+__all__ = ["Bucket", "RangeFinder", "paper_range_finder"]
+
+
+@dataclass(frozen=True, order=True)
+class Bucket:
+    """A gray-level range ``[min, max]`` (inclusive), e.g. (64, 127)."""
+
+    min: int
+    max: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.min <= self.max <= 255:
+            raise ValueError(f"invalid bucket [{self.min}, {self.max}]")
+
+    @property
+    def width(self) -> int:
+        return self.max - self.min + 1
+
+    @property
+    def level(self) -> int:
+        """Depth in the binary tree: [0,255] is level 0, halves level 1, ..."""
+        return int(np.log2(256 // self.width))
+
+    def halves(self) -> Tuple["Bucket", "Bucket"]:
+        if self.width < 2:
+            raise ValueError("bucket too narrow to split")
+        mid = self.min + self.width // 2
+        return Bucket(self.min, mid - 1), Bucket(mid, self.max)
+
+    def contains(self, other: "Bucket") -> bool:
+        """True if ``other``'s range lies within this bucket's range."""
+        return self.min <= other.min and other.max <= self.max
+
+    def on_same_path(self, other: "Bucket") -> bool:
+        """True if one bucket is an ancestor of (or equal to) the other."""
+        return self.contains(other) or other.contains(self)
+
+
+class RangeFinder:
+    """Assigns each frame a :class:`Bucket` by thresholded binary descent.
+
+    ``first_threshold`` / ``threshold`` are percentages of total pixels
+    (paper: 55 and 60).  ``max_level`` bounds the descent; the paper stops
+    at level 3 (32-wide ranges).
+    """
+
+    def __init__(
+        self,
+        first_threshold: float = 55.0,
+        threshold: float = 60.0,
+        max_level: int = 3,
+        paper_exact: bool = False,
+    ):
+        if not 0 < first_threshold <= 100 or not 0 < threshold <= 100:
+            raise ValueError("thresholds must be percentages in (0, 100]")
+        if not 1 <= max_level <= 8:
+            raise ValueError("max_level must be in [1, 8]")
+        self.first_threshold = first_threshold
+        self.threshold = threshold
+        self.max_level = max_level
+        self.paper_exact = paper_exact
+
+    def bucket_for_histogram(self, hist: np.ndarray) -> Bucket:
+        """Descend the range tree for a 256-bin gray histogram."""
+        hist = np.asarray(hist, dtype=np.float64)
+        if hist.size != 256:
+            raise ValueError(f"expected a 256-bin histogram, got {hist.size}")
+        total = hist.sum()
+        if total <= 0:
+            raise ValueError("histogram is empty")
+
+        current = Bucket(0, 255)
+        for level in range(self.max_level):
+            left, right = current.halves()
+            limit = self.first_threshold if level == 0 else self.threshold
+            left_pct = self._mass(hist, left) / total * 100.0
+            right_pct = self._mass(hist, right) / total * 100.0
+            if left_pct > limit:
+                current = left
+            elif self.paper_exact and level == 0:
+                # the listing's first test has no "stay" branch
+                current = right
+            elif right_pct > limit:
+                current = right
+            else:
+                break
+        return current
+
+    def _mass(self, hist: np.ndarray, bucket: Bucket) -> float:
+        if self.paper_exact and bucket.max < 255:
+            # the listing iterates `i < max`, dropping the half's last bin
+            return float(hist[bucket.min : bucket.max].sum())
+        return float(hist[bucket.min : bucket.max + 1].sum())
+
+    def bucket_for_image(self, image: Image) -> Bucket:
+        """Bucket for a frame: histogram of its gray version, then descent."""
+        return self.bucket_for_histogram(gray_histogram(image))
+
+
+def paper_range_finder() -> RangeFinder:
+    """The finder configured exactly as the §4.2 listing (quirks included)."""
+    return RangeFinder(first_threshold=55.0, threshold=60.0, max_level=3, paper_exact=True)

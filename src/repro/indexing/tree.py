@@ -1,0 +1,109 @@
+"""The range-index tree (paper Figure 7).
+
+Maps buckets to frame-id sets.  A query frame's candidates are the frames
+whose bucket lies on the query bucket's root path (ancestors) or in its
+subtree (descendants): those are the only buckets a frame with a compatible
+intensity distribution can land in, so everything else is pruned before any
+feature distance is computed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Optional, Set
+
+from repro.imaging.image import Image
+from repro.indexing.rangefinder import Bucket, RangeFinder
+
+__all__ = ["RangeIndex", "IndexStats"]
+
+
+@dataclass(frozen=True)
+class IndexStats:
+    """Occupancy snapshot of a :class:`RangeIndex`."""
+
+    n_entries: int
+    n_buckets: int
+    bucket_sizes: Dict[Bucket, int]
+    largest_bucket: Optional[Bucket]
+
+    @property
+    def mean_bucket_size(self) -> float:
+        return self.n_entries / self.n_buckets if self.n_buckets else 0.0
+
+
+class RangeIndex:
+    """Bucket -> frame-id index with pruned candidate lookup."""
+
+    def __init__(self, finder: Optional[RangeFinder] = None):
+        self.finder = finder or RangeFinder()
+        self._buckets: Dict[Bucket, Set[Hashable]] = {}
+        self._assignments: Dict[Hashable, Bucket] = {}
+
+    def __len__(self) -> int:
+        return len(self._assignments)
+
+    def __contains__(self, frame_id: Hashable) -> bool:
+        return frame_id in self._assignments
+
+    def insert(self, frame_id: Hashable, image: Image) -> Bucket:
+        """Index a frame; re-inserting an id moves it to its new bucket."""
+        bucket = self.finder.bucket_for_image(image)
+        return self.insert_bucket(frame_id, bucket)
+
+    def insert_bucket(self, frame_id: Hashable, bucket: Bucket) -> Bucket:
+        """Index a frame with a precomputed bucket."""
+        old = self._assignments.get(frame_id)
+        if old is not None:
+            self._buckets[old].discard(frame_id)
+            if not self._buckets[old]:
+                del self._buckets[old]
+        self._assignments[frame_id] = bucket
+        self._buckets.setdefault(bucket, set()).add(frame_id)
+        return bucket
+
+    def remove(self, frame_id: Hashable) -> None:
+        """Drop a frame from the index (KeyError if absent)."""
+        bucket = self._assignments.pop(frame_id)
+        self._buckets[bucket].discard(frame_id)
+        if not self._buckets[bucket]:
+            del self._buckets[bucket]
+
+    def bucket_of(self, frame_id: Hashable) -> Bucket:
+        return self._assignments[frame_id]
+
+    def candidates(self, image: Image) -> Set[Hashable]:
+        """Frame ids compatible with the query frame's bucket."""
+        return self.candidates_for_bucket(self.finder.bucket_for_image(image))
+
+    def candidates_for_bucket(self, query: Bucket) -> Set[Hashable]:
+        """Union of ids in buckets on the query bucket's root path or subtree."""
+        out: Set[Hashable] = set()
+        for bucket, ids in self._buckets.items():
+            if bucket.on_same_path(query):
+                out.update(ids)
+        return out
+
+    def all_ids(self) -> Set[Hashable]:
+        return set(self._assignments)
+
+    def stats(self) -> IndexStats:
+        sizes = {b: len(ids) for b, ids in self._buckets.items()}
+        largest = max(sizes, key=sizes.get) if sizes else None
+        return IndexStats(
+            n_entries=len(self._assignments),
+            n_buckets=len(self._buckets),
+            bucket_sizes=sizes,
+            largest_bucket=largest,
+        )
+
+    def pruning_factor(self, queries: Iterable[Image]) -> float:
+        """Mean fraction of the corpus *excluded* per query (0 = no pruning)."""
+        total = len(self)
+        if total == 0:
+            return 0.0
+        fractions: List[float] = []
+        for image in queries:
+            kept = len(self.candidates(image))
+            fractions.append(1.0 - kept / total)
+        return sum(fractions) / len(fractions) if fractions else 0.0

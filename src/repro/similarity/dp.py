@@ -1,0 +1,135 @@
+"""Dynamic-programming sequence similarity.
+
+The paper: "We use a dynamic programming approach to compute the similarity
+between the feature vectors for the query and feature vectors in the
+feature database."  For frame-level queries that reduces to a minimum over
+stored frames, but for *video-to-video* similarity the natural DP is an
+alignment of the two key-frame feature sequences.  Two classic variants are
+provided:
+
+- :func:`dtw_distance` -- dynamic time warping with the standard
+  (match / insert / delete) recurrence; optional Sakoe-Chiba band.
+- :func:`align_sequences` -- Needleman-Wunsch-style global alignment with a
+  gap penalty; returns the alignment itself, which the examples visualize.
+
+Both operate on arbitrary sequences plus a pairwise cost callable, so they
+work directly on lists of :class:`~repro.features.base.FeatureVector`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["dtw_distance", "align_sequences", "sequence_similarity", "pairwise_cost_matrix"]
+
+Cost = Callable[[object, object], float]
+
+
+def pairwise_cost_matrix(a: Sequence, b: Sequence, cost: Cost) -> np.ndarray:
+    """Dense |a| x |b| cost matrix."""
+    m = np.empty((len(a), len(b)))
+    for i, xa in enumerate(a):
+        for j, xb in enumerate(b):
+            m[i, j] = cost(xa, xb)
+    return m
+
+
+def dtw_distance(
+    a: Sequence,
+    b: Sequence,
+    cost: Cost,
+    window: Optional[int] = None,
+    normalize: bool = True,
+) -> float:
+    """Dynamic time warping distance between two sequences.
+
+    ``window`` restricts |i - j| to a Sakoe-Chiba band (None = unrestricted).
+    With ``normalize=True`` the accumulated cost is divided by the warping
+    path length upper bound ``len(a) + len(b)``, making values comparable
+    across sequence lengths.
+    """
+    n, m = len(a), len(b)
+    if n == 0 or m == 0:
+        raise ValueError("DTW requires non-empty sequences")
+    if window is not None and window < abs(n - m):
+        window = abs(n - m)  # band must admit at least one path
+
+    costs = pairwise_cost_matrix(a, b, cost)
+    acc = np.full((n + 1, m + 1), np.inf)
+    acc[0, 0] = 0.0
+    for i in range(1, n + 1):
+        if window is None:
+            j_lo, j_hi = 1, m
+        else:
+            j_lo = max(1, i - window)
+            j_hi = min(m, i + window)
+        for j in range(j_lo, j_hi + 1):
+            step = min(acc[i - 1, j], acc[i, j - 1], acc[i - 1, j - 1])
+            acc[i, j] = costs[i - 1, j - 1] + step
+    total = float(acc[n, m])
+    return total / (n + m) if normalize else total
+
+
+def align_sequences(
+    a: Sequence,
+    b: Sequence,
+    cost: Cost,
+    gap_penalty: float,
+) -> Tuple[float, List[Tuple[Optional[int], Optional[int]]]]:
+    """Global alignment (Needleman-Wunsch with costs, minimizing).
+
+    Returns ``(total_cost, pairs)`` where each pair is ``(i, j)`` for a
+    match, ``(i, None)`` for a deletion (a's element unmatched) and
+    ``(None, j)`` for an insertion.
+    """
+    n, m = len(a), len(b)
+    costs = pairwise_cost_matrix(a, b, cost) if n and m else np.zeros((n, m))
+    acc = np.zeros((n + 1, m + 1))
+    acc[:, 0] = np.arange(n + 1) * gap_penalty
+    acc[0, :] = np.arange(m + 1) * gap_penalty
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            acc[i, j] = min(
+                acc[i - 1, j - 1] + costs[i - 1, j - 1],
+                acc[i - 1, j] + gap_penalty,
+                acc[i, j - 1] + gap_penalty,
+            )
+    # traceback
+    pairs: List[Tuple[Optional[int], Optional[int]]] = []
+    i, j = n, m
+    while i > 0 or j > 0:
+        if i > 0 and j > 0 and np.isclose(acc[i, j], acc[i - 1, j - 1] + costs[i - 1, j - 1]):
+            pairs.append((i - 1, j - 1))
+            i, j = i - 1, j - 1
+        elif i > 0 and np.isclose(acc[i, j], acc[i - 1, j] + gap_penalty):
+            pairs.append((i - 1, None))
+            i -= 1
+        else:
+            pairs.append((None, j - 1))
+            j -= 1
+    pairs.reverse()
+    return float(acc[n, m]), pairs
+
+
+def sequence_similarity(
+    a: Sequence,
+    b: Sequence,
+    cost: Cost,
+    method: str = "dtw",
+    **kwargs,
+) -> float:
+    """Distance between two feature sequences: ``'dtw'`` or ``'align'``.
+
+    For ``'align'`` a ``gap_penalty`` kwarg is required; the returned value
+    is normalized by ``len(a) + len(b)`` for comparability.
+    """
+    if method == "dtw":
+        return dtw_distance(a, b, cost, **kwargs)
+    if method == "align":
+        if "gap_penalty" not in kwargs:
+            raise ValueError("align method requires gap_penalty")
+        total, _pairs = align_sequences(a, b, cost, kwargs["gap_penalty"])
+        return total / (len(a) + len(b))
+    raise ValueError(f"unknown method {method!r}")

@@ -1,0 +1,98 @@
+"""Feature fusion: the paper's "Combined" ranking.
+
+Each feature produces distances on its own scale (an L1 histogram distance
+lives in [0, 2]; a naive-signature distance in the thousands), so raw sums
+would let one feature dominate.  The scorer therefore normalizes each
+feature's distances *per query* to [0, 1] (min-max over the candidate set)
+before taking the weighted sum -- the standard "combine various approaches
+to take advantage of different levels of representations" recipe the paper
+reports in Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["FeatureWeights", "CombinedScorer", "normalize_scores"]
+
+
+def normalize_scores(distances: Sequence[float]) -> np.ndarray:
+    """Min-max normalize a distance list to [0, 1].
+
+    A constant list maps to all zeros (every candidate equally good).
+    """
+    arr = np.asarray(distances, dtype=np.float64)
+    if arr.size == 0:
+        return arr
+    lo, hi = float(arr.min()), float(arr.max())
+    if hi - lo < 1e-12:
+        return np.zeros_like(arr)
+    return (arr - lo) / (hi - lo)
+
+
+@dataclass(frozen=True)
+class FeatureWeights:
+    """Non-negative per-feature weights; missing features get weight 0."""
+
+    weights: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for name, w in self.weights.items():
+            if w < 0:
+                raise ValueError(f"weight for {name!r} must be non-negative, got {w}")
+
+    @classmethod
+    def equal(cls, names: Iterable[str]) -> "FeatureWeights":
+        return cls({n: 1.0 for n in names})
+
+    def get(self, name: str) -> float:
+        return float(self.weights.get(name, 0.0))
+
+    def active(self) -> List[str]:
+        return sorted(n for n, w in self.weights.items() if w > 0)
+
+    def normalized(self) -> "FeatureWeights":
+        """Weights rescaled to sum to 1 (requires at least one positive)."""
+        total = sum(w for w in self.weights.values() if w > 0)
+        if total <= 0:
+            raise ValueError("no positive weights to normalize")
+        return FeatureWeights({n: w / total for n, w in self.weights.items() if w > 0})
+
+
+class CombinedScorer:
+    """Fuses per-feature distance lists over a fixed candidate set.
+
+    Usage::
+
+        scorer = CombinedScorer(FeatureWeights.equal(["sch", "glcm"]))
+        fused = scorer.fuse({"sch": sch_dists, "glcm": glcm_dists})
+
+    ``fuse`` returns one fused distance per candidate, lower = more similar.
+    """
+
+    def __init__(self, weights: FeatureWeights):
+        if not weights.active():
+            raise ValueError("CombinedScorer needs at least one positive weight")
+        self.weights = weights.normalized()
+
+    def fuse(self, per_feature: Mapping[str, Sequence[float]]) -> np.ndarray:
+        active = self.weights.active()
+        missing = [n for n in active if n not in per_feature]
+        if missing:
+            raise KeyError(f"missing distance lists for features: {missing}")
+        lengths = {len(per_feature[n]) for n in active}
+        if len(lengths) != 1:
+            raise ValueError(f"distance lists have differing lengths: {lengths}")
+        (n_candidates,) = lengths
+        fused = np.zeros(n_candidates)
+        for name in active:
+            fused += self.weights.get(name) * normalize_scores(per_feature[name])
+        return fused
+
+    def rank(self, per_feature: Mapping[str, Sequence[float]]) -> np.ndarray:
+        """Candidate indices sorted best-first by fused distance."""
+        fused = self.fuse(per_feature)
+        return np.argsort(fused, kind="stable")

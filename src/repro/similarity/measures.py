@@ -1,0 +1,98 @@
+"""Vector distance measures.
+
+Every measure takes two 1-D float arrays of equal length and returns a
+non-negative float (0 for identical inputs).  The per-feature defaults live
+on the extractors; these are the building blocks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "l1",
+    "l2",
+    "euclidean",
+    "chi_square",
+    "cosine_distance",
+    "histogram_intersection",
+    "jensen_shannon",
+    "canberra",
+]
+
+
+def _pair(a, b):
+    va = np.asarray(a, dtype=np.float64).ravel()
+    vb = np.asarray(b, dtype=np.float64).ravel()
+    if va.shape != vb.shape:
+        raise ValueError(f"vector lengths differ: {va.size} vs {vb.size}")
+    return va, vb
+
+
+def l1(a, b) -> float:
+    """Manhattan distance."""
+    va, vb = _pair(a, b)
+    return float(np.abs(va - vb).sum())
+
+
+def l2(a, b) -> float:
+    """Euclidean distance."""
+    va, vb = _pair(a, b)
+    return float(np.sqrt(((va - vb) ** 2).sum()))
+
+
+#: Alias for :func:`l2`.
+euclidean = l2
+
+
+def canberra(a, b) -> float:
+    """Canberra distance: sum of |a-b| / (|a|+|b|), zero-denominator terms skipped."""
+    va, vb = _pair(a, b)
+    denom = np.abs(va) + np.abs(vb)
+    mask = denom > 1e-12
+    return float(np.sum(np.abs(va - vb)[mask] / denom[mask]))
+
+
+def chi_square(a, b) -> float:
+    """Chi-square histogram distance: sum of (a-b)^2 / (a+b)."""
+    va, vb = _pair(a, b)
+    denom = va + vb
+    mask = denom > 1e-12
+    return float(np.sum((va - vb)[mask] ** 2 / denom[mask]))
+
+
+def cosine_distance(a, b) -> float:
+    """1 - cosine similarity; 0 for parallel vectors, up to 2 for opposite."""
+    va, vb = _pair(a, b)
+    na = np.linalg.norm(va)
+    nb = np.linalg.norm(vb)
+    if na < 1e-12 or nb < 1e-12:
+        return 0.0 if na < 1e-12 and nb < 1e-12 else 1.0
+    return float(1.0 - np.dot(va, vb) / (na * nb))
+
+
+def histogram_intersection(a, b) -> float:
+    """1 - normalized histogram intersection (a distance in [0, 1])."""
+    va, vb = _pair(a, b)
+    if np.any(va < 0) or np.any(vb < 0):
+        raise ValueError("histogram intersection requires non-negative inputs")
+    sa, sb = va.sum(), vb.sum()
+    if sa < 1e-12 or sb < 1e-12:
+        return 0.0 if sa < 1e-12 and sb < 1e-12 else 1.0
+    return float(1.0 - np.minimum(va / sa, vb / sb).sum())
+
+
+def jensen_shannon(a, b) -> float:
+    """Jensen-Shannon divergence between L1-normalized distributions (nats)."""
+    va, vb = _pair(a, b)
+    if np.any(va < 0) or np.any(vb < 0):
+        raise ValueError("JSD requires non-negative inputs")
+    pa = va / max(1e-12, va.sum())
+    pb = vb / max(1e-12, vb.sum())
+    m = (pa + pb) / 2.0
+
+    def _kl(p, q):
+        mask = p > 0
+        return float(np.sum(p[mask] * np.log(p[mask] / np.maximum(q[mask], 1e-300))))
+
+    return 0.5 * _kl(pa, m) + 0.5 * _kl(pb, m)

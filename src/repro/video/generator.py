@@ -1,0 +1,405 @@
+"""Deterministic synthetic video corpus.
+
+The paper evaluates on clips downloaded from archive.org, organized into
+"different categories of images like e-learning, sports, cartoon, movies,
+etc." (§5).  Those clips are unavailable, so this module synthesizes a
+corpus with the property the evaluation actually depends on: videos of the
+same category share low-level statistics (palette, texture energy, region
+structure) while videos of different categories differ in them.
+
+Five categories are generated, each from a parametric scene model:
+
+- ``elearning`` -- bright slide backgrounds with dark text blocks; slide
+  changes at shot boundaries; almost no intra-shot motion.
+- ``sports``    -- green grass-textured field with white field lines and
+  moving players (colored circles); panning camera.
+- ``cartoon``   -- flat, saturated color regions with bold outlines,
+  halftone dots and large bouncing shapes.
+- ``movies``    -- dark cinematic gradients, letterbox bars, film grain and
+  slow object drift.
+- ``news``      -- studio backdrop, anchor bust, desk, and a striped ticker
+  bar; essentially static within a shot.
+
+Every video is a multi-shot sequence: shots differ (new scene layout, new
+palette sample), frames within a shot evolve smoothly (motion + per-frame
+noise).  Everything is seeded, so corpora are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.imaging.draw import Canvas
+from repro.imaging.image import Image
+from repro.imaging.synthetic import (
+    checkerboard,
+    grass_texture,
+    halftone_dots,
+    smooth_noise,
+    stripes,
+)
+
+__all__ = ["CATEGORIES", "VideoSpec", "SyntheticVideo", "generate_video", "make_corpus"]
+
+CATEGORIES: Tuple[str, ...] = ("elearning", "sports", "cartoon", "movies", "news")
+
+
+@dataclass(frozen=True)
+class VideoSpec:
+    """Generation parameters for one synthetic video."""
+
+    category: str
+    seed: int
+    width: int = 128
+    height: int = 96
+    n_shots: int = 3
+    frames_per_shot: int = 12
+    fps: int = 25
+    noise_sigma: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.category not in CATEGORIES:
+            raise ValueError(
+                f"unknown category {self.category!r}; expected one of {CATEGORIES}"
+            )
+        if self.n_shots < 1 or self.frames_per_shot < 1:
+            raise ValueError("n_shots and frames_per_shot must be >= 1")
+        if self.width < 16 or self.height < 16:
+            raise ValueError("frames must be at least 16x16")
+
+
+@dataclass(frozen=True)
+class SyntheticVideo:
+    """A generated video: named frame sequence plus its ground-truth category."""
+
+    name: str
+    category: str
+    frames: Tuple[Image, ...]
+    spec: VideoSpec = field(repr=False)
+
+    @property
+    def n_frames(self) -> int:
+        return len(self.frames)
+
+    @property
+    def shot_boundaries(self) -> List[int]:
+        """Indices where a new shot starts (excluding frame 0)."""
+        per = self.spec.frames_per_shot
+        return [i for i in range(per, self.n_frames, per)]
+
+
+# ---------------------------------------------------------------------------
+# per-category scene renderers
+#
+# Each sets up a "scene" dict from the shot RNG, then renders frame t in
+# [0, 1) of that shot.  Scene setup happens once per shot so intra-shot
+# frames are smooth variations and shot changes are abrupt.
+# ---------------------------------------------------------------------------
+
+
+def _scene_elearning(rng: np.random.Generator, w: int, h: int) -> Dict:
+    # slide themes span dark to light so plain color statistics overlap
+    # with the other categories; the text-row structure is the signature
+    bg_top = rng.uniform(50, 250)
+    tint = rng.uniform(-40, 40, size=3)
+    if bg_top > 140:  # light theme -> dark text
+        text = np.clip(rng.uniform(0, 70, size=3), 0, 255)
+    else:  # dark theme -> bright text
+        text = np.clip(rng.uniform(180, 255, size=3), 0, 255)
+    variant = rng.choice(["text", "photo", "code"])
+    return {
+        "variant": str(variant),
+        "bg_top": np.clip(bg_top + tint, 0, 255),
+        "bg_bottom": np.clip(bg_top - rng.uniform(15, 50) + tint, 0, 255),
+        "title_w": int(w * rng.uniform(0.4, 0.8)),
+        "n_lines": int(rng.integers(3, 7)) if variant != "code" else int(rng.integers(8, 14)),
+        "text_color": text,
+        "has_figure": bool(rng.random() < 0.5),
+        "fig_color": np.clip(rng.uniform(0, 255, size=3), 0, 255),
+        "photo_sigma": float(rng.uniform(2.0, 6.0)),
+        "photo_seed": int(rng.integers(0, 2**31)),
+        "text_seed": int(rng.integers(0, 2**31)),
+    }
+
+
+def _render_elearning(canvas: Canvas, scene: Dict, t: float) -> None:
+    w, h = canvas.width, canvas.height
+    canvas.vertical_gradient(tuple(scene["bg_top"]), tuple(scene["bg_bottom"]))
+    # title bar
+    canvas.rect(int(w * 0.08), int(h * 0.06), int(w * 0.08) + scene["title_w"], int(h * 0.16), tuple(scene["text_color"]))
+    variant = scene["variant"]
+    line_height = max(2, h // 28) if variant == "code" else max(3, h // 20)
+    # body text appears progressively (slide build-in)
+    visible = max(1, int(np.ceil(scene["n_lines"] * min(1.0, 0.4 + t))))
+    canvas.text_block(
+        int(w * 0.1),
+        int(h * 0.28),
+        int(w * 0.65),
+        visible,
+        tuple(scene["text_color"]),
+        line_height=line_height,
+        rng=np.random.default_rng(scene["text_seed"]),
+    )
+    if variant == "photo":
+        # a large photo block: smooth textured region like a movie still
+        x0, y0, x1, y1 = int(w * 0.5), int(h * 0.3), int(w * 0.95), int(h * 0.92)
+        photo = smooth_noise(x1 - x0, y1 - y0, scene["photo_sigma"],
+                             np.random.default_rng(scene["photo_seed"]),
+                             lo=30, hi=225)
+        canvas.buf[y0:y1, x0:x1, :] = photo[:, :, np.newaxis]
+    elif scene["has_figure"]:
+        fx0, fy0 = int(w * 0.62), int(h * 0.55)
+        canvas.rect(fx0, fy0, int(w * 0.92), int(h * 0.9), tuple(scene["fig_color"]))
+
+
+def _scene_sports(rng: np.random.Generator, w: int, h: int) -> Dict:
+    # playing surfaces vary widely (turf, clay, court blue, hardwood):
+    # color alone no longer identifies sports -- the grass-like
+    # high-frequency texture, field lines and player blobs do
+    surface = np.clip(rng.uniform(20, 210, size=3), 0, 255)
+    variant = rng.choice(["field", "court"])
+    n_players = int(rng.integers(4, 9))
+    team_a = np.clip(rng.uniform(120, 255, size=3), 0, 255)
+    team_b = np.clip(rng.uniform(120, 255, size=3), 0, 255)
+    return {
+        "variant": str(variant),
+        "green": surface,
+        "grass": None,  # rendered lazily against frame size
+        "grass_seed": int(rng.integers(0, 2**31)),
+        "crowd_seed": int(rng.integers(0, 2**31)),
+        "pan": rng.uniform(-0.25, 0.25),
+        "players": [
+            {
+                "x": rng.uniform(0.1, 0.9),
+                "y": rng.uniform(0.25, 0.9),
+                "vx": rng.uniform(-0.25, 0.25),
+                "vy": rng.uniform(-0.12, 0.12),
+                "color": team_a if i % 2 == 0 else team_b,
+                "r": rng.uniform(0.02, 0.04),
+            }
+            for i, _ in enumerate(range(n_players))
+        ],
+        "line_y": rng.uniform(0.4, 0.7),
+    }
+
+
+def _render_sports(canvas: Canvas, scene: Dict, t: float) -> None:
+    w, h = canvas.width, canvas.height
+    if scene["grass"] is None:
+        grng = np.random.default_rng(scene["grass_seed"])
+        scene["grass"] = grass_texture(w, h, grng)
+    canvas.fill(tuple(scene["green"]))
+    if scene["variant"] == "field":
+        canvas.blend_texture(scene["grass"], 0.25)
+    else:
+        # indoor court: smooth floor, noisy crowd band at the top
+        crowd = smooth_noise(w, max(4, h // 5), 0.8,
+                             np.random.default_rng(scene["crowd_seed"]),
+                             lo=20, hi=200)
+        canvas.buf[: crowd.shape[0], :, :] = crowd[:, :, np.newaxis]
+    pan = scene["pan"] * t
+    # field lines (horizontal sideline + center circle), shifted by pan
+    ly = int(h * scene["line_y"])
+    canvas.line(0, ly, w - 1, ly, (230, 230, 230), width=2)
+    canvas.line(int(w * (0.5 + pan)), 0, int(w * (0.5 + pan)), h - 1, (230, 230, 230), width=2)
+    for p in scene["players"]:
+        x = (p["x"] + p["vx"] * t + pan) % 1.0
+        y = min(0.95, max(0.05, p["y"] + p["vy"] * t))
+        canvas.circle(x * w, y * h, p["r"] * (w + h), tuple(p["color"]))
+
+
+def _scene_cartoon(rng: np.random.Generator, w: int, h: int) -> Dict:
+    palette = np.clip(rng.uniform(0, 255, size=(4, 3)), 0, 255)
+    return {
+        "variant": str(rng.choice(["scene", "closeup"])),
+        "sky": palette[0],
+        "ground": palette[1],
+        "blob_color": palette[2],
+        "blob2_color": palette[3],
+        "split": rng.uniform(0.5, 0.8),
+        "blob_x": rng.uniform(0.15, 0.85),
+        "blob_r": rng.uniform(0.1, 0.18),
+        "bounce": rng.uniform(0.8, 2.2),
+        "dots": bool(rng.random() < 0.6),
+        "dot_spacing": int(rng.integers(8, 16)),
+        "outline": bool(rng.random() < 0.8),
+    }
+
+
+def _render_cartoon(canvas: Canvas, scene: Dict, t: float) -> None:
+    w, h = canvas.width, canvas.height
+    if scene["variant"] == "closeup":
+        # flat background + big outlined face with eyes and mouth
+        canvas.fill(tuple(scene["sky"]))
+        r = min(w, h) * 0.36
+        cx = w * 0.5 + np.sin(t * 2 * np.pi) * w * 0.02
+        cy = h * 0.5
+        if scene["outline"]:
+            canvas.circle(cx, cy, r + 3, (10, 10, 10))
+        canvas.circle(cx, cy, r, tuple(scene["blob_color"]))
+        eye_r = r * 0.16
+        for ex in (-0.35, 0.35):
+            canvas.circle(cx + ex * r, cy - 0.25 * r, eye_r + 2, (250, 250, 250))
+            canvas.circle(cx + ex * r, cy - 0.25 * r, eye_r * 0.5, (15, 15, 15))
+        canvas.rect(int(cx - 0.4 * r), int(cy + 0.35 * r),
+                    int(cx + 0.4 * r), int(cy + 0.5 * r), (15, 15, 15))
+        if scene["dots"]:
+            dots = halftone_dots(w, h, scene["dot_spacing"], 1)
+            canvas.blend_texture(dots, 0.08)
+        return
+    split = int(h * scene["split"])
+    canvas.rect(0, 0, w, split, tuple(scene["sky"]))
+    canvas.rect(0, split, w, h, tuple(scene["ground"]))
+    if scene["dots"]:
+        dots = halftone_dots(w, h, scene["dot_spacing"], 1)
+        canvas.blend_texture(dots, 0.08)
+    # bouncing blob
+    bx = scene["blob_x"] * w
+    by = split - abs(np.sin(t * np.pi * scene["bounce"])) * split * 0.6 - scene["blob_r"] * h
+    r = scene["blob_r"] * min(w, h)
+    if scene["outline"]:
+        canvas.circle(bx, by, r + 2, (10, 10, 10))
+    canvas.circle(bx, by, r, tuple(scene["blob_color"]))
+    # companion square sliding along the ground
+    sx = ((scene["blob_x"] + 0.3 + 0.4 * t) % 1.0) * w
+    size = r * 0.9
+    if scene["outline"]:
+        canvas.rect(int(sx - size - 2), int(split - 2 * size - 2), int(sx + size + 2), split, (10, 10, 10))
+    canvas.rect(int(sx - size), int(split - 2 * size), int(sx + size), split - 2, tuple(scene["blob2_color"]))
+
+
+def _scene_movies(rng: np.random.Generator, w: int, h: int) -> Dict:
+    variant = rng.choice(["night", "day"])
+    base = rng.uniform(15, 90) if variant == "night" else rng.uniform(120, 210)
+    warm = rng.uniform(-40, 40, size=3)
+    return {
+        "variant": str(variant),
+        "top": np.clip(base + warm, 0, 255),
+        "bottom": np.clip(base * rng.uniform(0.3, 0.8) + warm, 0, 230),
+        "grain_seed": int(rng.integers(0, 2**31)),
+        "fog_alpha": 0.35 if variant == "night" else 0.12,
+        "fog_sigma": rng.uniform(4.0, 9.0),
+        "subject_x": rng.uniform(0.25, 0.75),
+        "subject_color": np.clip(rng.uniform(30, 220, size=3), 0, 255),
+        "drift": rng.uniform(-0.12, 0.12),
+        "moon": bool(rng.random() < 0.4),
+    }
+
+
+def _render_movies(canvas: Canvas, scene: Dict, t: float) -> None:
+    w, h = canvas.width, canvas.height
+    canvas.vertical_gradient(tuple(scene["top"]), tuple(scene["bottom"]))
+    fog_rng = np.random.default_rng(scene["grain_seed"])
+    fog = smooth_noise(w, h, scene["fog_sigma"], fog_rng, lo=0, hi=90)
+    canvas.blend_texture(fog, scene["fog_alpha"])
+    if scene["moon"]:
+        canvas.circle(w * 0.8, h * 0.2, min(w, h) * 0.07, (210, 210, 190))
+    # subject silhouette drifting
+    sx = (scene["subject_x"] + scene["drift"] * t) * w
+    canvas.rect(int(sx - w * 0.05), int(h * 0.45), int(sx + w * 0.05), int(h * 0.82), tuple(scene["subject_color"] * 0.5))
+    canvas.circle(sx, h * 0.4, min(w, h) * 0.055, tuple(scene["subject_color"]))
+    # letterbox bars
+    bar = max(2, h // 12)
+    canvas.rect(0, 0, w, bar, (0, 0, 0))
+    canvas.rect(0, h - bar, w, h, (0, 0, 0))
+
+
+def _scene_news(rng: np.random.Generator, w: int, h: int) -> Dict:
+    backdrop = np.clip(rng.uniform(20, 230, size=3), 0, 255)
+    return {
+        "variant": str(rng.choice(["studio", "graphic"])),
+        "backdrop": backdrop,
+        "desk": np.clip(backdrop * 0.5 + rng.uniform(0, 40, size=3), 0, 255),
+        "anchor_skin": np.array([rng.uniform(170, 230), rng.uniform(130, 190), rng.uniform(100, 160)]),
+        "suit": np.clip(rng.uniform(20, 90, size=3), 0, 255),
+        "ticker_period": int(rng.integers(6, 14)),
+        "anchor_x": rng.uniform(0.35, 0.65),
+        "gesture": rng.uniform(0.0, 0.02),
+        "logo_color": np.clip(rng.uniform(150, 255, size=3), 0, 255),
+    }
+
+
+def _render_news(canvas: Canvas, scene: Dict, t: float) -> None:
+    w, h = canvas.width, canvas.height
+    canvas.fill(tuple(scene["backdrop"]))
+    if scene["variant"] == "graphic":
+        # fullscreen graphic: headline bar + content panels (slide-like)
+        canvas.rect(int(w * 0.06), int(h * 0.08), int(w * 0.94), int(h * 0.22), tuple(scene["logo_color"]))
+        canvas.rect(int(w * 0.06), int(h * 0.3), int(w * 0.6), int(h * 0.7), tuple(scene["suit"]))
+        canvas.rect(int(w * 0.66), int(h * 0.3), int(w * 0.94), int(h * 0.7), tuple(scene["desk"]))
+    else:
+        # backdrop panels
+        canvas.rect(0, 0, int(w * 0.25), h, tuple(scene["backdrop"] * 0.8))
+        canvas.rect(int(w * 0.75), 0, w, h, tuple(scene["backdrop"] * 0.8))
+        ax = scene["anchor_x"] * w + np.sin(t * 2 * np.pi) * scene["gesture"] * w
+        # suit (torso) then head
+        canvas.rect(int(ax - w * 0.12), int(h * 0.5), int(ax + w * 0.12), int(h * 0.85), tuple(scene["suit"]))
+        canvas.circle(ax, h * 0.38, min(w, h) * 0.11, tuple(scene["anchor_skin"]))
+        # desk
+        canvas.rect(0, int(h * 0.78), w, int(h * 0.88), tuple(scene["desk"]))
+    # scrolling ticker
+    ticker = stripes(w, max(2, h // 10), scene["ticker_period"], angle_deg=0.0, lo=40, hi=220)
+    shift = int(t * w) % w
+    ticker = np.roll(ticker, -shift, axis=1)
+    th = ticker.shape[0]
+    canvas.buf[h - th : h, :, :] = ticker[:, :, np.newaxis]
+    # station logo
+    canvas.rect(int(w * 0.04), int(h * 0.04), int(w * 0.18), int(h * 0.14), tuple(scene["logo_color"]))
+
+
+_SCENES: Dict[str, Tuple[Callable, Callable]] = {
+    "elearning": (_scene_elearning, _render_elearning),
+    "sports": (_scene_sports, _render_sports),
+    "cartoon": (_scene_cartoon, _render_cartoon),
+    "movies": (_scene_movies, _render_movies),
+    "news": (_scene_news, _render_news),
+}
+
+
+# ---------------------------------------------------------------------------
+# generation driver
+# ---------------------------------------------------------------------------
+
+
+def generate_video(spec: VideoSpec, name: str = None) -> SyntheticVideo:
+    """Render one synthetic video from its spec (fully deterministic)."""
+    rng = np.random.default_rng(spec.seed)
+    make_scene, render = _SCENES[spec.category]
+    frames: List[Image] = []
+    noise_rng = np.random.default_rng(spec.seed + 1)
+    for shot in range(spec.n_shots):
+        scene = make_scene(rng, spec.width, spec.height)
+        for k in range(spec.frames_per_shot):
+            t = k / spec.frames_per_shot
+            canvas = Canvas(spec.width, spec.height)
+            render(canvas, scene, t)
+            canvas.add_noise(spec.noise_sigma, noise_rng)
+            frames.append(canvas.to_image())
+    video_name = name or f"{spec.category}_{spec.seed:05d}"
+    return SyntheticVideo(name=video_name, category=spec.category, frames=tuple(frames), spec=spec)
+
+
+def make_corpus(
+    videos_per_category: int = 12,
+    seed: int = 2012,
+    categories: Sequence[str] = CATEGORIES,
+    **spec_overrides,
+) -> List[SyntheticVideo]:
+    """Generate the evaluation corpus: ``videos_per_category`` per category.
+
+    ``spec_overrides`` are forwarded to :class:`VideoSpec` (e.g.
+    ``frames_per_shot=8, width=96``).  Videos are deterministic functions of
+    ``seed``; two calls with the same arguments yield identical corpora.
+    """
+    if videos_per_category < 1:
+        raise ValueError("videos_per_category must be >= 1")
+    corpus: List[SyntheticVideo] = []
+    for ci, category in enumerate(categories):
+        for v in range(videos_per_category):
+            vid_seed = seed + ci * 1000 + v
+            spec = VideoSpec(category=category, seed=vid_seed, **spec_overrides)
+            corpus.append(generate_video(spec, name=f"{category}_{v:03d}"))
+    return corpus

@@ -1,0 +1,45 @@
+"""Frame-distance and shot-boundary helpers.
+
+The key-frame extractor (§4.1) needs a scalar distance between consecutive
+frames; the same distance doubles as a simple shot-cut detector, which the
+tests use to verify that the synthetic generator really produces abrupt
+shot changes and smooth intra-shot motion.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.imaging.image import Image
+
+__all__ = ["frame_distance", "frame_distances", "cut_indices"]
+
+
+def frame_distance(a: Image, b: Image) -> float:
+    """Mean absolute pixel difference between two equally-shaped frames."""
+    if a.shape != b.shape:
+        raise ValueError(f"frame shapes differ: {a.shape} vs {b.shape}")
+    return float(
+        np.mean(np.abs(a.pixels.astype(np.float64) - b.pixels.astype(np.float64)))
+    )
+
+
+def frame_distances(frames: Sequence[Image]) -> List[float]:
+    """Distances between consecutive frames: ``len(frames) - 1`` values."""
+    return [frame_distance(frames[i], frames[i + 1]) for i in range(len(frames) - 1)]
+
+
+def cut_indices(frames: Sequence[Image], factor: float = 3.0, floor: float = 8.0) -> List[int]:
+    """Indices ``i`` where frame ``i`` starts a new shot.
+
+    A cut is declared where the consecutive-frame distance exceeds both
+    ``floor`` and ``factor`` times the median distance.
+    """
+    if len(frames) < 2:
+        return []
+    dists = np.asarray(frame_distances(frames))
+    med = float(np.median(dists))
+    threshold = max(floor, factor * med)
+    return [int(i) + 1 for i in np.nonzero(dists > threshold)[0]]

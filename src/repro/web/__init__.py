@@ -1,0 +1,21 @@
+"""A small JSON/HTTP facade over the retrieval system.
+
+The paper's system is "an interactive web based application" (Tomcat +
+JSP); this package provides the same two-role surface over stdlib
+``http.server``:
+
+- ``POST /admin/videos``     -- upload a video (RVF body) + metadata
+- ``DELETE /admin/videos/N`` -- delete a video
+- ``GET  /videos``           -- list stored videos
+- ``GET  /videos/N``         -- one video's metadata + key-frame ids
+- ``GET  /frames/N``         -- a key frame as a PPM image
+- ``POST /search``           -- query by frame (PPM body), ranked JSON out
+
+Authentication mirrors the paper's admin login: admin endpoints require the
+configured password in the ``X-Admin-Password`` header.
+"""
+
+from repro.web.api import ApiError, CbvrApi
+from repro.web.server import CbvrHttpServer, make_server
+
+__all__ = ["CbvrApi", "ApiError", "CbvrHttpServer", "make_server"]

@@ -1,0 +1,212 @@
+"""Transport-independent API layer.
+
+:class:`CbvrApi` maps (method, path, body, headers) requests onto the
+:class:`~repro.core.system.VideoRetrievalSystem`, returning status + JSON
+(or image bytes).  The HTTP server is a thin shell around it, and the tests
+drive this layer directly -- no sockets needed.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Dict, Optional, Tuple
+
+from repro.core.system import AuthenticationError, VideoRetrievalSystem
+from repro.db.errors import DatabaseError
+from repro.imaging.image import ImageFormatError, decode_image
+from repro.video.codec import RvfError, RvfReader
+
+__all__ = ["CbvrApi", "ApiError"]
+
+
+class ApiError(Exception):
+    """An error with an HTTP status code."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+Response = Tuple[int, str, bytes]  # (status, content_type, body)
+
+
+def _json_response(status: int, payload) -> Response:
+    return status, "application/json", json.dumps(payload).encode("utf-8")
+
+
+class CbvrApi:
+    """Routes requests onto a retrieval system."""
+
+    def __init__(self, system: VideoRetrievalSystem):
+        self.system = system
+
+    # -- entry point -----------------------------------------------------------
+
+    def handle(
+        self,
+        method: str,
+        path: str,
+        body: bytes = b"",
+        headers: Optional[Dict[str, str]] = None,
+        query: Optional[Dict[str, str]] = None,
+    ) -> Response:
+        headers = {k.lower(): v for k, v in (headers or {}).items()}
+        query = query or {}
+        try:
+            return self._route(method.upper(), path.rstrip("/") or "/", body, headers, query)
+        except ApiError as exc:
+            return _json_response(exc.status, {"error": exc.message})
+        except AuthenticationError as exc:
+            return _json_response(401, {"error": str(exc)})
+        except (DatabaseError, RvfError, ImageFormatError, ValueError, KeyError) as exc:
+            return _json_response(400, {"error": str(exc)})
+
+    def _route(self, method, path, body, headers, query) -> Response:
+        if method == "GET" and path == "/":
+            return _json_response(
+                200,
+                {
+                    "service": "cbvr",
+                    "videos": self.system.n_videos(),
+                    "key_frames": self.system.n_key_frames(),
+                },
+            )
+        if method == "GET" and path == "/videos":
+            return self._list_videos()
+        m = re.fullmatch(r"/videos/(\d+)", path)
+        if method == "GET" and m:
+            return self._get_video(int(m.group(1)))
+        m = re.fullmatch(r"/frames/(\d+)", path)
+        if method == "GET" and m:
+            return self._get_frame(int(m.group(1)), query.get("format", "ppm"))
+        if method == "GET" and path == "/ui":
+            return self._browse_page()
+        if method == "POST" and path == "/search":
+            return self._search(body, query)
+        if method == "POST" and path == "/admin/videos":
+            return self._admin_add(body, headers, query)
+        m = re.fullmatch(r"/admin/videos/(\d+)", path)
+        if method == "DELETE" and m:
+            return self._admin_delete(int(m.group(1)), headers)
+        raise ApiError(404, f"no route for {method} {path}")
+
+    # -- user endpoints ------------------------------------------------------------
+
+    def _list_videos(self) -> Response:
+        rows = self.system.list_videos()
+        videos = [
+            {
+                "v_id": r["V_ID"],
+                "name": r["V_NAME"],
+                "category": r["CATEGORY"],
+                "stored": str(r["DOSTORE"]) if r["DOSTORE"] else None,
+            }
+            for r in rows
+        ]
+        return _json_response(200, {"videos": videos})
+
+    def _get_video(self, video_id: int) -> Response:
+        records = self.system.key_frames_of(video_id)
+        if not records:
+            raise ApiError(404, f"no video {video_id}")
+        return _json_response(
+            200,
+            {
+                "v_id": video_id,
+                "name": records[0].video_name,
+                "category": records[0].category,
+                "key_frames": [r.frame_id for r in records],
+            },
+        )
+
+    def _get_frame(self, frame_id: int, fmt: str = "ppm") -> Response:
+        try:
+            image = self.system.get_key_frame(frame_id)
+        except KeyError:
+            raise ApiError(404, f"no key frame {frame_id}") from None
+        fmt = fmt.lower()
+        if fmt == "bmp":  # browser-renderable; used by the /ui browse page
+            return 200, "image/bmp", image.encode("bmp")
+        if fmt in ("ppm", "pgm"):
+            return 200, "image/x-portable-pixmap", image.encode(fmt)
+        raise ApiError(400, f"unsupported image format {fmt!r}")
+
+    def _browse_page(self) -> Response:
+        """A minimal HTML browse page (the paper's Fig. 9 result screen)."""
+        import html
+
+        parts = [
+            "<!DOCTYPE html><html><head><title>CBVR library</title>",
+            "<style>body{font-family:sans-serif;margin:2em}"
+            ".video{margin-bottom:1.5em}.thumbs img{margin-right:6px;"
+            "border:1px solid #999}</style></head><body>",
+            f"<h1>CBVR library</h1><p>{self.system.n_videos()} videos, "
+            f"{self.system.n_key_frames()} key frames. POST an image to "
+            "<code>/search</code> to query.</p>",
+        ]
+        for row in self.system.list_videos():
+            v_id = row["V_ID"]
+            name = html.escape(str(row["V_NAME"]))
+            category = html.escape(str(row["CATEGORY"]))
+            thumbs = "".join(
+                f'<img src="/frames/{r.frame_id}?format=bmp" '
+                f'alt="frame {r.frame_id}" height="72">'
+                for r in self.system.key_frames_of(v_id)
+            )
+            parts.append(
+                f'<div class="video"><h3>#{v_id} {name} '
+                f"<small>[{category}]</small></h3>"
+                f'<div class="thumbs">{thumbs}</div></div>'
+            )
+        parts.append("</body></html>")
+        return 200, "text/html; charset=utf-8", "".join(parts).encode("utf-8")
+
+    def _search(self, body: bytes, query: Dict[str, str]) -> Response:
+        if not body:
+            raise ApiError(400, "search requires an image body (PPM/PGM/BMP)")
+        image = decode_image(body)
+        top_k = int(query.get("top_k", "20"))
+        features = query.get("features")
+        feature_list = features.split(",") if features else None
+        results = self.system.search(image, features=feature_list, top_k=top_k)
+        return _json_response(
+            200,
+            {
+                "n_candidates": results.n_candidates,
+                "results": results.to_rows(),
+            },
+        )
+
+    # -- admin endpoints --------------------------------------------------------------
+
+    def _admin(self, headers: Dict[str, str]):
+        return self.system.login_admin(headers.get("x-admin-password"))
+
+    def _admin_add(self, body: bytes, headers, query) -> Response:
+        admin = self._admin(headers)
+        if not body:
+            raise ApiError(400, "upload requires an RVF video body")
+        name = query.get("name")
+        if not name:
+            raise ApiError(400, "upload requires a ?name= parameter")
+        frames = list(RvfReader(body))
+        report = admin.add_video(frames, name=name, category=query.get("category"))
+        return _json_response(
+            201,
+            {
+                "v_id": report.video_id,
+                "name": report.video_name,
+                "n_frames": report.n_frames,
+                "key_frames": report.keyframe_ids,
+            },
+        )
+
+    def _admin_delete(self, video_id: int, headers) -> Response:
+        admin = self._admin(headers)
+        try:
+            removed = admin.delete_video(video_id)
+        except DatabaseError:
+            raise ApiError(404, f"no video {video_id}") from None
+        return _json_response(200, {"v_id": video_id, "removed_frames": removed})

@@ -1,0 +1,88 @@
+"""stdlib HTTP shell around :class:`~repro.web.api.CbvrApi`.
+
+Run the demo server with::
+
+    python -m repro.web.server            # in-memory demo corpus
+    python examples/web_demo.py           # scripted end-to-end demo
+
+The server is single-purpose and synchronous (ThreadingHTTPServer), which
+is all the paper's interactive demo needs.
+"""
+
+from __future__ import annotations
+
+import urllib.parse
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from repro.core.system import VideoRetrievalSystem
+from repro.web.api import CbvrApi
+
+__all__ = ["CbvrHttpServer", "make_server"]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    api: CbvrApi = None  # injected by make_server
+
+    # quiet the default stderr chatter
+    def log_message(self, fmt, *args):  # pragma: no cover - logging
+        pass
+
+    def _dispatch(self, method: str) -> None:
+        parsed = urllib.parse.urlsplit(self.path)
+        query = dict(urllib.parse.parse_qsl(parsed.query))
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        body = self.rfile.read(length) if length else b""
+        status, content_type, payload = self.api.handle(
+            method, parsed.path, body=body, headers=dict(self.headers), query=query
+        )
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def do_GET(self):  # noqa: N802 (http.server API)
+        self._dispatch("GET")
+
+    def do_POST(self):  # noqa: N802
+        self._dispatch("POST")
+
+    def do_DELETE(self):  # noqa: N802
+        self._dispatch("DELETE")
+
+
+class CbvrHttpServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer bound to one CbvrApi."""
+
+    daemon_threads = True
+
+
+def make_server(
+    system: VideoRetrievalSystem, host: str = "127.0.0.1", port: int = 0
+) -> Tuple[CbvrHttpServer, int]:
+    """Build a server for ``system``; returns ``(server, bound_port)``.
+
+    ``port=0`` picks a free port.  Call ``server.serve_forever()`` (or
+    ``handle_request()`` in tests) to serve.
+    """
+    handler = type("BoundHandler", (_Handler,), {"api": CbvrApi(system)})
+    server = CbvrHttpServer((host, port), handler)
+    return server, server.server_address[1]
+
+
+def _demo(port: int = 8765) -> None:  # pragma: no cover - manual entry point
+    from repro.video.generator import make_corpus
+
+    system = VideoRetrievalSystem.in_memory()
+    admin = system.login_admin()
+    for video in make_corpus(videos_per_category=2, seed=7, n_shots=2, frames_per_shot=6):
+        admin.add_video(video)
+    server, bound = make_server(system, port=port)
+    print(f"CBVR demo server on http://127.0.0.1:{bound} "
+          f"({system.n_videos()} videos, {system.n_key_frames()} key frames)")
+    server.serve_forever()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    _demo()

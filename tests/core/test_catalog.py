@@ -1,0 +1,47 @@
+"""Schema bootstrap tests."""
+
+from repro.core.catalog import FEATURE_COLUMNS, bootstrap, is_bootstrapped
+from repro.db import Database
+from repro.db.types import BLOB, DATE, NUMBER, ORD_IMAGE, ORD_VIDEO, VARCHAR2
+
+
+class TestBootstrap:
+    def test_creates_both_tables(self):
+        db = Database()
+        assert not is_bootstrapped(db)
+        bootstrap(db)
+        assert is_bootstrapped(db)
+        assert set(db.table_names()) == {"KEY_FRAMES", "VIDEO_STORE"}
+
+    def test_idempotent(self):
+        db = Database()
+        bootstrap(db)
+        bootstrap(db)  # must not raise
+        assert is_bootstrapped(db)
+
+    def test_video_store_schema_matches_paper(self):
+        db = Database()
+        bootstrap(db)
+        schema = db.schema_of("VIDEO_STORE")
+        assert schema.primary_key == ["V_ID"]
+        assert isinstance(schema.column("V_ID").sql_type, NUMBER)
+        assert isinstance(schema.column("V_NAME").sql_type, VARCHAR2)
+        assert isinstance(schema.column("VIDEO").sql_type, ORD_VIDEO)
+        assert isinstance(schema.column("STREAM").sql_type, BLOB)
+        assert isinstance(schema.column("DOSTORE").sql_type, DATE)
+
+    def test_key_frames_schema(self):
+        db = Database()
+        bootstrap(db)
+        schema = db.schema_of("KEY_FRAMES")
+        assert schema.primary_key == ["I_ID"]
+        assert isinstance(schema.column("IMAGE").sql_type, ORD_IMAGE)
+        for column in FEATURE_COLUMNS.values():
+            assert schema.has_column(column)
+        assert schema.has_column("MIN") and schema.has_column("MAX")
+        assert schema.has_column("MAJORREGIONS")
+
+    def test_v_id_secondary_index_built(self):
+        db = Database()
+        bootstrap(db)
+        assert db.tables["KEY_FRAMES"].has_index("V_ID")

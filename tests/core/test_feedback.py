@@ -1,0 +1,131 @@
+"""Relevance feedback tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.feedback import FeedbackSession, rocchio_move, separation_weights
+from repro.features.base import FeatureVector
+
+
+def _fv(*values):
+    return FeatureVector(kind="x", values=np.array(values, dtype=np.float64))
+
+
+class TestRocchioMove:
+    def test_no_marks_scaled_query(self):
+        moved = rocchio_move(_fv(2.0, 4.0), [], [], alpha=1.0)
+        assert np.allclose(moved.values, [2.0, 4.0])
+
+    def test_moves_toward_relevant(self):
+        q = _fv(0.0, 0.0)
+        moved = rocchio_move(q, [_fv(4.0, 0.0), _fv(8.0, 0.0)], [], beta=0.5)
+        assert np.allclose(moved.values, [3.0, 0.0])
+
+    def test_moves_away_from_irrelevant_clipped(self):
+        q = _fv(1.0, 1.0)
+        moved = rocchio_move(q, [], [_fv(10.0, 0.0)], gamma=0.5)
+        assert np.allclose(moved.values, [0.0, 1.0])  # clipped at zero
+
+    def test_kind_and_tag_preserved(self):
+        q = FeatureVector(kind="sch", values=np.ones(3), tag="RGB")
+        moved = rocchio_move(q, [q], [])
+        assert moved.kind == "sch" and moved.tag == "RGB"
+
+
+class TestSeparationWeights:
+    def test_good_separator_upweighted(self):
+        w = separation_weights({"f": [1.0, 1.0]}, {"f": [5.0, 7.0]})
+        assert w["f"] == pytest.approx(6.0)
+
+    def test_bad_separator_downweighted(self):
+        w = separation_weights({"f": [6.0]}, {"f": [2.0]})
+        assert w["f"] == pytest.approx(1 / 3)
+
+    def test_single_class_neutral(self):
+        assert separation_weights({"f": [1.0]}, {"f": []})["f"] == 1.0
+        assert separation_weights({"f": []}, {"f": [1.0]})["f"] == 1.0
+
+    def test_clipping(self):
+        w = separation_weights({"f": [1e-3]}, {"f": [1e6]})
+        assert w["f"] == 10.0
+        w = separation_weights({"f": [1e6]}, {"f": [1e-3]})
+        assert w["f"] == 0.1
+
+    def test_zero_relevant_distance_gets_ceiling(self):
+        assert separation_weights({"f": [0.0]}, {"f": [1.0]})["f"] == 10.0
+
+
+class TestFeedbackSession:
+    @pytest.fixture()
+    def session(self, ingested_system, small_corpus):
+        query = small_corpus[0].frames[0]
+        return FeedbackSession(ingested_system, query)
+
+    def test_initial_search_matches_plain_search(self, session, ingested_system, small_corpus):
+        plain = ingested_system.search(small_corpus[0].frames[0], top_k=5, use_index=False)
+        via_session = session.search(top_k=5)
+        assert via_session.frame_ids() == plain.frame_ids()
+
+    def test_refine_requires_marks(self, session):
+        with pytest.raises(ValueError):
+            session.refine()
+
+    def test_mark_unknown_frame(self, session):
+        with pytest.raises(KeyError):
+            session.mark_relevant(9999)
+
+    def test_marks_are_exclusive(self, session, ingested_system):
+        fid = ingested_system._store.frame_ids()[0]
+        session.mark_relevant(fid)
+        session.mark_irrelevant(fid)
+        assert session.n_marked == 1
+        assert fid in session._irrelevant and fid not in session._relevant
+
+    def test_refine_runs_and_counts_rounds(self, session, ingested_system, ground_truth):
+        results = session.search(top_k=10)
+        # mark by ground truth: same-category relevant, others irrelevant
+        qcat = "elearning"
+        for hit in results[:6]:
+            if hit.category == qcat:
+                session.mark_relevant(hit.frame_id)
+            else:
+                session.mark_irrelevant(hit.frame_id)
+        refined = session.refine(top_k=10)
+        assert session.rounds == 1
+        assert len(refined) > 0
+
+    def test_feedback_improves_or_holds_precision(self, ingested_system, ground_truth, small_corpus):
+        """Across several queries, one round of truthful feedback must not
+        hurt mean precision@5 (and usually helps)."""
+        from repro.eval.metrics import precision_at_k
+
+        base_ps, fb_ps = [], []
+        for video in small_corpus[::2]:
+            query = video.frames[-1]
+            session = FeedbackSession(ingested_system, query)
+            first = session.search(top_k=10)
+            if len(first) < 6:
+                continue
+            for hit in first[:6]:
+                if hit.category == video.category:
+                    session.mark_relevant(hit.frame_id)
+                else:
+                    session.mark_irrelevant(hit.frame_id)
+            try:
+                refined = session.refine(top_k=10)
+            except ValueError:
+                continue
+            rel_first = [h.category == video.category for h in first[:5]]
+            rel_ref = [h.category == video.category for h in refined[:5]]
+            base_ps.append(precision_at_k(rel_first, 5))
+            fb_ps.append(precision_at_k(rel_ref, 5))
+        assert base_ps, "no queries executed"
+        assert np.mean(fb_ps) >= np.mean(base_ps) - 0.05
+
+    def test_weights_adapt(self, session, ingested_system):
+        results = session.search(top_k=8)
+        session.mark_relevant(results[1].frame_id)
+        session.mark_irrelevant(results[-1].frame_id)
+        before = dict(session.weights)
+        session.refine()
+        assert session.weights != before

@@ -1,0 +1,94 @@
+"""Motion-aware video retrieval tests (extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.system import VideoRetrievalSystem
+from repro.video.generator import VideoSpec, generate_video
+from repro.video.motion import MOTION_DIMS
+
+
+@pytest.fixture(scope="module")
+def motion_system(small_corpus):
+    config = SystemConfig(video_motion_weight=0.5)
+    system = VideoRetrievalSystem.in_memory(config)
+    admin = system.login_admin()
+    for v in small_corpus:
+        admin.add_video(v)
+    return system
+
+
+class TestMotionStorage:
+    def test_motion_column_written(self, motion_system):
+        text = motion_system.db.execute(
+            "SELECT MOTION FROM VIDEO_STORE WHERE V_ID = 1"
+        ).scalar()
+        assert text.startswith("MOTION 12 ")
+
+    def test_store_holds_descriptor(self, motion_system):
+        desc = motion_system._store.video_motion(1)
+        assert desc is not None
+        assert len(desc) == MOTION_DIMS
+
+    def test_descriptor_survives_reopen(self, tmp_path, small_corpus):
+        path = str(tmp_path / "m.rdb")
+        s = VideoRetrievalSystem.open(path)
+        s.admin.add_video(small_corpus[0])
+        original = s._store.video_motion(1)
+        s.close()
+        s2 = VideoRetrievalSystem.open(path)
+        reloaded = s2._store.video_motion(1)
+        assert reloaded is not None
+        assert np.allclose(reloaded.values, original.values)
+        s2.close()
+
+    def test_single_frame_clip_gets_zero_motion(self):
+        from repro.imaging.image import Image
+
+        s = VideoRetrievalSystem.in_memory()
+        s.admin.add_video([Image.blank(32, 24, (9, 9, 9))], name="still")
+        assert np.all(s._store.video_motion(1).values == 0)
+
+    def test_deleted_video_motion_dropped(self, small_corpus):
+        s = VideoRetrievalSystem.in_memory()
+        s.admin.add_video(small_corpus[0])
+        s.admin.delete_video(1)
+        assert s._store.video_motion(1) is None
+
+
+class TestMotionBlendedSearch:
+    def test_blend_changes_distances_not_validity(self, motion_system, small_corpus):
+        clip = small_corpus[2]  # a stored sports video queried against itself
+        matches = motion_system.search_by_video(clip, top_k=5)
+        assert matches[0].video_name == clip.name  # self still ranks first
+        assert all(0.0 <= m.distance <= 1.0 + 1e-9 for m in matches)
+
+    def test_zero_weight_is_appearance_only(self, small_corpus):
+        plain = VideoRetrievalSystem.in_memory(SystemConfig(video_motion_weight=0.0))
+        for v in small_corpus[:4]:
+            plain.admin.add_video(v)
+        clip = generate_video(
+            VideoSpec(category="sports", seed=606, n_shots=2, frames_per_shot=5)
+        )
+        a = plain.search_by_video(clip, top_k=4)
+        b = plain.search_by_video(clip, top_k=4)
+        assert [m.video_id for m in a] == [m.video_id for m in b]
+
+    def test_motion_weight_affects_ranking_scores(self, small_corpus):
+        clip = generate_video(
+            VideoSpec(category="cartoon", seed=707, n_shots=2, frames_per_shot=5)
+        )
+        results = {}
+        for w in (0.0, 1.0):
+            s = VideoRetrievalSystem.in_memory(SystemConfig(video_motion_weight=w))
+            for v in small_corpus[:6]:
+                s.admin.add_video(v)
+            results[w] = s.search_by_video(clip, top_k=6)
+        d0 = [m.distance for m in results[0.0]]
+        d1 = [m.distance for m in results[1.0]]
+        assert d0 != d1  # the blend really participates
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            SystemConfig(video_motion_weight=-1.0)

@@ -1,0 +1,126 @@
+"""Search engine tests (frame queries, video queries, feature selection)."""
+
+import pytest
+
+from repro.video.generator import VideoSpec, generate_video
+
+
+class TestFrameQuery:
+    def test_exact_frame_ranks_first(self, ingested_system):
+        query = ingested_system.get_key_frame(1)
+        results = ingested_system.search(query, top_k=5)
+        assert results[0].frame_id == 1
+        assert results[0].distance == pytest.approx(0.0, abs=1e-9)
+
+    def test_top_k_respected(self, ingested_system):
+        query = ingested_system.any_key_frame()
+        assert len(ingested_system.search(query, top_k=3)) <= 3
+
+    def test_results_sorted_ascending(self, ingested_system):
+        query = ingested_system.any_key_frame()
+        results = ingested_system.search(query, top_k=20, use_index=False)
+        distances = [h.distance for h in results]
+        assert distances == sorted(distances)
+
+    def test_single_feature_query(self, ingested_system):
+        query = ingested_system.any_key_frame()
+        results = ingested_system.search(query, features="gabor", top_k=5)
+        assert all(set(h.per_feature) == {"gabor"} for h in results)
+
+    def test_combined_populates_all_features(self, ingested_system):
+        query = ingested_system.any_key_frame()
+        results = ingested_system.search(query, top_k=3)
+        expected = set(ingested_system.config.features)
+        assert all(set(h.per_feature) == expected for h in results)
+
+    def test_unknown_feature_rejected(self, ingested_system):
+        with pytest.raises(ValueError):
+            ingested_system.search(ingested_system.any_key_frame(), features=["sift"])
+
+    def test_empty_feature_list_rejected(self, ingested_system):
+        with pytest.raises(ValueError):
+            ingested_system.search(ingested_system.any_key_frame(), features=[])
+
+    def test_index_prunes_candidates(self, ingested_system):
+        query = ingested_system.any_key_frame()
+        with_index = ingested_system.search(query, top_k=100, use_index=True)
+        without = ingested_system.search(query, top_k=100, use_index=False)
+        assert with_index.n_candidates <= without.n_candidates
+        assert without.n_candidates == ingested_system.n_key_frames()
+        assert without.pruning_fraction == 0.0
+
+    def test_index_keeps_exact_match(self, ingested_system):
+        # the query IS a stored frame: pruning must never lose it
+        for fid in ingested_system._store.frame_ids()[:5]:
+            query = ingested_system.get_key_frame(fid)
+            results = ingested_system.search(query, top_k=1, use_index=True)
+            assert results[0].frame_id == fid
+
+    def test_same_category_preferred(self, ingested_system, small_corpus):
+        """Search with fresh frames (not stored): majority of top-3 should
+        share the query's category -- the paper's core claim in miniature."""
+        hits = 0
+        total = 0
+        for video in small_corpus:
+            query = video.frames[-1]
+            results = ingested_system.search(query, top_k=3, use_index=False)
+            total += len(results)
+            hits += sum(1 for h in results if h.category == video.category)
+        assert hits / total > 0.6
+
+    def test_empty_system(self):
+        from repro.core.system import VideoRetrievalSystem
+        from repro.imaging.image import Image
+
+        s = VideoRetrievalSystem.in_memory()
+        results = s.search(Image.blank(32, 24, (5, 5, 5)), top_k=5)
+        assert len(results) == 0
+
+
+class TestVideoQuery:
+    def test_stored_video_matches_itself(self, ingested_system, small_corpus):
+        matches = ingested_system.search_by_video(small_corpus[0], top_k=3)
+        assert matches[0].video_name == small_corpus[0].name
+        assert matches[0].distance == pytest.approx(0.0, abs=1e-6)
+
+    def test_fresh_clip_finds_its_category(self, ingested_system):
+        clip = generate_video(
+            VideoSpec(category="news", seed=4242, n_shots=2, frames_per_shot=5)
+        )
+        matches = ingested_system.search_by_video(clip, top_k=3)
+        assert any(m.category == "news" for m in matches)
+
+    def test_top_k(self, ingested_system, small_corpus):
+        assert len(ingested_system.search_by_video(small_corpus[0], top_k=2)) == 2
+
+    def test_empty_query_rejected(self, ingested_system):
+        with pytest.raises(ValueError):
+            ingested_system.search_by_video([])
+
+    def test_align_method(self, small_corpus):
+        from repro.core.config import SystemConfig
+        from repro.core.system import VideoRetrievalSystem
+
+        s = VideoRetrievalSystem.in_memory(SystemConfig(sequence_method="align"))
+        s.admin.add_video(small_corpus[0])
+        s.admin.add_video(small_corpus[4])
+        matches = s.search_by_video(small_corpus[0], top_k=2)
+        assert matches[0].video_name == small_corpus[0].name
+
+
+class TestResultsContainer:
+    def test_video_ids_deduplicated(self, ingested_system):
+        results = ingested_system.search(ingested_system.any_key_frame(), top_k=50, use_index=False)
+        vids = results.video_ids()
+        assert len(vids) == len(set(vids))
+
+    def test_to_rows_shape(self, ingested_system):
+        results = ingested_system.search(ingested_system.any_key_frame(), top_k=2)
+        rows = results.to_rows()
+        assert rows[0]["rank"] == 1
+        assert {"frame_id", "video", "category", "distance"} <= set(rows[0])
+
+    def test_metadata_search(self, ingested_system):
+        rows = ingested_system.search_by_name("%_000")
+        assert len(rows) == 5  # one per category
+        assert all(r["V_NAME"].endswith("_000") for r in rows)

@@ -1,0 +1,74 @@
+"""FeatureStore tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.store import FeatureStore, FrameRecord
+from repro.features.base import FeatureVector
+from repro.indexing.rangefinder import Bucket
+
+
+def _record(frame_id, video_id=1, category="sports"):
+    return FrameRecord(
+        frame_id=frame_id,
+        video_id=video_id,
+        video_name=f"v{video_id}",
+        frame_name=f"f{frame_id}",
+        category=category,
+        bucket=Bucket(0, 127),
+        features={"sch": FeatureVector(kind="sch", values=np.ones(4))},
+    )
+
+
+class TestStore:
+    def test_add_and_get(self):
+        store = FeatureStore()
+        store.add(_record(1))
+        assert 1 in store and len(store) == 1
+        assert store.get(1).frame_name == "f1"
+
+    def test_duplicate_id_rejected(self):
+        store = FeatureStore()
+        store.add(_record(1))
+        with pytest.raises(KeyError):
+            store.add(_record(1))
+
+    def test_frames_of_video_ordered(self):
+        store = FeatureStore()
+        store.add(_record(5, video_id=2))
+        store.add(_record(3, video_id=2))
+        store.add(_record(9, video_id=1))
+        assert [r.frame_id for r in store.frames_of_video(2)] == [3, 5]
+        assert store.video_ids() == [1, 2]
+
+    def test_remove_video(self):
+        store = FeatureStore()
+        store.add(_record(1, video_id=1))
+        store.add(_record(2, video_id=1))
+        store.add(_record(3, video_id=2))
+        removed = store.remove_video(1)
+        assert sorted(removed) == [1, 2]
+        assert len(store) == 1
+        assert store.frames_of_video(1) == []
+
+    def test_clear(self):
+        store = FeatureStore()
+        store.add(_record(1))
+        store.clear()
+        assert len(store) == 0
+
+    def test_rebuild_from_db_matches_live_store(self, ingested_system):
+        rebuilt = FeatureStore()
+        rebuilt.rebuild_from_db(
+            ingested_system.db, list(ingested_system.config.features)
+        )
+        live = ingested_system._store
+        assert rebuilt.frame_ids() == live.frame_ids()
+        for fid in live.frame_ids():
+            a, b = live.get(fid), rebuilt.get(fid)
+            assert a.video_id == b.video_id
+            assert a.category == b.category
+            assert a.bucket == b.bucket
+            assert set(a.features) == set(b.features)
+            for kind in a.features:
+                assert np.allclose(a.features[kind].values, b.features[kind].values)

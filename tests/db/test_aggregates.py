@@ -1,0 +1,80 @@
+"""SQL aggregate tests (COUNT/MIN/MAX/SUM/AVG)."""
+
+import pytest
+
+from repro.db import Database
+from repro.db.errors import CatalogError, DatabaseError, SqlSyntaxError
+
+
+@pytest.fixture()
+def db():
+    d = Database()
+    d.execute("CREATE TABLE T (ID NUMBER PRIMARY KEY, NAME VARCHAR2(20), SCORE NUMBER)")
+    d.execute("INSERT INTO T (ID, NAME, SCORE) VALUES (1, 'a', 10)")
+    d.execute("INSERT INTO T (ID, NAME, SCORE) VALUES (2, 'b', 30)")
+    d.execute("INSERT INTO T (ID, NAME) VALUES (3, 'c')")  # NULL score
+    return d
+
+
+class TestCount:
+    def test_count_star(self, db):
+        assert db.execute("SELECT COUNT(*) FROM T").scalar() == 3
+
+    def test_count_star_with_where(self, db):
+        assert db.execute("SELECT COUNT(*) FROM T WHERE ID > 1").scalar() == 2
+
+    def test_count_column_skips_nulls(self, db):
+        assert db.execute("SELECT COUNT(SCORE) FROM T").scalar() == 2
+
+    def test_count_empty(self, db):
+        assert db.execute("SELECT COUNT(*) FROM T WHERE ID > 99").scalar() == 0
+
+    def test_result_label(self, db):
+        row = db.execute("SELECT COUNT(*) FROM T").rows[0]
+        assert list(row) == ["COUNT(*)"]
+
+
+class TestMinMaxSumAvg:
+    def test_min_max(self, db):
+        assert db.execute("SELECT MIN(SCORE) FROM T").scalar() == 10
+        assert db.execute("SELECT MAX(SCORE) FROM T").scalar() == 30
+
+    def test_min_on_strings(self, db):
+        assert db.execute("SELECT MIN(NAME) FROM T").scalar() == "a"
+
+    def test_sum_avg(self, db):
+        assert db.execute("SELECT SUM(SCORE) FROM T").scalar() == 40
+        assert db.execute("SELECT AVG(SCORE) FROM T").scalar() == pytest.approx(20.0)
+
+    def test_empty_set_is_null(self, db):
+        assert db.execute("SELECT MAX(SCORE) FROM T WHERE ID > 99").scalar() is None
+        assert db.execute("SELECT SUM(SCORE) FROM T WHERE ID > 99").scalar() is None
+
+    def test_sum_requires_numbers(self, db):
+        with pytest.raises(DatabaseError):
+            db.execute("SELECT SUM(NAME) FROM T")
+
+    def test_unknown_column(self, db):
+        with pytest.raises(CatalogError):
+            db.execute("SELECT MAX(BOGUS) FROM T")
+
+
+class TestSyntax:
+    def test_star_only_for_count(self, db):
+        with pytest.raises(SqlSyntaxError):
+            db.execute("SELECT MAX(*) FROM T")
+
+    def test_no_order_by_with_aggregate(self, db):
+        with pytest.raises(SqlSyntaxError):
+            db.execute("SELECT COUNT(*) FROM T ORDER BY ID")
+
+    def test_no_limit_with_aggregate(self, db):
+        with pytest.raises(SqlSyntaxError):
+            db.execute("SELECT COUNT(*) FROM T LIMIT 1")
+
+    def test_count_as_plain_ident_still_works(self, db):
+        # a column actually named COUNT must still be selectable
+        d = Database()
+        d.execute("CREATE TABLE C (COUNT NUMBER)")
+        d.execute("INSERT INTO C (COUNT) VALUES (7)")
+        assert d.execute("SELECT COUNT FROM C").scalar() == 7

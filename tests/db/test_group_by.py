@@ -1,0 +1,106 @@
+"""GROUP BY tests."""
+
+import pytest
+
+from repro.db import Database
+from repro.db.errors import SqlSyntaxError
+
+
+@pytest.fixture()
+def db():
+    d = Database()
+    d.execute("CREATE TABLE KF (I_ID NUMBER PRIMARY KEY, V_ID NUMBER, SIZE NUMBER)")
+    rows = [
+        (1, 10, 100), (2, 10, 200), (3, 10, None),
+        (4, 20, 50), (5, 20, 150),
+        (6, 30, 75),
+    ]
+    for i_id, v_id, size in rows:
+        d.execute("INSERT INTO KF (I_ID, V_ID, SIZE) VALUES (?, ?, ?)", (i_id, v_id, size))
+    return d
+
+
+class TestGroupBy:
+    def test_count_per_group(self, db):
+        rows = db.execute(
+            "SELECT V_ID, COUNT(*) FROM KF GROUP BY V_ID ORDER BY V_ID"
+        ).rows
+        assert rows == [
+            {"V_ID": 10, "COUNT(*)": 3},
+            {"V_ID": 20, "COUNT(*)": 2},
+            {"V_ID": 30, "COUNT(*)": 1},
+        ]
+
+    def test_count_column_skips_nulls_per_group(self, db):
+        rows = db.execute(
+            "SELECT V_ID, COUNT(SIZE) FROM KF GROUP BY V_ID ORDER BY V_ID"
+        ).rows
+        assert [r["COUNT(SIZE)"] for r in rows] == [2, 2, 1]
+
+    def test_sum_and_avg(self, db):
+        rows = db.execute(
+            "SELECT V_ID, SUM(SIZE) FROM KF GROUP BY V_ID ORDER BY V_ID"
+        ).rows
+        assert [r["SUM(SIZE)"] for r in rows] == [300, 200, 75]
+        rows = db.execute(
+            "SELECT V_ID, AVG(SIZE) FROM KF GROUP BY V_ID ORDER BY V_ID"
+        ).rows
+        assert rows[0]["AVG(SIZE)"] == pytest.approx(150.0)
+
+    def test_where_filters_before_grouping(self, db):
+        rows = db.execute(
+            "SELECT V_ID, COUNT(*) FROM KF WHERE SIZE > 90 GROUP BY V_ID ORDER BY V_ID"
+        ).rows
+        assert rows == [
+            {"V_ID": 10, "COUNT(*)": 2},
+            {"V_ID": 20, "COUNT(*)": 1},
+        ]
+
+    def test_order_desc_and_limit(self, db):
+        rows = db.execute(
+            "SELECT V_ID, COUNT(*) FROM KF GROUP BY V_ID ORDER BY V_ID DESC LIMIT 2"
+        ).rows
+        assert [r["V_ID"] for r in rows] == [30, 20]
+
+    def test_aggregate_only_projection(self, db):
+        rows = db.execute(
+            "SELECT COUNT(*) FROM KF GROUP BY V_ID ORDER BY V_ID"
+        ).rows
+        assert [list(r) for r in rows] == [["V_ID", "COUNT(*)"]] * 3
+
+    def test_empty_result(self, db):
+        rows = db.execute(
+            "SELECT V_ID, COUNT(*) FROM KF WHERE V_ID = 99 GROUP BY V_ID"
+        ).rows
+        assert rows == []
+
+
+class TestGroupBySyntax:
+    def test_plain_column_without_group_by_rejected(self, db):
+        with pytest.raises(SqlSyntaxError):
+            db.execute("SELECT V_ID, COUNT(*) FROM KF")
+
+    def test_group_by_without_aggregate_rejected(self, db):
+        with pytest.raises(SqlSyntaxError):
+            db.execute("SELECT V_ID FROM KF GROUP BY V_ID")
+
+    def test_selected_column_must_be_grouped(self, db):
+        with pytest.raises(SqlSyntaxError):
+            db.execute("SELECT SIZE, COUNT(*) FROM KF GROUP BY V_ID")
+
+    def test_order_by_must_use_group_columns(self, db):
+        with pytest.raises(SqlSyntaxError):
+            db.execute("SELECT V_ID, COUNT(*) FROM KF GROUP BY V_ID ORDER BY SIZE")
+
+    def test_two_aggregates_rejected(self, db):
+        with pytest.raises(SqlSyntaxError):
+            db.execute("SELECT COUNT(*), SUM(SIZE) FROM KF GROUP BY V_ID")
+
+    def test_system_usage(self, ingested_system):
+        """The real KEY_FRAMES table: key frames per video."""
+        rows = ingested_system.db.execute(
+            "SELECT V_ID, COUNT(*) FROM KEY_FRAMES GROUP BY V_ID ORDER BY V_ID"
+        ).rows
+        assert len(rows) == ingested_system.n_videos()
+        total = sum(r["COUNT(*)"] for r in rows)
+        assert total == ingested_system.n_key_frames()

@@ -1,0 +1,209 @@
+"""SQL tokenizer and parser tests."""
+
+import pytest
+
+from repro.db import sql
+from repro.db.errors import SqlSyntaxError
+from repro.db.types import NUMBER, ORD_VIDEO, VARCHAR2
+
+
+class TestTokenizer:
+    def test_basic_kinds(self):
+        toks = sql.tokenize("SELECT x FROM t WHERE y = 3.5")
+        kinds = [t.kind for t in toks]
+        assert kinds == ["ident", "ident", "ident", "ident", "ident", "ident", "op", "number"]
+
+    def test_idents_uppercased(self):
+        toks = sql.tokenize('select "MyCol" from tbl')
+        assert toks[1].value == "MYCOL"
+        assert toks[0].value == "SELECT"
+
+    def test_string_with_escaped_quote(self):
+        toks = sql.tokenize("SELECT x FROM t WHERE n = 'it''s'")
+        assert toks[-1].kind == "string"
+        assert toks[-1].value == "'it''s'"
+
+    def test_comments_skipped(self):
+        toks = sql.tokenize("SELECT x -- trailing comment\nFROM t")
+        assert [t.value for t in toks] == ["SELECT", "X", "FROM", "T"]
+
+    def test_negative_number(self):
+        toks = sql.tokenize("WHERE x = -5")
+        assert toks[-1].kind == "number" and toks[-1].value == "-5"
+
+    def test_unexpected_char(self):
+        with pytest.raises(SqlSyntaxError):
+            sql.tokenize("SELECT @ FROM t")
+
+
+class TestCreateTable:
+    def test_paper_ddl_verbatim(self):
+        stmt, n = sql.parse('''CREATE TABLE  "VIDEO_STORE"
+           ( "V_ID" NUMBER NOT NULL ENABLE,
+         "V_NAME" VARCHAR2(60),
+         "VIDEO" ORD_ Video,
+         "STREAM" BLOB,
+         "DOSTORE" DATE,
+         PRIMARY KEY ("V_ID") ENABLE
+           )''')
+        assert n == 0
+        schema = stmt.schema
+        assert schema.name == "VIDEO_STORE"
+        assert schema.primary_key == ["V_ID"]
+        assert isinstance(schema.column("V_NAME").sql_type, VARCHAR2)
+        assert schema.column("V_NAME").sql_type.max_length == 60
+        assert isinstance(schema.column("VIDEO").sql_type, ORD_VIDEO)
+        assert not schema.column("V_ID").nullable
+
+    def test_inline_primary_key(self):
+        stmt, _ = sql.parse("CREATE TABLE T (ID NUMBER PRIMARY KEY, X NUMBER)")
+        assert stmt.schema.primary_key == ["ID"]
+
+    def test_composite_primary_key(self):
+        stmt, _ = sql.parse("CREATE TABLE T (A NUMBER, B NUMBER, PRIMARY KEY (A, B))")
+        assert stmt.schema.primary_key == ["A", "B"]
+
+    def test_pk_references_unknown_column(self):
+        with pytest.raises(SqlSyntaxError):
+            sql.parse("CREATE TABLE T (A NUMBER, PRIMARY KEY (B))")
+
+    def test_unknown_type(self):
+        with pytest.raises(SqlSyntaxError):
+            sql.parse("CREATE TABLE T (A GEOGRAPHY)")
+
+    def test_ddl_roundtrip(self):
+        stmt, _ = sql.parse(
+            "CREATE TABLE T (ID NUMBER PRIMARY KEY, N VARCHAR2(10) NOT NULL, B BLOB)"
+        )
+        stmt2, _ = sql.parse(stmt.schema.render_ddl())
+        assert stmt2.schema == stmt.schema
+
+
+class TestInsert:
+    def test_with_columns_and_params(self):
+        stmt, n = sql.parse("INSERT INTO T (A, B) VALUES (?, ?)")
+        assert n == 2
+        assert stmt.columns == ("A", "B")
+        assert stmt.values == (sql.Param(0), sql.Param(1))
+
+    def test_without_columns(self):
+        stmt, _ = sql.parse("INSERT INTO T VALUES (1, 'x', NULL)")
+        assert stmt.columns == ()
+        assert stmt.values == (sql.Literal(1), sql.Literal("x"), sql.Literal(None))
+
+    def test_count_mismatch(self):
+        with pytest.raises(SqlSyntaxError):
+            sql.parse("INSERT INTO T (A, B) VALUES (1)")
+
+    def test_string_escape(self):
+        stmt, _ = sql.parse("INSERT INTO T (A) VALUES ('it''s')")
+        assert stmt.values[0] == sql.Literal("it's")
+
+    def test_negative_and_float_literals(self):
+        stmt, _ = sql.parse("INSERT INTO T (A, B, C) VALUES (-7, 2.5, 1e3)")
+        assert stmt.values == (sql.Literal(-7), sql.Literal(2.5), sql.Literal(1000.0))
+
+
+class TestSelect:
+    def test_star(self):
+        stmt, _ = sql.parse("SELECT * FROM T")
+        assert stmt.columns == ()
+        assert stmt.where is None
+
+    def test_columns_where_order_limit(self):
+        stmt, n = sql.parse(
+            "SELECT A, B FROM T WHERE A > 3 AND B LIKE 'x%' ORDER BY B DESC, A LIMIT 10"
+        )
+        assert n == 0
+        assert stmt.columns == ("A", "B")
+        assert stmt.limit == 10
+        assert stmt.order_by == (
+            sql.OrderItem("B", descending=True),
+            sql.OrderItem("A", descending=False),
+        )
+        assert isinstance(stmt.where, sql.And)
+
+    def test_between_in_isnull(self):
+        stmt, _ = sql.parse(
+            "SELECT * FROM T WHERE (A BETWEEN 1 AND 5) OR A IN (7, 9) OR B IS NOT NULL"
+        )
+        assert isinstance(stmt.where, sql.Or)
+
+    def test_not_variants(self):
+        stmt, _ = sql.parse("SELECT * FROM T WHERE A NOT BETWEEN 1 AND 2")
+        assert stmt.where.negated
+        stmt, _ = sql.parse("SELECT * FROM T WHERE A NOT IN (1)")
+        assert stmt.where.negated
+        stmt, _ = sql.parse("SELECT * FROM T WHERE NOT A = 1")
+        assert isinstance(stmt.where, sql.Not)
+
+    def test_parenthesized_boolean(self):
+        stmt, _ = sql.parse("SELECT * FROM T WHERE (A = 1 OR B = 2) AND C = 3")
+        assert isinstance(stmt.where, sql.And)
+        assert isinstance(stmt.where.left, sql.Or)
+
+    def test_nested_parens(self):
+        stmt, _ = sql.parse("SELECT * FROM T WHERE ((A = 1))")
+        assert isinstance(stmt.where, sql.Compare)
+
+    def test_neq_spellings(self):
+        a, _ = sql.parse("SELECT * FROM T WHERE A <> 1")
+        b, _ = sql.parse("SELECT * FROM T WHERE A != 1")
+        assert a.where.op == b.where.op == "!="
+
+    def test_params_in_where(self):
+        stmt, n = sql.parse("SELECT * FROM T WHERE A = ? AND B < ?")
+        assert n == 2
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            sql.parse("SELECT * FROM T LIMIT -1")
+
+
+class TestUpdateDelete:
+    def test_update(self):
+        stmt, n = sql.parse("UPDATE T SET A = 1, B = ? WHERE C = 2")
+        assert n == 1
+        assert stmt.assignments == (("A", sql.Literal(1)), ("B", sql.Param(0)))
+
+    def test_delete(self):
+        stmt, _ = sql.parse("DELETE FROM T WHERE A = 1")
+        assert isinstance(stmt.where, sql.Compare)
+
+    def test_delete_all(self):
+        stmt, _ = sql.parse("DELETE FROM T")
+        assert stmt.where is None
+
+
+class TestDropAndErrors:
+    def test_drop(self):
+        stmt, _ = sql.parse("DROP TABLE T")
+        assert stmt.table == "T" and not stmt.if_exists
+
+    def test_drop_if_exists(self):
+        stmt, _ = sql.parse("DROP TABLE IF EXISTS T")
+        assert stmt.if_exists
+
+    def test_unknown_statement(self):
+        with pytest.raises(SqlSyntaxError):
+            sql.parse("GRANT ALL ON T")
+
+    def test_empty_statement(self):
+        with pytest.raises(SqlSyntaxError):
+            sql.parse("   ")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(SqlSyntaxError):
+            sql.parse("SELECT * FROM T extra stuff")
+
+    def test_trailing_semicolon_ok(self):
+        stmt, _ = sql.parse("SELECT * FROM T;")
+        assert stmt.table == "T"
+
+    def test_incomplete_where(self):
+        with pytest.raises(SqlSyntaxError):
+            sql.parse("SELECT * FROM T WHERE A =")
+
+    def test_date_literal(self):
+        stmt, _ = sql.parse("SELECT * FROM T WHERE D = DATE '2012-10-01'")
+        assert stmt.where.right == sql.Literal("2012-10-01")

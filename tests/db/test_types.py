@@ -1,0 +1,182 @@
+"""Column type and value-codec tests."""
+
+import datetime
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.errors import StorageError, TypeMismatchError
+from repro.db.types import (
+    BLOB,
+    DATE,
+    NUMBER,
+    ORD_IMAGE,
+    ORD_VIDEO,
+    VARCHAR2,
+    decode_value,
+    encode_value,
+    type_from_name,
+)
+
+
+class TestNumber:
+    def test_accepts_int_and_float(self):
+        assert NUMBER().validate(5) == 5
+        assert NUMBER().validate(2.5) == 2.5
+
+    def test_rejects_bool_str_nan(self):
+        with pytest.raises(TypeMismatchError):
+            NUMBER().validate(True)
+        with pytest.raises(TypeMismatchError):
+            NUMBER().validate("5")
+        with pytest.raises(TypeMismatchError):
+            NUMBER().validate(float("nan"))
+
+
+class TestVarchar:
+    def test_length_enforced(self):
+        t = VARCHAR2(3)
+        assert t.validate("abc") == "abc"
+        with pytest.raises(TypeMismatchError):
+            t.validate("abcd")
+
+    def test_rejects_non_str(self):
+        with pytest.raises(TypeMismatchError):
+            VARCHAR2(10).validate(b"bytes")
+
+    def test_render(self):
+        assert VARCHAR2(60).render() == "VARCHAR2(60)"
+
+    def test_bad_length(self):
+        with pytest.raises(ValueError):
+            VARCHAR2(0)
+
+
+class TestDate:
+    def test_accepts_date_datetime_iso(self):
+        d = datetime.date(2012, 10, 5)
+        assert DATE().validate(d) == d
+        assert DATE().validate(datetime.datetime(2012, 10, 5, 12, 30)) == d
+        assert DATE().validate("2012-10-05") == d
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TypeMismatchError):
+            DATE().validate("October 5")
+        with pytest.raises(TypeMismatchError):
+            DATE().validate(123)
+
+
+class TestBlob:
+    def test_accepts_bytes_and_bytearray(self):
+        assert BLOB().validate(b"\x00\x01") == b"\x00\x01"
+        assert BLOB().validate(bytearray(b"xy")) == b"xy"
+
+    def test_rejects_str(self):
+        with pytest.raises(TypeMismatchError):
+            BLOB().validate("text")
+
+
+class TestOrdTypes:
+    def test_ord_video_decodes_rvf(self):
+        from repro.imaging.image import Image
+        from repro.video.codec import encode_rvf_bytes
+
+        frames = [Image.blank(8, 6, 5)]
+        data = ORD_VIDEO.decode(encode_rvf_bytes(frames))
+        assert list(data) == frames
+
+    def test_ord_image_decodes_ppm(self):
+        from repro.imaging.image import Image
+
+        img = Image.blank(4, 4, (1, 2, 3))
+        assert ORD_IMAGE.decode(img.encode("ppm")) == img
+
+
+class TestTypeFromName:
+    def test_standard_names(self):
+        assert isinstance(type_from_name("NUMBER"), NUMBER)
+        assert isinstance(type_from_name("number"), NUMBER)
+        assert isinstance(type_from_name("DATE"), DATE)
+        assert isinstance(type_from_name("BLOB"), BLOB)
+
+    def test_varchar_with_length(self):
+        t = type_from_name("VARCHAR2", 40)
+        assert isinstance(t, VARCHAR2) and t.max_length == 40
+
+    def test_ord_spellings(self):
+        for spelling in ("ORD_VIDEO", "ORDVideo", "ORD_ Video", "ord_video"):
+            assert isinstance(type_from_name(spelling), ORD_VIDEO)
+        assert isinstance(type_from_name("ORD_ Image"), ORD_IMAGE)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            type_from_name("CLOB")
+
+    def test_length_on_lengthless_type_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            type_from_name("NUMBER", 10)
+
+
+class TestValueCodec:
+    CASES = [
+        None,
+        0,
+        -(2**62),
+        2**62,
+        3.14159,
+        -0.0,
+        "",
+        "héllo wörld",
+        b"",
+        b"\x00\xff" * 100,
+        datetime.date(1999, 12, 31),
+    ]
+
+    @pytest.mark.parametrize("value", CASES, ids=repr)
+    def test_roundtrip(self, value):
+        buf = encode_value(value)
+        decoded, offset = decode_value(buf, 0)
+        assert decoded == value
+        assert offset == len(buf)
+
+    def test_stream_of_values(self):
+        buf = b"".join(encode_value(v) for v in self.CASES)
+        offset = 0
+        for expected in self.CASES:
+            value, offset = decode_value(buf, offset)
+            assert value == expected
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            encode_value(True)
+
+    def test_unencodable_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            encode_value(object())
+
+    def test_truncated_stream(self):
+        buf = encode_value("hello")
+        with pytest.raises(StorageError):
+            decode_value(buf[:3], 0)
+        with pytest.raises(StorageError):
+            decode_value(b"", 0)
+
+    def test_unknown_tag(self):
+        with pytest.raises(StorageError):
+            decode_value(b"\xfe", 0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.one_of(
+            st.none(),
+            st.integers(min_value=-(2**63), max_value=2**63 - 1),
+            st.floats(allow_nan=False),
+            st.text(max_size=50),
+            st.binary(max_size=50),
+            st.dates(),
+        )
+    )
+    def test_roundtrip_property(self, value):
+        decoded, _ = decode_value(encode_value(value), 0)
+        assert decoded == value

@@ -1,0 +1,48 @@
+"""Confusion matrix analysis tests."""
+
+import numpy as np
+import pytest
+
+from repro.eval.confusion import ConfusionResult, run_confusion
+
+
+@pytest.fixture(scope="module")
+def confusion(ingested_system, ground_truth):
+    return run_confusion(
+        ingested_system, ground_truth, top_k=3, queries_per_category=2, use_index=False
+    )
+
+
+class TestRunConfusion:
+    def test_shape_and_rows_normalized(self, confusion):
+        n = len(confusion.categories)
+        assert confusion.matrix.shape == (n, n)
+        assert np.allclose(confusion.matrix.sum(axis=1), 1.0)
+
+    def test_diagonal_beats_chance(self, confusion):
+        chance = 1.0 / len(confusion.categories)
+        assert confusion.diagonal_mean() > 2 * chance
+
+    def test_most_confused_is_off_diagonal(self, confusion):
+        a, b, rate = confusion.most_confused()
+        assert a != b
+        assert 0.0 <= rate <= 1.0
+
+    def test_to_text(self, confusion):
+        text = confusion.to_text()
+        for cat in confusion.categories:
+            assert cat in text
+
+    def test_n_queries(self, confusion):
+        assert confusion.n_queries == 2 * len(confusion.categories)
+
+    def test_validation(self, ingested_system, ground_truth):
+        with pytest.raises(ValueError):
+            run_confusion(ingested_system, ground_truth, top_k=0)
+
+    def test_single_feature_mode(self, ingested_system, ground_truth):
+        res = run_confusion(
+            ingested_system, ground_truth, top_k=2,
+            queries_per_category=1, features=["sch"], use_index=False,
+        )
+        assert np.allclose(res.matrix.sum(axis=1), 1.0)

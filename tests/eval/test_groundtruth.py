@@ -1,0 +1,43 @@
+"""Ground truth tests."""
+
+import pytest
+
+from repro.eval.groundtruth import CategoryGroundTruth
+
+
+@pytest.fixture()
+def gt():
+    return CategoryGroundTruth({1: "a", 2: "a", 3: "b", 4: "b", 5: "b"})
+
+
+class TestGroundTruth:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CategoryGroundTruth({})
+
+    def test_category_and_membership(self, gt):
+        assert gt.category_of(3) == "b"
+        assert 3 in gt and 9 not in gt
+        assert len(gt) == 5
+        assert gt.categories() == ["a", "b"]
+
+    def test_relevance(self, gt):
+        assert gt.is_relevant(1, 2)
+        assert not gt.is_relevant(1, 3)
+
+    def test_relevance_list_unknown_ids_irrelevant(self, gt):
+        assert gt.relevance_list(1, [2, 3, 99]) == [True, False, False]
+
+    def test_n_relevant_excludes_self(self, gt):
+        assert gt.n_relevant(3) == 2
+        assert gt.n_relevant(3, exclude_self=False) == 3
+
+    def test_ids_of_category(self, gt):
+        assert gt.ids_of_category("b") == [3, 4, 5]
+
+    def test_from_store(self, ingested_system):
+        gt = CategoryGroundTruth.from_store(ingested_system._store)
+        assert len(gt) == ingested_system.n_key_frames()
+        assert set(gt.categories()) == {
+            "cartoon", "elearning", "movies", "news", "sports",
+        }

@@ -1,0 +1,44 @@
+"""Recall/MAP driver tests (small corpus)."""
+
+import pytest
+
+from repro.eval.prcurves import RecallResult, run_recall
+
+
+class TestRunRecall:
+    @pytest.fixture(scope="class")
+    def result(self, ingested_system, ground_truth):
+        return run_recall(
+            ingested_system,
+            ground_truth,
+            queries_per_category=2,
+            cutoffs=(2, 5),
+            use_index=False,
+        )
+
+    def test_methods_present(self, result):
+        assert "combined" in result.methods
+        assert len(result.methods) == 7
+
+    def test_bounds(self, result):
+        for m in result.methods:
+            assert 0.0 <= result.mean_ap[m] <= 1.0
+            for k in result.cutoffs:
+                assert 0.0 <= result.recall[m][k] <= 1.0
+
+    def test_recall_monotone_in_k(self, result):
+        for m in result.methods:
+            assert result.recall[m][2] <= result.recall[m][5] + 1e-9
+
+    def test_to_text(self, result):
+        text = result.to_text()
+        assert "MAP" in text and "combined" in text
+
+    def test_combined_competitive(self, result):
+        singles = [m for m in result.methods if m != "combined"]
+        best = max(result.mean_ap[m] for m in singles)
+        assert result.mean_ap["combined"] >= best - 0.15
+
+    def test_empty_queries_rejected(self, ingested_system, ground_truth):
+        with pytest.raises(ValueError):
+            run_recall(ingested_system, ground_truth, queries_per_category=0)

@@ -1,0 +1,80 @@
+"""Bootstrap statistics tests."""
+
+import numpy as np
+import pytest
+
+from repro.eval.stats import bootstrap_ci, paired_bootstrap_pvalue
+
+
+class TestBootstrapCi:
+    def test_mean_and_interval_order(self):
+        mean, low, high = bootstrap_ci([0.4, 0.6, 0.5, 0.7, 0.3])
+        assert low <= mean <= high
+        assert mean == pytest.approx(0.5)
+
+    def test_constant_samples_degenerate_interval(self):
+        mean, low, high = bootstrap_ci([0.5] * 10)
+        assert mean == low == high == 0.5
+
+    def test_narrower_with_more_data(self):
+        gen = np.random.default_rng(1)
+        small = gen.normal(0.5, 0.1, 10)
+        large = gen.normal(0.5, 0.1, 1000)
+        _m1, l1, h1 = bootstrap_ci(small, seed=2)
+        _m2, l2, h2 = bootstrap_ci(large, seed=2)
+        assert (h2 - l2) < (h1 - l1)
+
+    def test_deterministic_given_seed(self):
+        a = bootstrap_ci([0.1, 0.9, 0.4], seed=7)
+        b = bootstrap_ci([0.1, 0.9, 0.4], seed=7)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+        with pytest.raises(ValueError):
+            bootstrap_ci([0.5], confidence=1.5)
+
+
+class TestPairedBootstrap:
+    def test_clear_winner_small_p(self):
+        gen = np.random.default_rng(3)
+        b = gen.uniform(0.3, 0.5, 40)
+        a = b + 0.2  # a beats b on every query
+        assert paired_bootstrap_pvalue(a, b) < 0.01
+
+    def test_identical_methods_large_p(self):
+        gen = np.random.default_rng(4)
+        a = gen.uniform(0.3, 0.7, 40)
+        p = paired_bootstrap_pvalue(a, a.copy())
+        assert p == 1.0  # differences are exactly zero
+
+    def test_noisy_tie_inconclusive(self):
+        gen = np.random.default_rng(5)
+        a = gen.uniform(0, 1, 30)
+        b = gen.uniform(0, 1, 30)
+        p = paired_bootstrap_pvalue(a, b)
+        assert 0.01 < p < 0.99
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            paired_bootstrap_pvalue([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            paired_bootstrap_pvalue([], [])
+
+    def test_on_real_retrieval_samples(self, ingested_system, ground_truth):
+        """Combined vs correlogram on the shared corpus: per-query paired
+        precision@3 samples; combined should win decisively."""
+        from repro.eval.metrics import precision_at_k
+
+        combined, acc = [], []
+        for fid in ingested_system._store.frame_ids():
+            query = ingested_system.get_key_frame(fid)
+            for features, out in ((None, combined), (["acc"], acc)):
+                results = ingested_system.search(
+                    query, features=features, top_k=4, use_index=False
+                )
+                ranked = [h.frame_id for h in results if h.frame_id != fid][:3]
+                out.append(precision_at_k(ground_truth.relevance_list(fid, ranked), 3))
+        p = paired_bootstrap_pvalue(combined, acc)
+        assert p < 0.05

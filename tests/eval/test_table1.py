@@ -1,0 +1,88 @@
+"""Table 1 experiment driver tests (small corpus; shape logic, not scale)."""
+
+import pytest
+
+from repro.eval.table1 import (
+    CUTOFFS,
+    PAPER_TABLE1,
+    Table1Result,
+    build_table1_system,
+    run_table1,
+)
+from repro.eval.userstudy import JudgePanel
+
+
+@pytest.fixture(scope="module")
+def tiny_setup():
+    return build_table1_system(
+        videos_per_category=2, seed=5, n_shots=2, frames_per_shot=4
+    )
+
+
+class TestPaperReference:
+    def test_all_methods_and_cutoffs_present(self):
+        assert set(PAPER_TABLE1) == {
+            "glcm", "gabor", "tamura", "sch", "acc", "regions", "combined",
+        }
+        for vals in PAPER_TABLE1.values():
+            assert set(vals) == set(CUTOFFS)
+
+    def test_paper_combined_wins_everywhere(self):
+        ref = Table1Result(
+            precision=PAPER_TABLE1, n_queries=0, n_frames=0,
+        )
+        assert all(ref.combined_wins().values())
+        assert all(ref.monotone_decreasing().values())
+
+
+class TestRunner:
+    def test_runs_and_produces_full_table(self, tiny_setup):
+        system, gt = tiny_setup
+        res = run_table1(
+            system=system,
+            ground_truth=gt,
+            queries_per_category=2,
+            cutoffs=(3, 5),
+        )
+        assert set(res.methods) == set(PAPER_TABLE1)
+        for m in res.methods:
+            for k in (3, 5):
+                assert 0.0 <= res.precision[m][k] <= 1.0
+        assert res.n_queries == 10
+
+    def test_deterministic(self, tiny_setup):
+        system, gt = tiny_setup
+        kwargs = dict(system=system, ground_truth=gt, queries_per_category=1, cutoffs=(3,))
+        a = run_table1(seed=7, **kwargs)
+        b = run_table1(seed=7, **kwargs)
+        assert a.precision == b.precision
+
+    def test_noisy_panel_changes_numbers_not_validity(self, tiny_setup):
+        system, gt = tiny_setup
+        noisy = run_table1(
+            system=system, ground_truth=gt, queries_per_category=2,
+            cutoffs=(3,), judge_panel=JudgePanel(n_judges=3, error_rate=0.3, seed=1),
+        )
+        for m in noisy.methods:
+            assert 0.0 <= noisy.precision[m][3] <= 1.0
+
+    def test_mismatched_args_rejected(self, tiny_setup):
+        system, _gt = tiny_setup
+        with pytest.raises(ValueError):
+            run_table1(system=system, ground_truth=None)
+
+    def test_to_text_renders(self, tiny_setup):
+        system, gt = tiny_setup
+        res = run_table1(system=system, ground_truth=gt, queries_per_category=1, cutoffs=(3,))
+        text = res.to_text(paper={m: {3: 0.5} for m in res.methods})
+        assert "Combined" in text and "(paper)" in text
+
+    def test_query_excluded_from_own_results(self, tiny_setup):
+        """The sampled query frame must not count as its own hit."""
+        system, gt = tiny_setup
+        res = run_table1(
+            system=system, ground_truth=gt, queries_per_category=1, cutoffs=(1,),
+        )
+        # with self-exclusion precision@1 can be < 1 but never > 1
+        for m in res.methods:
+            assert res.precision[m][1] <= 1.0

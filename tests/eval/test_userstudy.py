@@ -1,0 +1,53 @@
+"""Simulated user-study tests."""
+
+import numpy as np
+import pytest
+
+from repro.eval.userstudy import JudgePanel, NoisyJudge
+
+
+class TestNoisyJudge:
+    def test_zero_error_is_exact(self):
+        judge = NoisyJudge(error_rate=0.0, seed=1)
+        truth = [True, False, True, True]
+        assert judge.judge(truth) == truth
+
+    def test_error_rate_approximate(self):
+        judge = NoisyJudge(error_rate=0.2, seed=2)
+        truth = [True] * 5000
+        flipped = sum(1 for j in judge.judge(truth) if not j)
+        assert 0.15 < flipped / 5000 < 0.25
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NoisyJudge(error_rate=0.6, seed=1)
+        with pytest.raises(ValueError):
+            NoisyJudge(error_rate=-0.1, seed=1)
+
+    def test_deterministic_per_seed(self):
+        truth = [True, False] * 20
+        a = NoisyJudge(0.3, seed=5).judge(truth)
+        b = NoisyJudge(0.3, seed=5).judge(truth)
+        assert a == b
+
+
+class TestPanel:
+    def test_majority_vote_suppresses_noise(self):
+        truth = [True] * 2000
+        single = NoisyJudge(0.2, seed=3).judge(truth)
+        panel = JudgePanel(n_judges=9, error_rate=0.2, seed=3).judge(truth)
+        assert sum(panel) > sum(single)
+        # with 9 judges at 20% error, majority error rate is ~2%
+        assert sum(panel) / 2000 > 0.95
+
+    def test_zero_error_panel_exact(self):
+        truth = [True, False, False, True]
+        assert JudgePanel(n_judges=3, error_rate=0.0, seed=1).judge(truth) == truth
+
+    def test_needs_a_judge(self):
+        with pytest.raises(ValueError):
+            JudgePanel(n_judges=0)
+
+    def test_single_judge_panel(self):
+        panel = JudgePanel(n_judges=1, error_rate=0.0, seed=1)
+        assert panel.judge([True, False]) == [True, False]

@@ -1,0 +1,63 @@
+"""§4.5 simple color histogram tests."""
+
+import numpy as np
+import pytest
+
+from repro.features.color_histogram import SimpleColorHistogram
+from repro.imaging.image import Image
+
+
+class TestRgbHistogram:
+    def test_counts_sum_to_pixels(self, noise_image):
+        fv = SimpleColorHistogram().extract(noise_image)
+        assert fv.values.sum() == noise_image.width * noise_image.height
+        assert len(fv) == 256
+
+    def test_flat_image_single_bin(self):
+        img = Image.blank(10, 10, (255, 255, 255))
+        fv = SimpleColorHistogram().extract(img)
+        assert np.count_nonzero(fv.values) == 1
+        assert fv.values.max() == 100
+        assert fv.values[255] == 100  # white = last bin (7*8+7)*4+3
+
+    def test_black_in_first_bin(self):
+        fv = SimpleColorHistogram().extract(Image.blank(4, 4, (0, 0, 0)))
+        assert fv.values[0] == 16
+
+    def test_tag_matches_type(self, noise_image):
+        assert SimpleColorHistogram().extract(noise_image).tag == "RGB"
+        assert SimpleColorHistogram("HSV").extract(noise_image).tag == "HSV"
+
+    def test_normalize_option(self, noise_image):
+        fv = SimpleColorHistogram(normalize=True).extract(noise_image)
+        assert fv.values.sum() == pytest.approx(1.0)
+
+    def test_hsv_mode_64_bins(self, noise_image):
+        fv = SimpleColorHistogram("HSV").extract(noise_image)
+        assert len(fv) == 64
+        assert fv.values.sum() == noise_image.width * noise_image.height
+
+    def test_invalid_type_rejected(self):
+        with pytest.raises(ValueError):
+            SimpleColorHistogram("LAB")
+
+
+class TestHistogramDistance:
+    def test_size_invariant(self):
+        ex = SimpleColorHistogram()
+        small = Image.blank(8, 8, (200, 30, 40))
+        large = Image.blank(64, 64, (200, 30, 40))
+        assert ex.distance(ex.extract(small), ex.extract(large)) == pytest.approx(0.0)
+
+    def test_max_distance_for_disjoint_colors(self):
+        ex = SimpleColorHistogram()
+        a = ex.extract(Image.blank(8, 8, (0, 0, 0)))
+        b = ex.extract(Image.blank(8, 8, (255, 255, 255)))
+        assert ex.distance(a, b) == pytest.approx(2.0)
+
+    def test_distance_orders_by_similarity(self):
+        ex = SimpleColorHistogram()
+        base = ex.extract(Image.blank(8, 8, (200, 0, 0)))
+        similar = ex.extract(Image.blank(8, 8, (210, 0, 0)))  # same R bin
+        different = ex.extract(Image.blank(8, 8, (0, 200, 0)))
+        assert ex.distance(base, similar) < ex.distance(base, different)

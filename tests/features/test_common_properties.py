@@ -1,0 +1,71 @@
+"""Properties every extractor must satisfy (parametrized across all seven)."""
+
+import numpy as np
+import pytest
+
+from repro.features.base import FeatureVector, all_extractors, get_extractor
+from repro.imaging.image import Image
+
+ALL = all_extractors()
+
+
+@pytest.fixture(scope="module")
+def images():
+    gen = np.random.default_rng(42)
+    return {
+        "noise": Image(gen.integers(0, 256, (32, 40, 3), dtype=np.uint8)),
+        "noise2": Image(gen.integers(0, 256, (32, 40, 3), dtype=np.uint8)),
+        "flat": Image.blank(40, 32, (120, 60, 30)),
+    }
+
+
+@pytest.mark.parametrize("name", ALL)
+class TestExtractorContract:
+    def test_returns_feature_vector_of_right_kind(self, name, images):
+        fv = get_extractor(name).extract(images["noise"])
+        assert isinstance(fv, FeatureVector)
+        assert fv.kind == name
+        assert len(fv) > 0
+        assert np.all(np.isfinite(fv.values))
+
+    def test_deterministic(self, name, images):
+        ex = get_extractor(name)
+        a = ex.extract(images["noise"])
+        b = ex.extract(images["noise"])
+        assert a == b
+
+    def test_self_distance_zero(self, name, images):
+        ex = get_extractor(name)
+        fv = ex.extract(images["noise"])
+        assert ex.distance(fv, fv) == pytest.approx(0.0, abs=1e-9)
+
+    def test_distance_symmetric(self, name, images):
+        ex = get_extractor(name)
+        a = ex.extract(images["noise"])
+        b = ex.extract(images["noise2"])
+        assert ex.distance(a, b) == pytest.approx(ex.distance(b, a))
+
+    def test_distance_non_negative(self, name, images):
+        ex = get_extractor(name)
+        a = ex.extract(images["noise"])
+        b = ex.extract(images["flat"])
+        assert ex.distance(a, b) >= 0.0
+
+    def test_string_roundtrip_preserves_distance(self, name, images):
+        ex = get_extractor(name)
+        a = ex.extract(images["noise"])
+        b = ex.extract(images["flat"])
+        a_rt = FeatureVector.from_string(name, a.to_string())
+        assert ex.distance(a_rt, b) == pytest.approx(ex.distance(a, b))
+
+    def test_gray_input_accepted(self, name, images):
+        gray = images["noise"].to_gray()
+        fv = get_extractor(name).extract(gray)
+        assert len(fv) > 0
+
+    def test_vector_length_stable_across_image_sizes(self, name):
+        gen = np.random.default_rng(1)
+        small = Image(gen.integers(0, 256, (24, 24, 3), dtype=np.uint8))
+        large = Image(gen.integers(0, 256, (48, 64, 3), dtype=np.uint8))
+        ex = get_extractor(name)
+        assert len(ex.extract(small)) == len(ex.extract(large))

@@ -1,0 +1,126 @@
+"""Edge histogram descriptor tests (extension feature)."""
+
+import numpy as np
+import pytest
+
+from repro.features.edges import EdgeHistogram, edge_type_map
+from repro.imaging.image import Image
+from repro.imaging.synthetic import stripes
+
+
+def _stripe_image(angle, period=8):
+    return Image.from_array(stripes(64, 64, period=period, angle_deg=angle))
+
+
+class TestEdgeTypeMap:
+    def test_flat_image_no_edges(self):
+        types = edge_type_map(np.full((16, 16), 90.0))
+        assert (types == -1).all()
+
+    def test_vertical_edges_detected(self):
+        img = stripes(32, 32, period=8, angle_deg=0.0)  # varies along x
+        types = edge_type_map(img)
+        found = types[types >= 0]
+        assert found.size > 0
+        # vertical-edge filter (index 0) dominates
+        assert np.bincount(found, minlength=5).argmax() == 0
+
+    def test_horizontal_edges_detected(self):
+        img = stripes(32, 32, period=8, angle_deg=90.0)
+        types = edge_type_map(img)
+        found = types[types >= 0]
+        assert np.bincount(found, minlength=5).argmax() == 1
+
+    def test_diagonal_edges_detected(self):
+        img = stripes(64, 64, period=10, angle_deg=45.0)
+        types = edge_type_map(img)
+        found = types[types >= 0]
+        # one of the two diagonal filters must dominate
+        assert np.bincount(found, minlength=5).argmax() in (2, 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            edge_type_map(np.zeros((4, 4, 3)))
+        with pytest.raises(ValueError):
+            edge_type_map(np.zeros((1, 10)))
+
+
+class TestExtractor:
+    def test_80_dims(self, noise_image):
+        fv = EdgeHistogram().extract(noise_image)
+        assert len(fv) == 80
+        assert fv.tag == "EHD"
+
+    def test_values_are_fractions(self, noise_image):
+        fv = EdgeHistogram().extract(noise_image)
+        assert np.all(fv.values >= 0) and np.all(fv.values <= 1)
+        # per-cell histograms can't sum above 1 (edgeless blocks drop out)
+        cells = fv.values.reshape(16, 5)
+        assert np.all(cells.sum(axis=1) <= 1 + 1e-9)
+
+    def test_flat_image_all_zero(self):
+        fv = EdgeHistogram().extract(Image.blank(32, 32, (70, 70, 70)))
+        assert np.all(fv.values == 0)
+
+    def test_orientation_discrimination(self):
+        ex = EdgeHistogram()
+        v0 = ex.extract(_stripe_image(0.0))
+        v0b = ex.extract(_stripe_image(0.0, period=10))
+        v90 = ex.extract(_stripe_image(90.0))
+        assert ex.distance(v0, v0b) < ex.distance(v0, v90)
+
+    def test_spatial_layout_captured(self):
+        # edges only in the top half vs only in the bottom half
+        top = np.full((64, 64), 100.0)
+        top[:32] = stripes(64, 32, period=6)
+        bottom = np.full((64, 64), 100.0)
+        bottom[32:] = stripes(64, 32, period=6)
+        ex = EdgeHistogram()
+        d = ex.distance(
+            ex.extract(Image.from_array(top)), ex.extract(Image.from_array(bottom))
+        )
+        assert d > 0.5
+
+    def test_resolution_independent(self):
+        # bilinear upscale: nearest-neighbour integer upscaling would create
+        # constant 2x2 blocks (pixel doubling) and legitimately erase the
+        # block-level edges the descriptor measures
+        from repro.imaging.resize import resize
+
+        img = _stripe_image(0.0)
+        big = resize(img, 128, 128, "bilinear")
+        ex = EdgeHistogram()
+        d = ex.distance(ex.extract(img), ex.extract(big))
+        # upscaling halves gradient magnitude, so some blocks drop below the
+        # edge threshold; the histogram may thin but not change character
+        assert d < 8.0  # max possible is 32
+        # and the dominant edge type stays vertical in both
+        for fv in (ex.extract(img), ex.extract(big)):
+            cells = fv.values.reshape(16, 5)
+            assert cells.sum(axis=0).argmax() == 0
+
+    def test_custom_grid(self, noise_image):
+        fv = EdgeHistogram(grid=2).extract(noise_image)
+        assert len(fv) == 20
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EdgeHistogram(grid=0)
+
+    def test_registered(self):
+        from repro.features.base import get_extractor
+
+        assert isinstance(get_extractor("ehd"), EdgeHistogram)
+
+    def test_system_integration(self, small_corpus):
+        from repro.core.config import SystemConfig
+        from repro.core.system import VideoRetrievalSystem
+
+        config = SystemConfig(features=("sch", "ehd"))
+        system = VideoRetrievalSystem.in_memory(config)
+        system.admin.add_video(small_corpus[0])
+        results = system.search(system.any_key_frame(), top_k=1)
+        assert "ehd" in results[0].per_feature
+        # the feature string survives the DB roundtrip
+        row = system.db.execute("SELECT EHD FROM KEY_FRAMES WHERE I_ID = 1").scalar()
+        assert row.startswith("EHD 80 ")

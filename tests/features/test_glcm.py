@@ -1,0 +1,123 @@
+"""§4.3 GLCM texture tests with hand-computed references."""
+
+import numpy as np
+import pytest
+
+from repro.features.glcm import GlcmTexture, glcm_matrix, glcm_statistics
+from repro.imaging.image import Image
+
+
+class TestGlcmMatrix:
+    def test_normalized(self):
+        gen = np.random.default_rng(0)
+        g = gen.integers(0, 256, (10, 12), dtype=np.uint8)
+        m = glcm_matrix(g)
+        assert m.sum() == pytest.approx(1.0)
+        assert np.all(m >= 0)
+
+    def test_symmetric(self):
+        gen = np.random.default_rng(1)
+        g = gen.integers(0, 256, (8, 8), dtype=np.uint8)
+        m = glcm_matrix(g)
+        assert np.allclose(m, m.T)
+
+    def test_constant_image_single_entry(self):
+        g = np.full((5, 5), 42, dtype=np.uint8)
+        m = glcm_matrix(g)
+        assert m[42, 42] == pytest.approx(1.0)
+
+    def test_hand_computed_two_level(self):
+        # one row [0, 1]: single horizontal pair (0,1), symmetric -> both
+        # (0,1) and (1,0) get probability 0.5
+        g = np.array([[0, 1]], dtype=np.uint8)
+        m = glcm_matrix(g)
+        assert m[0, 1] == pytest.approx(0.5)
+        assert m[1, 0] == pytest.approx(0.5)
+        assert m[0, 0] == 0 and m[1, 1] == 0
+
+    def test_step_two(self):
+        g = np.array([[0, 5, 0, 5]], dtype=np.uint8)
+        m = glcm_matrix(g, step=2)
+        # pairs at distance 2: (0,0) and (5,5)
+        assert m[0, 0] == pytest.approx(0.5)
+        assert m[5, 5] == pytest.approx(0.5)
+        assert m[0, 5] == 0
+
+    def test_reduced_levels(self):
+        gen = np.random.default_rng(2)
+        g = gen.integers(0, 256, (6, 6), dtype=np.uint8)
+        m = glcm_matrix(g, levels=8)
+        assert m.shape == (8, 8)
+        assert m.sum() == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            glcm_matrix(np.zeros((4, 4, 3)))
+        with pytest.raises(ValueError):
+            glcm_matrix(np.zeros((4, 4), dtype=np.uint8), step=4)
+
+
+class TestStatistics:
+    def test_constant_image_statistics(self):
+        m = glcm_matrix(np.full((6, 6), 100, dtype=np.uint8))
+        s = glcm_statistics(m)
+        assert s["asm"] == pytest.approx(1.0)  # single cell with prob 1
+        assert s["contrast"] == pytest.approx(0.0)
+        assert s["idm"] == pytest.approx(1.0)
+        assert s["entropy"] == pytest.approx(0.0)
+
+    def test_checkerboard_contrast(self):
+        # alternating 0/255 horizontally: every pair differs by 255
+        g = np.zeros((4, 8), dtype=np.uint8)
+        g[:, 1::2] = 255
+        s = glcm_statistics(glcm_matrix(g))
+        assert s["contrast"] == pytest.approx(255.0**2)
+        assert s["idm"] == pytest.approx(1.0 / (1 + 255.0**2))
+
+    def test_correlation_range(self):
+        gen = np.random.default_rng(3)
+        g = gen.integers(0, 256, (16, 16), dtype=np.uint8)
+        s = glcm_statistics(glcm_matrix(g))
+        assert -1.0 <= s["correlation"] <= 1.0
+
+    def test_smooth_image_high_correlation(self):
+        # horizontal ramp: neighbours are almost equal -> correlation ~ 1
+        g = np.tile(np.arange(64, dtype=np.uint8) * 4, (8, 1))
+        s = glcm_statistics(glcm_matrix(g))
+        assert s["correlation"] > 0.9
+
+    def test_paper_exact_correlation_differs(self):
+        g = np.tile(np.arange(32, dtype=np.uint8) * 8, (4, 1))
+        m = glcm_matrix(g)
+        standard = glcm_statistics(m)["correlation"]
+        paper = glcm_statistics(m, paper_exact=True)["correlation"]
+        # the paper divides by the variance *product*, giving a tiny value
+        assert abs(paper) < abs(standard)
+
+
+class TestExtractor:
+    def test_vector_layout(self, noise_image):
+        fv = GlcmTexture().extract(noise_image)
+        assert len(fv) == 6
+        # pixelCounter = 2 * (300 - 1) * 300 after the paper's 300x300 rescale
+        assert fv.values[0] == 2 * 299 * 300
+
+    def test_no_preprocess_uses_native_size(self, noise_image):
+        fv = GlcmTexture(preprocess=False).extract(noise_image)
+        w, h = noise_image.width, noise_image.height
+        assert fv.values[0] == 2 * (w - 1) * h
+
+    def test_distinguishes_smooth_from_noisy(self):
+        gen = np.random.default_rng(5)
+        noisy = Image(gen.integers(0, 256, (32, 32), dtype=np.uint8))
+        smooth = Image.from_array(np.tile(np.linspace(0, 255, 32), (32, 1)))
+        ex = GlcmTexture(preprocess=False)
+        f_noisy = ex.extract(noisy)
+        f_smooth = ex.extract(smooth)
+        # smooth image: higher IDM (index 4), lower contrast (index 2)
+        assert f_smooth.values[4] > f_noisy.values[4]
+        assert f_smooth.values[2] < f_noisy.values[2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GlcmTexture(levels=1)

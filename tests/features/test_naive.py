@@ -1,0 +1,46 @@
+"""§4.6 naive signature tests."""
+
+import numpy as np
+import pytest
+
+from repro.features.naive import NaiveSignature
+from repro.imaging.image import Image
+
+
+class TestNaiveSignature:
+    def test_75_dims(self, gradient_image):
+        fv = NaiveSignature().extract(gradient_image)
+        assert len(fv) == 75
+        assert fv.tag == "NaiveVector"
+
+    def test_flat_image_constant_signature(self):
+        fv = NaiveSignature().extract(Image.blank(20, 20, (9, 90, 200)))
+        points = fv.values.reshape(25, 3)
+        assert np.allclose(points, [9, 90, 200])
+
+    def test_captures_spatial_layout(self):
+        top = np.zeros((20, 20, 3), dtype=np.uint8)
+        top[:10] = 255
+        bottom = np.zeros((20, 20, 3), dtype=np.uint8)
+        bottom[10:] = 255
+        ex = NaiveSignature()
+        ft = ex.extract(Image(top)).values.reshape(5, 5, 3)
+        fb = ex.extract(Image(bottom)).values.reshape(5, 5, 3)
+        assert ft[0].mean() > ft[4].mean()  # bright top rows
+        assert fb[4].mean() > fb[0].mean()
+
+    def test_distance_matches_keyframe_distance(self, gradient_image, noise_image):
+        from repro.video.keyframes import frame_signature_distance
+
+        ex = NaiveSignature()
+        d_feature = ex.distance(ex.extract(gradient_image), ex.extract(noise_image))
+        d_keyframe = frame_signature_distance(gradient_image, noise_image)
+        assert d_feature == pytest.approx(d_keyframe)
+
+    def test_grid_configurable(self, gradient_image):
+        fv = NaiveSignature(grid=3).extract(gradient_image)
+        assert len(fv) == 27
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NaiveSignature(grid=0)

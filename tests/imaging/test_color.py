@@ -1,0 +1,118 @@
+"""Color conversion and quantization tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.imaging.color import (
+    GRAY_WEIGHTS,
+    hsv_to_rgb,
+    quantize_hsv,
+    quantize_rgb_to_index,
+    quantize_uniform,
+    rgb_to_gray,
+    rgb_to_hsv,
+)
+
+
+class TestGray:
+    def test_weights_are_bt601(self):
+        assert GRAY_WEIGHTS == (0.299, 0.587, 0.114)
+
+    def test_pure_channels(self):
+        reds = np.full((2, 2, 3), 0, dtype=np.uint8)
+        reds[..., 0] = 255
+        assert rgb_to_gray(reds)[0, 0] == 76
+        greens = np.zeros((1, 1, 3), dtype=np.uint8)
+        greens[..., 1] = 255
+        assert rgb_to_gray(greens)[0, 0] == 150
+        blues = np.zeros((1, 1, 3), dtype=np.uint8)
+        blues[..., 2] = 255
+        assert rgb_to_gray(blues)[0, 0] == 29
+
+    def test_white_and_black(self):
+        assert rgb_to_gray(np.full((1, 1, 3), 255, dtype=np.uint8))[0, 0] == 255
+        assert rgb_to_gray(np.zeros((1, 1, 3), dtype=np.uint8))[0, 0] == 0
+
+    def test_gray_input_passthrough(self):
+        g = np.arange(6, dtype=np.uint8).reshape(2, 3)
+        assert np.array_equal(rgb_to_gray(g), g)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            rgb_to_gray(np.zeros((2, 2, 4)))
+
+
+class TestHsv:
+    def test_known_colors(self):
+        # red -> H=0, S=1, V=1
+        hsv = rgb_to_hsv(np.array([[[255, 0, 0]]], dtype=np.uint8))[0, 0]
+        assert hsv[0] == pytest.approx(0.0)
+        assert hsv[1] == pytest.approx(1.0)
+        assert hsv[2] == pytest.approx(1.0)
+        # green -> H=120
+        hsv = rgb_to_hsv(np.array([[[0, 255, 0]]], dtype=np.uint8))[0, 0]
+        assert hsv[0] == pytest.approx(120.0)
+        # blue -> H=240
+        hsv = rgb_to_hsv(np.array([[[0, 0, 255]]], dtype=np.uint8))[0, 0]
+        assert hsv[0] == pytest.approx(240.0)
+
+    def test_gray_has_zero_saturation(self):
+        hsv = rgb_to_hsv(np.full((1, 1, 3), 128, dtype=np.uint8))[0, 0]
+        assert hsv[1] == pytest.approx(0.0)
+        assert hsv[2] == pytest.approx(128 / 255)
+
+    def test_black_has_zero_value(self):
+        hsv = rgb_to_hsv(np.zeros((1, 1, 3), dtype=np.uint8))[0, 0]
+        assert hsv[2] == 0.0 and hsv[1] == 0.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(0, 2**31 - 1))
+    def test_roundtrip_property(self, seed):
+        gen = np.random.default_rng(seed)
+        rgb = gen.integers(0, 256, (6, 6, 3), dtype=np.uint8)
+        back = hsv_to_rgb(rgb_to_hsv(rgb))
+        assert np.abs(back.astype(int) - rgb.astype(int)).max() <= 1
+
+    def test_hue_wraps(self):
+        a = hsv_to_rgb(np.array([[[0.0, 1.0, 1.0]]]))
+        b = hsv_to_rgb(np.array([[[360.0, 1.0, 1.0]]]))
+        assert np.array_equal(a, b)
+
+
+class TestQuantizers:
+    def test_uniform_bounds(self):
+        vals = np.array([0.0, 127.0, 255.0])
+        q = quantize_uniform(vals, 4)
+        assert q.tolist() == [0, 1, 3]
+
+    def test_uniform_single_level(self):
+        assert quantize_uniform(np.array([0, 255]), 1).tolist() == [0, 0]
+
+    def test_uniform_rejects_zero_levels(self):
+        with pytest.raises(ValueError):
+            quantize_uniform(np.array([1.0]), 0)
+
+    def test_hsv_quantizer_range(self):
+        gen = np.random.default_rng(3)
+        rgb = gen.integers(0, 256, (16, 16, 3), dtype=np.uint8)
+        q = quantize_hsv(rgb, 8, 4, 2)
+        assert q.min() >= 0 and q.max() < 64
+
+    def test_hsv_quantizer_separates_hues(self):
+        red = quantize_hsv(np.array([[[255, 0, 0]]], dtype=np.uint8))
+        green = quantize_hsv(np.array([[[0, 255, 0]]], dtype=np.uint8))
+        assert red[0, 0] != green[0, 0]
+
+    def test_rgb_index_range(self):
+        gen = np.random.default_rng(4)
+        rgb = gen.integers(0, 256, (8, 8, 3), dtype=np.uint8)
+        q = quantize_rgb_to_index(rgb, 4)
+        assert q.min() >= 0 and q.max() < 64
+
+    def test_rgb_index_extremes(self):
+        black = quantize_rgb_to_index(np.zeros((1, 1, 3), dtype=np.uint8), 4)
+        white = quantize_rgb_to_index(np.full((1, 1, 3), 255, dtype=np.uint8), 4)
+        assert black[0, 0] == 0
+        assert white[0, 0] == 63

@@ -1,0 +1,110 @@
+"""Canvas rasterizer tests."""
+
+import numpy as np
+import pytest
+
+from repro.imaging.draw import Canvas
+from repro.imaging.image import Image
+
+
+class TestCanvasBasics:
+    def test_background(self):
+        c = Canvas(8, 6, background=(10, 20, 30))
+        img = c.to_image()
+        assert img.width == 8 and img.height == 6
+        assert img.pixels[0, 0].tolist() == [10, 20, 30]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Canvas(0, 5)
+
+    def test_fill(self):
+        c = Canvas(4, 4)
+        c.fill((200, 0, 0))
+        assert np.all(c.to_image().pixels[..., 0] == 200)
+
+
+class TestPrimitives:
+    def test_rect_covers_half_open_box(self):
+        c = Canvas(10, 10)
+        c.rect(2, 3, 5, 7, (255, 255, 255))
+        img = c.to_image().pixels
+        assert np.all(img[3:7, 2:5] == 255)
+        assert np.all(img[:3] == 0) and np.all(img[:, :2] == 0)
+        assert np.all(img[7:] == 0) and np.all(img[:, 5:] == 0)
+
+    def test_rect_clips_to_canvas(self):
+        c = Canvas(6, 6)
+        c.rect(-5, -5, 100, 100, (9, 9, 9))
+        assert np.all(c.to_image().pixels == 9)
+
+    def test_rect_with_swapped_corners(self):
+        c = Canvas(6, 6)
+        c.rect(4, 4, 1, 1, (50, 50, 50))
+        assert np.all(c.to_image().pixels[1:4, 1:4] == 50)
+
+    def test_circle_center_and_radius(self):
+        c = Canvas(21, 21)
+        c.circle(10, 10, 5, (255, 0, 0))
+        img = c.to_image().pixels
+        assert img[10, 10, 0] == 255
+        assert img[10, 15, 0] == 255  # on the radius
+        assert img[10, 17, 0] == 0  # outside
+
+    def test_circle_zero_radius_noop(self):
+        c = Canvas(5, 5)
+        c.circle(2, 2, 0, (255, 255, 255))
+        assert np.all(c.to_image().pixels == 0)
+
+    def test_circle_clipped_offscreen(self):
+        c = Canvas(5, 5)
+        c.circle(-10, -10, 3, (255, 255, 255))
+        assert np.all(c.to_image().pixels == 0)
+
+    def test_line_endpoints(self):
+        c = Canvas(10, 10)
+        c.line(1, 1, 8, 8, (0, 255, 0))
+        img = c.to_image().pixels
+        assert img[1, 1, 1] == 255 and img[8, 8, 1] == 255
+        assert img[4, 4, 1] == 255  # diagonal passes through
+
+    def test_vertical_gradient_monotone(self):
+        c = Canvas(4, 20)
+        c.vertical_gradient((0, 0, 0), (200, 200, 200))
+        col = c.to_image().pixels[:, 0, 0].astype(int)
+        assert col[0] == 0 and col[-1] == 200
+        assert np.all(np.diff(col) >= 0)
+
+    def test_text_block_draws_rows(self):
+        c = Canvas(40, 40)
+        c.text_block(2, 2, 30, 3, (255, 255, 255), line_height=4,
+                     rng=np.random.default_rng(0))
+        img = c.to_image().pixels
+        assert img[2:6, 2:10].max() == 255  # first line
+        assert img[20:].max() == 0  # nothing below the block
+
+    def test_noise_changes_pixels(self):
+        c = Canvas(8, 8, background=(100, 100, 100))
+        c.add_noise(5.0, np.random.default_rng(1))
+        assert c.to_image().pixels.std() > 0
+
+    def test_noise_zero_sigma_noop(self):
+        c = Canvas(8, 8, background=(100, 100, 100))
+        c.add_noise(0.0, np.random.default_rng(1))
+        assert np.all(c.to_image().pixels == 100)
+
+    def test_blend_texture(self):
+        c = Canvas(6, 4, background=(0, 0, 0))
+        c.blend_texture(np.full((4, 6), 200.0), alpha=0.5)
+        assert np.all(c.to_image().pixels == 100)
+
+    def test_blend_texture_shape_check(self):
+        c = Canvas(6, 4)
+        with pytest.raises(ValueError):
+            c.blend_texture(np.zeros((5, 5)), 0.5)
+
+    def test_to_image_clips(self):
+        c = Canvas(3, 3, background=(300, -5, 128))
+        img = c.to_image()
+        assert isinstance(img, Image)
+        assert img.pixels[0, 0].tolist() == [255, 0, 128]

@@ -1,0 +1,115 @@
+"""Convolution and kernel tests."""
+
+import numpy as np
+import pytest
+
+from repro.imaging.filters import (
+    SOBEL_X,
+    SOBEL_Y,
+    box_kernel,
+    convolve2d,
+    gaussian_kernel,
+    sobel_gradients,
+)
+
+
+class TestConvolve:
+    def test_identity_kernel(self):
+        gen = np.random.default_rng(0)
+        a = gen.normal(size=(12, 15))
+        k = np.zeros((3, 3))
+        k[1, 1] = 1.0
+        assert np.allclose(convolve2d(a, k), a)
+
+    def test_shift_kernel_is_true_convolution(self):
+        # true convolution flips the kernel: weight left of center means
+        # out[y, x] = a[y, x + 1], i.e. content shifts LEFT
+        a = np.zeros((5, 5))
+        a[2, 2] = 1.0
+        k = np.zeros((3, 3))
+        k[1, 0] = 1.0  # offset (0, -1) in kernel space
+        out = convolve2d(a, k, mode="constant")
+        assert out[2, 1] == pytest.approx(1.0)
+        assert out[2, 2] == pytest.approx(0.0)
+
+    def test_flat_preserved_by_normalized_kernels(self):
+        a = np.ones((20, 20))
+        for k in (box_kernel(3), box_kernel(5), gaussian_kernel(1.3)):
+            assert np.allclose(convolve2d(a, k), 1.0)
+
+    def test_fft_path_matches_direct(self):
+        gen = np.random.default_rng(1)
+        a = gen.normal(size=(30, 34))
+        k = gen.normal(size=(13, 13))  # big enough for the FFT path
+        direct = _direct_conv(a, k)
+        fast = convolve2d(a, k)
+        assert np.allclose(fast, direct, atol=1e-9)
+
+    def test_even_kernel_supported(self):
+        a = np.ones((8, 8))
+        k = np.full((2, 2), 0.25)
+        assert convolve2d(a, k).shape == (8, 8)
+
+    def test_constant_mode_zero_pads(self):
+        a = np.ones((4, 4))
+        out = convolve2d(a, box_kernel(3), mode="constant")
+        assert out[0, 0] == pytest.approx(4 / 9)
+        assert out[1, 1] == pytest.approx(1.0)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            convolve2d(np.zeros(4), np.zeros((3, 3)))
+        with pytest.raises(ValueError):
+            convolve2d(np.zeros((4, 4)), np.zeros((3, 3)), mode="wrap")
+
+
+def _direct_conv(a, k):
+    """Naive O(n^2 m^2) reference convolution with reflect padding."""
+    kh, kw = k.shape
+    top, bottom = (kh - 1) // 2, kh // 2
+    left, right = (kw - 1) // 2, kw // 2
+    padded = np.pad(a, ((top, bottom), (left, right)), mode="reflect")
+    kf = k[::-1, ::-1]
+    out = np.empty_like(a)
+    for y in range(a.shape[0]):
+        for x in range(a.shape[1]):
+            out[y, x] = np.sum(padded[y : y + kh, x : x + kw] * kf)
+    return out
+
+
+class TestKernels:
+    def test_gaussian_normalized_and_symmetric(self):
+        k = gaussian_kernel(2.0)
+        assert k.sum() == pytest.approx(1.0)
+        assert np.allclose(k, k.T)
+        assert np.allclose(k, k[::-1, ::-1])
+
+    def test_gaussian_radius_default(self):
+        k = gaussian_kernel(1.0)
+        assert k.shape == (7, 7)  # ceil(3*sigma) = 3 -> 2*3+1
+
+    def test_gaussian_rejects_bad_sigma(self):
+        with pytest.raises(ValueError):
+            gaussian_kernel(0.0)
+
+    def test_box_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            box_kernel(0)
+
+    def test_sobel_kernels_are_transposes(self):
+        assert np.array_equal(SOBEL_X.T, SOBEL_Y)
+
+
+class TestSobel:
+    def test_vertical_edge_detected_by_gx(self):
+        a = np.zeros((10, 10))
+        a[:, 5:] = 100.0
+        gx, gy, mag, _theta = sobel_gradients(a)
+        assert np.abs(gx).max() > 0
+        # interior rows: gy must be ~0 on a purely vertical edge
+        assert np.abs(gy[2:-2]).max() == pytest.approx(0.0)
+        assert mag.max() == pytest.approx(np.abs(gx).max())
+
+    def test_flat_image_zero_gradient(self):
+        _gx, _gy, mag, _theta = sobel_gradients(np.full((8, 8), 42.0))
+        assert mag.max() == pytest.approx(0.0)

@@ -1,0 +1,173 @@
+"""Image container and codec tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.imaging.image import (
+    Image,
+    ImageFormatError,
+    decode_image,
+    encode_bmp,
+    encode_pgm,
+    encode_ppm,
+    read_image,
+    write_image,
+)
+
+
+def _rand_rgb(seed, h, w):
+    gen = np.random.default_rng(seed)
+    return gen.integers(0, 256, (h, w, 3), dtype=np.uint8)
+
+
+class TestImageContainer:
+    def test_rgb_properties(self):
+        img = Image(_rand_rgb(0, 5, 9))
+        assert img.width == 9
+        assert img.height == 5
+        assert img.is_rgb and not img.is_gray
+        assert img.shape == (5, 9, 3)
+
+    def test_gray_properties(self):
+        img = Image(np.zeros((4, 6), dtype=np.uint8))
+        assert img.is_gray and not img.is_rgb
+        assert img.shape == (4, 6)
+
+    def test_rejects_wrong_dtype(self):
+        with pytest.raises(TypeError):
+            Image(np.zeros((4, 4), dtype=np.float64))
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            Image(np.zeros((4, 4, 2), dtype=np.uint8))
+        with pytest.raises(ValueError):
+            Image(np.zeros((4,), dtype=np.uint8))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Image(np.zeros((0, 4), dtype=np.uint8))
+
+    def test_pixels_immutable(self):
+        img = Image(np.zeros((3, 3), dtype=np.uint8))
+        with pytest.raises(ValueError):
+            img.pixels[0, 0] = 1
+
+    def test_source_array_not_aliased(self):
+        arr = np.zeros((3, 3), dtype=np.uint8)
+        img = Image(arr)
+        arr[0, 0] = 99
+        assert img.pixels[0, 0] == 0
+
+    def test_from_array_clips_and_rounds(self):
+        img = Image.from_array(np.array([[-5.0, 300.0, 127.6]]))
+        assert img.pixels.tolist() == [[0, 255, 128]]
+
+    def test_blank_gray_and_rgb(self):
+        g = Image.blank(4, 3, 7)
+        assert g.is_gray and g.pixels.max() == 7 == g.pixels.min()
+        c = Image.blank(4, 3, (1, 2, 3))
+        assert c.is_rgb and c.pixels[0, 0].tolist() == [1, 2, 3]
+
+    def test_to_rgb_roundtrip_gray(self):
+        g = Image.blank(4, 3, 9)
+        rgb = g.to_rgb()
+        assert rgb.is_rgb
+        assert np.all(rgb.pixels == 9)
+        assert rgb.to_gray() == g
+
+    def test_to_gray_uses_bt601(self):
+        img = Image.blank(2, 2, (255, 0, 0))
+        assert img.to_gray().pixels[0, 0] == 76  # round(0.299*255)
+
+    def test_equality_and_hash(self):
+        a = Image(_rand_rgb(1, 4, 4))
+        b = Image(a.pixels.copy())
+        c = Image(_rand_rgb(2, 4, 4))
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+        assert a != "not an image"
+
+
+class TestCodecs:
+    @pytest.mark.parametrize("fmt", ["ppm", "bmp"])
+    def test_rgb_roundtrip(self, fmt):
+        img = Image(_rand_rgb(3, 17, 23))
+        assert decode_image(img.encode(fmt)) == img
+
+    def test_pgm_roundtrip_gray(self):
+        gen = np.random.default_rng(4)
+        img = Image(gen.integers(0, 256, (11, 13), dtype=np.uint8))
+        assert decode_image(img.encode("pgm")) == img
+
+    def test_pgm_converts_rgb_to_gray(self):
+        img = Image(_rand_rgb(5, 8, 8))
+        decoded = decode_image(img.encode("pgm"))
+        assert decoded.is_gray
+        assert decoded == img.to_gray()
+
+    def test_bmp_row_padding(self):
+        # widths not divisible by 4 exercise BMP's row padding
+        for w in (1, 2, 3, 5):
+            img = Image(_rand_rgb(w, 7, w))
+            assert decode_image(encode_bmp(img)) == img
+
+    def test_ascii_pnm_decodes(self):
+        text = b"P2\n# comment\n3 2\n255\n0 1 2\n3 4 5\n"
+        img = decode_image(text)
+        assert img.pixels.tolist() == [[0, 1, 2], [3, 4, 5]]
+
+    def test_ascii_ppm_decodes(self):
+        text = b"P3\n1 1\n255\n10 20 30\n"
+        img = decode_image(text)
+        assert img.pixels[0, 0].tolist() == [10, 20, 30]
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ImageFormatError):
+            decode_image(b"GIF89a....")
+
+    def test_truncated_ppm_rejected(self):
+        data = encode_ppm(Image(_rand_rgb(6, 6, 6)))
+        with pytest.raises(ImageFormatError):
+            decode_image(data[: len(data) // 2])
+
+    def test_truncated_bmp_rejected(self):
+        data = encode_bmp(Image(_rand_rgb(7, 6, 6)))
+        with pytest.raises(ImageFormatError):
+            decode_image(data[:30])
+
+    def test_bad_maxval_rejected(self):
+        with pytest.raises(ImageFormatError):
+            decode_image(b"P5\n2 2\n65535\n\x00\x00\x00\x00")
+
+    def test_unsupported_encode_format(self):
+        with pytest.raises(ValueError):
+            Image(_rand_rgb(8, 4, 4)).encode("jpeg")
+
+    def test_file_roundtrip(self, tmp_path):
+        img = Image(_rand_rgb(9, 10, 12))
+        for ext in ("ppm", "bmp"):
+            path = tmp_path / f"frame.{ext}"
+            write_image(img, path)
+            assert read_image(path) == img
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        h=st.integers(1, 24),
+        w=st.integers(1, 24),
+    )
+    def test_ppm_roundtrip_property(self, seed, h, w):
+        img = Image(_rand_rgb(seed, h, w))
+        assert decode_image(encode_ppm(img)) == img
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        h=st.integers(1, 24),
+        w=st.integers(1, 24),
+    )
+    def test_bmp_roundtrip_property(self, seed, h, w):
+        img = Image(_rand_rgb(seed, h, w))
+        assert decode_image(encode_bmp(img)) == img

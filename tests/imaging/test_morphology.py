@@ -1,0 +1,101 @@
+"""Binary morphology tests."""
+
+import numpy as np
+import pytest
+
+from repro.imaging.morphology import (
+    PAPER_KERNEL,
+    binary_close,
+    binary_dilate,
+    binary_erode,
+    binary_open,
+)
+
+CROSS = np.array([[0, 1, 0], [1, 1, 1], [0, 1, 0]], dtype=bool)
+
+
+def _square(n, size, at):
+    a = np.zeros((n, n), dtype=bool)
+    y, x = at
+    a[y : y + size, x : x + size] = True
+    return a
+
+
+class TestKernel:
+    def test_paper_kernel_shape(self):
+        assert PAPER_KERNEL.shape == (5, 5)
+        # only the central 3x3 is active
+        assert PAPER_KERNEL.sum() == 9
+        assert not PAPER_KERNEL[0].any() and not PAPER_KERNEL[-1].any()
+
+
+class TestDilate:
+    def test_single_pixel_grows_to_kernel(self):
+        a = np.zeros((7, 7), dtype=bool)
+        a[3, 3] = True
+        out = binary_dilate(a)
+        assert out.sum() == 9
+        assert out[2:5, 2:5].all()
+
+    def test_cross_kernel(self):
+        a = np.zeros((5, 5), dtype=bool)
+        a[2, 2] = True
+        out = binary_dilate(a, CROSS)
+        assert out.sum() == 5
+        assert out[2, 1] and out[1, 2] and not out[1, 1]
+
+    def test_empty_stays_empty(self):
+        assert not binary_dilate(np.zeros((6, 6), dtype=bool)).any()
+
+    def test_monotone(self):
+        gen = np.random.default_rng(0)
+        a = gen.random((10, 10)) > 0.7
+        b = a | (gen.random((10, 10)) > 0.7)
+        da, db = binary_dilate(a), binary_dilate(b)
+        assert np.all(da <= db)  # a subset of b dilates to a subset
+
+
+class TestErode:
+    def test_square_shrinks(self):
+        a = _square(9, 5, (2, 2))
+        out = binary_erode(a)
+        assert out.sum() == 9  # 5x5 erodes to 3x3 under a 3x3 kernel
+        assert out[3:6, 3:6].all()
+
+    def test_border_pixels_eroded(self):
+        a = np.ones((6, 6), dtype=bool)
+        out = binary_erode(a)
+        assert not out[0].any() and not out[:, 0].any()
+        assert out[1:-1, 1:-1].all()
+
+    def test_erode_then_dilate_subset_of_original(self):
+        gen = np.random.default_rng(5)
+        a = gen.random((16, 16)) > 0.5
+        assert np.all(binary_open(a) <= a)
+
+    def test_dilate_then_erode_superset_of_original_interior(self):
+        # erosion treats out-of-image pixels as unset, so closing can only
+        # lose pixels at the 1-pixel border; the interior must be a superset
+        gen = np.random.default_rng(6)
+        a = gen.random((16, 16)) > 0.5
+        closed = binary_close(a)
+        assert np.all(closed[1:-1, 1:-1] >= a[1:-1, 1:-1])
+
+
+class TestOpenClose:
+    def test_open_removes_speckle(self):
+        a = _square(15, 6, (4, 4))
+        a[1, 1] = True  # isolated speckle
+        out = binary_open(a)
+        assert not out[1, 1]
+        assert out[6, 6]  # body survives
+
+    def test_close_fills_hole(self):
+        a = _square(15, 7, (4, 4))
+        a[7, 7] = False  # small interior hole
+        out = binary_close(a)
+        assert out[7, 7]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            binary_dilate(np.zeros((2, 2, 2)))

@@ -1,0 +1,71 @@
+"""Rescaling tests."""
+
+import numpy as np
+import pytest
+
+from repro.imaging.image import Image
+from repro.imaging.resize import resize, resize_array
+
+
+class TestNearest:
+    def test_identity(self):
+        a = np.arange(12, dtype=np.uint8).reshape(3, 4)
+        out = resize_array(a, 4, 3, "nearest")
+        assert np.array_equal(out, a)
+        assert out is not a  # must be a copy
+
+    def test_upscale_replicates(self):
+        a = np.array([[0, 255]], dtype=np.uint8)
+        out = resize_array(a, 4, 1, "nearest")
+        assert out.tolist() == [[0, 0, 255, 255]]
+
+    def test_downscale_samples(self):
+        a = np.arange(16, dtype=np.uint8).reshape(4, 4)
+        out = resize_array(a, 2, 2, "nearest")
+        assert out.shape == (2, 2)
+        # values must come from the source
+        assert set(out.ravel().tolist()) <= set(a.ravel().tolist())
+
+    def test_rgb_channels_preserved(self):
+        a = np.zeros((2, 2, 3), dtype=np.uint8)
+        a[..., 1] = 200
+        out = resize_array(a, 5, 5, "nearest")
+        assert out.shape == (5, 5, 3)
+        assert np.all(out[..., 1] == 200) and np.all(out[..., 0] == 0)
+
+
+class TestBilinear:
+    def test_identity(self):
+        a = np.arange(20, dtype=np.uint8).reshape(4, 5)
+        assert np.array_equal(resize_array(a, 5, 4, "bilinear"), a)
+
+    def test_flat_stays_flat(self):
+        a = np.full((6, 6), 100, dtype=np.uint8)
+        out = resize_array(a, 13, 9, "bilinear")
+        assert np.all(out == 100)
+
+    def test_interpolates_between(self):
+        a = np.array([[0, 100]], dtype=np.float64)
+        out = resize_array(a, 4, 1, "bilinear")
+        assert out[0, 0] <= out[0, 1] <= out[0, 2] <= out[0, 3]
+        assert 0 < out[0, 1] < 100
+
+    def test_uint8_output_clipped(self):
+        a = np.array([[0, 255]], dtype=np.uint8)
+        out = resize_array(a, 3, 1, "bilinear")
+        assert out.dtype == np.uint8
+
+
+class TestValidation:
+    def test_rejects_zero_target(self):
+        with pytest.raises(ValueError):
+            resize_array(np.zeros((2, 2)), 0, 2)
+
+    def test_rejects_unknown_interpolation(self):
+        with pytest.raises(ValueError):
+            resize_array(np.zeros((2, 2)), 2, 2, "bicubic")
+
+    def test_image_wrapper(self, gradient_image):
+        out = resize(gradient_image, 300, 300)
+        assert isinstance(out, Image)
+        assert out.width == 300 and out.height == 300

@@ -1,0 +1,77 @@
+"""Procedural texture tests."""
+
+import numpy as np
+import pytest
+
+from repro.imaging.synthetic import (
+    checkerboard,
+    grass_texture,
+    halftone_dots,
+    smooth_noise,
+    stripes,
+)
+
+
+class TestSmoothNoise:
+    def test_range_and_shape(self, fresh_rng):
+        t = smooth_noise(20, 14, 2.0, fresh_rng, lo=10, hi=90)
+        assert t.shape == (14, 20)
+        assert t.min() == pytest.approx(10) and t.max() == pytest.approx(90)
+
+    def test_smoothing_reduces_gradient(self):
+        rough = smooth_noise(30, 30, 0.0, np.random.default_rng(1))
+        smooth = smooth_noise(30, 30, 3.0, np.random.default_rng(1))
+        assert np.abs(np.diff(smooth, axis=1)).mean() < np.abs(np.diff(rough, axis=1)).mean()
+
+    def test_deterministic_given_rng_seed(self):
+        a = smooth_noise(10, 10, 1.0, np.random.default_rng(7))
+        b = smooth_noise(10, 10, 1.0, np.random.default_rng(7))
+        assert np.array_equal(a, b)
+
+
+class TestStripes:
+    def test_periodicity_horizontal(self):
+        t = stripes(40, 8, period=10, angle_deg=0.0)
+        assert np.allclose(t[:, 0], t[:, 10], atol=1e-9)
+        assert np.allclose(t[:, 3], t[:, 13], atol=1e-9)
+
+    def test_orientation_90_varies_vertically(self):
+        t = stripes(8, 40, period=10, angle_deg=90.0)
+        assert np.allclose(t[0, :], t[0, 0])  # constant along x
+        assert t[:, 0].std() > 0
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            stripes(8, 8, 0)
+
+
+class TestCheckerboard:
+    def test_alternation(self):
+        t = checkerboard(8, 8, cell=2, lo=0, hi=255)
+        assert t[0, 0] == 0 and t[0, 2] == 255 and t[2, 0] == 255 and t[2, 2] == 0
+
+    def test_rejects_bad_cell(self):
+        with pytest.raises(ValueError):
+            checkerboard(8, 8, 0)
+
+
+class TestGrass:
+    def test_range(self, fresh_rng):
+        t = grass_texture(24, 24, fresh_rng)
+        assert t.min() >= 0 and t.max() <= 255
+
+    def test_high_frequency(self, fresh_rng):
+        t = grass_texture(32, 32, fresh_rng)
+        # neighbouring pixels should differ noticeably (it is noise-based)
+        assert np.abs(np.diff(t, axis=1)).mean() > 5
+
+
+class TestDots:
+    def test_grid_positions(self):
+        t = halftone_dots(30, 30, spacing=10, radius=2)
+        assert t[5, 5] == 255.0  # dot center at spacing/2
+        assert t[0, 0] == 0.0
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            halftone_dots(10, 10, 0, 1)

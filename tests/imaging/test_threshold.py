@@ -1,0 +1,76 @@
+"""Automatic thresholding tests."""
+
+import numpy as np
+import pytest
+
+from repro.imaging.threshold import binarize, min_fuzziness_threshold, otsu_threshold
+
+
+def _bimodal_hist(lo, hi, n_lo=400, n_hi=600):
+    hist = np.zeros(256)
+    hist[lo] = n_lo
+    hist[hi] = n_hi
+    return hist
+
+
+class TestMinFuzziness:
+    def test_bimodal_splits_between_modes(self):
+        t = min_fuzziness_threshold(_bimodal_hist(40, 200))
+        assert 40 <= t < 200
+
+    def test_spread_bimodal(self):
+        gen = np.random.default_rng(0)
+        hist = np.zeros(256)
+        for v in gen.normal(60, 8, 3000):
+            hist[int(np.clip(v, 0, 255))] += 1
+        for v in gen.normal(190, 10, 3000):
+            hist[int(np.clip(v, 0, 255))] += 1
+        t = min_fuzziness_threshold(hist)
+        assert 80 < t < 170
+
+    def test_constant_image(self):
+        hist = np.zeros(256)
+        hist[99] = 500
+        assert min_fuzziness_threshold(hist) == 99
+
+    def test_empty_histogram_rejected(self):
+        with pytest.raises(ValueError):
+            min_fuzziness_threshold(np.zeros(256))
+
+    def test_short_histogram_rejected(self):
+        with pytest.raises(ValueError):
+            min_fuzziness_threshold(np.array([5.0]))
+
+
+class TestOtsu:
+    def test_bimodal_splits_between_modes(self):
+        t = otsu_threshold(_bimodal_hist(30, 220))
+        assert 30 <= t < 220
+
+    def test_agrees_with_fuzzy_on_clean_bimodal(self):
+        hist = _bimodal_hist(50, 180)
+        tf = min_fuzziness_threshold(hist)
+        to = otsu_threshold(hist)
+        assert abs(tf - to) < 70  # both land between the modes
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            otsu_threshold(np.zeros(10))
+
+
+class TestBinarize:
+    def test_explicit_threshold(self):
+        a = np.array([[10, 200], [90, 150]], dtype=np.uint8)
+        out = binarize(a, threshold=100)
+        assert out.tolist() == [[False, True], [False, True]]
+
+    def test_auto_threshold_separates_modes(self):
+        a = np.zeros((10, 10), dtype=np.uint8)
+        a[:, 5:] = 220
+        a[:, :5] = 30
+        out = binarize(a)
+        assert out[:, 5:].all() and not out[:, :5].any()
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            binarize(np.zeros((2, 2, 3)))

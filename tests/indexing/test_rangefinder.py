@@ -1,0 +1,114 @@
+"""§4.2 range-finder tests."""
+
+import numpy as np
+import pytest
+
+from repro.imaging.image import Image
+from repro.indexing.rangefinder import Bucket, RangeFinder, paper_range_finder
+
+
+def _hist_concentrated(lo, hi, total=10000):
+    """All mass uniformly inside [lo, hi]."""
+    hist = np.zeros(256)
+    hist[lo : hi + 1] = total / (hi - lo + 1)
+    return hist
+
+
+class TestBucket:
+    def test_width_and_level(self):
+        assert Bucket(0, 255).width == 256
+        assert Bucket(0, 255).level == 0
+        assert Bucket(128, 255).level == 1
+        assert Bucket(64, 127).level == 2
+        assert Bucket(32, 63).level == 3
+
+    def test_halves(self):
+        left, right = Bucket(0, 255).halves()
+        assert left == Bucket(0, 127)
+        assert right == Bucket(128, 255)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Bucket(-1, 10)
+        with pytest.raises(ValueError):
+            Bucket(10, 5)
+        with pytest.raises(ValueError):
+            Bucket(0, 256)
+
+    def test_contains_and_same_path(self):
+        root = Bucket(0, 255)
+        leaf = Bucket(32, 63)
+        sibling = Bucket(0, 31)
+        assert root.contains(leaf)
+        assert root.on_same_path(leaf) and leaf.on_same_path(root)
+        assert not leaf.on_same_path(sibling)
+
+    def test_too_narrow_to_split(self):
+        with pytest.raises(ValueError):
+            Bucket(5, 5).halves()
+
+
+class TestRangeFinder:
+    def test_dark_image_descends_left(self):
+        hist = _hist_concentrated(0, 25)
+        b = RangeFinder().bucket_for_histogram(hist)
+        assert b == Bucket(0, 31)
+
+    def test_bright_image_descends_right(self):
+        hist = _hist_concentrated(230, 255)
+        b = RangeFinder().bucket_for_histogram(hist)
+        assert b == Bucket(224, 255)
+
+    def test_spread_image_stays_at_root(self):
+        hist = np.full(256, 100.0)  # uniform: neither half exceeds 55%
+        b = RangeFinder().bucket_for_histogram(hist)
+        assert b == Bucket(0, 255)
+
+    def test_mid_concentration_stops_mid_level(self):
+        # mass spans [0, 127] evenly: descends once, then stops
+        hist = _hist_concentrated(0, 127)
+        b = RangeFinder().bucket_for_histogram(hist)
+        assert b == Bucket(0, 127)
+
+    def test_max_level_bounds_descent(self):
+        hist = _hist_concentrated(0, 3)
+        b = RangeFinder(max_level=2).bucket_for_histogram(hist)
+        assert b == Bucket(0, 63)
+
+    def test_deeper_descent_allowed(self):
+        hist = _hist_concentrated(0, 3)
+        b = RangeFinder(max_level=6).bucket_for_histogram(hist)
+        assert b.width == 4
+
+    def test_image_wrapper_uses_gray(self):
+        img = Image.blank(10, 10, (255, 255, 255))  # gray 255
+        b = RangeFinder().bucket_for_image(img)
+        assert b == Bucket(224, 255)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RangeFinder(first_threshold=0)
+        with pytest.raises(ValueError):
+            RangeFinder(max_level=0)
+        with pytest.raises(ValueError):
+            RangeFinder().bucket_for_histogram(np.zeros(256))
+        with pytest.raises(ValueError):
+            RangeFinder().bucket_for_histogram(np.ones(128))
+
+
+class TestPaperExact:
+    def test_first_level_always_descends(self):
+        # uniform histogram: generalized finder stays at root, the paper's
+        # listing always takes the else-branch to [128, 255]
+        hist = np.full(256, 100.0)
+        general = RangeFinder().bucket_for_histogram(hist)
+        paper = paper_range_finder().bucket_for_histogram(hist)
+        assert general == Bucket(0, 255)
+        assert paper == Bucket(128, 255)
+
+    def test_agrees_on_concentrated_histograms(self):
+        for lo, hi in ((0, 20), (200, 250), (70, 120)):
+            hist = _hist_concentrated(lo, hi)
+            general = RangeFinder().bucket_for_histogram(hist)
+            paper = paper_range_finder().bucket_for_histogram(hist)
+            assert paper.on_same_path(general)

@@ -1,0 +1,98 @@
+"""Range-index tree tests."""
+
+import pytest
+
+from repro.imaging.image import Image
+from repro.indexing.rangefinder import Bucket, RangeFinder
+from repro.indexing.tree import RangeIndex
+
+
+def _flat(v):
+    return Image.blank(12, 10, v)
+
+
+class TestInsertRemove:
+    def test_insert_and_lookup(self):
+        idx = RangeIndex()
+        bucket = idx.insert("f1", _flat(10))  # dark -> deep left bucket
+        assert "f1" in idx
+        assert idx.bucket_of("f1") == bucket
+        assert bucket.max <= 127
+
+    def test_reinsert_moves(self):
+        idx = RangeIndex()
+        idx.insert("f1", _flat(10))
+        idx.insert("f1", _flat(250))
+        assert len(idx) == 1
+        assert idx.bucket_of("f1").min >= 128
+
+    def test_remove(self):
+        idx = RangeIndex()
+        idx.insert("f1", _flat(10))
+        idx.remove("f1")
+        assert "f1" not in idx
+        assert len(idx) == 0
+        with pytest.raises(KeyError):
+            idx.remove("f1")
+
+    def test_stats(self):
+        idx = RangeIndex()
+        idx.insert("a", _flat(10))
+        idx.insert("b", _flat(12))
+        idx.insert("c", _flat(250))
+        stats = idx.stats()
+        assert stats.n_entries == 3
+        assert stats.n_buckets == 2
+        assert stats.bucket_sizes[stats.largest_bucket] == 2
+        assert stats.mean_bucket_size == pytest.approx(1.5)
+
+
+class TestCandidates:
+    def test_same_bucket_found(self):
+        idx = RangeIndex()
+        idx.insert("a", _flat(10))
+        idx.insert("b", _flat(12))
+        assert idx.candidates(_flat(11)) == {"a", "b"}
+
+    def test_disjoint_bucket_pruned(self):
+        idx = RangeIndex()
+        idx.insert("dark", _flat(10))
+        idx.insert("bright", _flat(250))
+        cands = idx.candidates(_flat(11))
+        assert "dark" in cands and "bright" not in cands
+
+    def test_ancestor_bucket_included(self):
+        # a frame bucketed at the root must be a candidate for any query
+        idx = RangeIndex()
+        spread = Image.blank(16, 16, 0).pixels.copy()
+        import numpy as np
+
+        gen = np.random.default_rng(0)
+        spread = Image(gen.integers(0, 256, (16, 16), dtype=np.uint8))
+        root_bucket = idx.insert("spread", spread)
+        assert root_bucket == Bucket(0, 255)
+        assert "spread" in idx.candidates(_flat(10))
+        assert "spread" in idx.candidates(_flat(250))
+
+    def test_candidates_for_bucket_direct(self):
+        idx = RangeIndex()
+        idx.insert_bucket("x", Bucket(0, 31))
+        idx.insert_bucket("y", Bucket(0, 127))
+        idx.insert_bucket("z", Bucket(128, 255))
+        cands = idx.candidates_for_bucket(Bucket(0, 63))
+        assert cands == {"x", "y"}
+
+    def test_pruning_factor(self):
+        idx = RangeIndex()
+        for i in range(5):
+            idx.insert(f"d{i}", _flat(10 + i))
+        for i in range(5):
+            idx.insert(f"b{i}", _flat(245 + i))
+        factor = idx.pruning_factor([_flat(12), _flat(247)])
+        assert factor == pytest.approx(0.5)
+
+    def test_empty_index(self):
+        idx = RangeIndex()
+        assert idx.candidates(_flat(5)) == set()
+        assert idx.pruning_factor([_flat(5)]) == 0.0
+        assert idx.stats().largest_bucket is None

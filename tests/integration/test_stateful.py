@@ -1,0 +1,107 @@
+"""Stateful consistency testing: random admin operation sequences.
+
+A hypothesis state machine drives add/delete/rename sequences against a
+live system and checks, after every step, that the three views of the
+corpus -- the SQL tables, the in-memory feature store, and the range
+index -- agree exactly.  This is the class of bug (partial ingest, stale
+index entries, orphaned rows) that single-scenario tests miss.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from repro.core.config import SystemConfig
+from repro.core.system import VideoRetrievalSystem
+from repro.db.errors import DatabaseError
+from repro.imaging.image import Image
+
+# a tiny fast config: two cheap features, small rescale
+_CONFIG = SystemConfig(features=("sch", "naive"), keyframe_base_size=60)
+
+
+def _tiny_clip(seed: int):
+    """Two-frame clip, 24x20, unique per seed."""
+    gen = np.random.default_rng(seed)
+    base = gen.integers(0, 256, (20, 24, 3), dtype=np.uint8)
+    shifted = np.clip(base.astype(int) + 40, 0, 255).astype(np.uint8)
+    return [Image(base), Image(shifted)]
+
+
+class SystemConsistency(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.system = VideoRetrievalSystem.in_memory(_CONFIG)
+        self.admin = self.system.login_admin()
+        self.live_ids = set()
+        self.counter = 0
+
+    @rule(seed=st.integers(0, 10_000))
+    def add_video(self, seed):
+        self.counter += 1
+        report = self.admin.add_video(
+            _tiny_clip(seed), name=f"clip_{self.counter}", category="misc"
+        )
+        self.live_ids.add(report.video_id)
+
+    @rule(pick=st.integers(0, 10_000))
+    def delete_some_video(self, pick):
+        if not self.live_ids:
+            return
+        victim = sorted(self.live_ids)[pick % len(self.live_ids)]
+        self.admin.delete_video(victim)
+        self.live_ids.discard(victim)
+
+    @rule(pick=st.integers(0, 10_000))
+    def delete_missing_video_fails(self, pick):
+        missing = 100_000 + pick
+        try:
+            self.admin.delete_video(missing)
+            raise AssertionError("deleting a missing video must fail")
+        except DatabaseError:
+            pass
+
+    @rule(pick=st.integers(0, 10_000))
+    def rename_some_video(self, pick):
+        if not self.live_ids:
+            return
+        victim = sorted(self.live_ids)[pick % len(self.live_ids)]
+        self.admin.rename_video(victim, f"renamed_{pick}")
+
+    # -- invariants ------------------------------------------------------------
+
+    @invariant()
+    def views_agree(self):
+        if not hasattr(self, "system"):
+            return
+        db_videos = {r["V_ID"] for r in self.system.list_videos()}
+        assert db_videos == self.live_ids
+
+        db_frames = {
+            int(r["I_ID"]) for r in self.system.db.execute("SELECT I_ID FROM KEY_FRAMES").rows
+        }
+        store_frames = set(self.system._store.frame_ids())
+        index_frames = self.system._index.all_ids()
+        assert db_frames == store_frames == index_frames
+
+        db_frame_videos = {
+            int(r["V_ID"])
+            for r in self.system.db.execute("SELECT V_ID FROM KEY_FRAMES").rows
+        }
+        assert db_frame_videos <= self.live_ids  # no orphaned key frames
+
+    @invariant()
+    def search_always_works(self):
+        if not hasattr(self, "system") or not self.live_ids:
+            return
+        query = self.system.any_key_frame()
+        results = self.system.search(query, top_k=3, use_index=False)
+        assert len(results) >= 1
+        assert {h.video_id for h in results} <= self.live_ids
+
+
+TestSystemConsistency = SystemConsistency.TestCase
+TestSystemConsistency.settings = settings(
+    max_examples=12, stateful_step_count=14, deadline=None
+)

@@ -1,0 +1,99 @@
+"""Feature fusion tests."""
+
+import numpy as np
+import pytest
+
+from repro.similarity.fusion import CombinedScorer, FeatureWeights, normalize_scores
+
+
+class TestNormalize:
+    def test_maps_to_unit_interval(self):
+        out = normalize_scores([2.0, 4.0, 6.0])
+        assert out.tolist() == [0.0, 0.5, 1.0]
+
+    def test_constant_maps_to_zero(self):
+        assert normalize_scores([5.0, 5.0, 5.0]).tolist() == [0.0, 0.0, 0.0]
+
+    def test_empty(self):
+        assert normalize_scores([]).size == 0
+
+    def test_order_preserved(self):
+        raw = [9.0, 1.0, 5.0]
+        out = normalize_scores(raw)
+        assert np.argsort(out).tolist() == np.argsort(raw).tolist()
+
+
+class TestWeights:
+    def test_equal(self):
+        w = FeatureWeights.equal(["a", "b"])
+        assert w.get("a") == 1.0 and w.get("b") == 1.0
+        assert w.get("missing") == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureWeights({"a": -1.0})
+
+    def test_normalized(self):
+        w = FeatureWeights({"a": 1.0, "b": 3.0}).normalized()
+        assert w.get("a") == pytest.approx(0.25)
+        assert w.get("b") == pytest.approx(0.75)
+
+    def test_normalized_drops_zero_weights(self):
+        w = FeatureWeights({"a": 1.0, "b": 0.0}).normalized()
+        assert w.active() == ["a"]
+
+    def test_normalize_all_zero_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureWeights({"a": 0.0}).normalized()
+
+
+class TestScorer:
+    def test_requires_positive_weight(self):
+        with pytest.raises(ValueError):
+            CombinedScorer(FeatureWeights({"a": 0.0}))
+
+    def test_equal_fusion(self):
+        scorer = CombinedScorer(FeatureWeights.equal(["f", "g"]))
+        fused = scorer.fuse({"f": [0.0, 1.0], "g": [1.0, 0.0]})
+        assert fused.tolist() == [0.5, 0.5]
+
+    def test_weighted_fusion(self):
+        scorer = CombinedScorer(FeatureWeights({"f": 3.0, "g": 1.0}))
+        fused = scorer.fuse({"f": [0.0, 1.0], "g": [1.0, 0.0]})
+        assert fused[0] == pytest.approx(0.25)
+        assert fused[1] == pytest.approx(0.75)
+
+    def test_scales_cancel(self):
+        """A feature measured in thousands must not dominate one in [0,1]."""
+        scorer = CombinedScorer(FeatureWeights.equal(["big", "small"]))
+        fused = scorer.fuse({
+            "big": [0.0, 9000.0, 4500.0],
+            "small": [1.0, 0.0, 0.5],
+        })
+        assert fused[2] == pytest.approx(0.5)
+        assert fused[0] == pytest.approx(0.5)
+
+    def test_missing_feature_rejected(self):
+        scorer = CombinedScorer(FeatureWeights.equal(["f", "g"]))
+        with pytest.raises(KeyError):
+            scorer.fuse({"f": [0.0]})
+
+    def test_mismatched_lengths_rejected(self):
+        scorer = CombinedScorer(FeatureWeights.equal(["f", "g"]))
+        with pytest.raises(ValueError):
+            scorer.fuse({"f": [0.0, 1.0], "g": [1.0]})
+
+    def test_rank(self):
+        scorer = CombinedScorer(FeatureWeights.equal(["f"]))
+        order = scorer.rank({"f": [5.0, 1.0, 3.0]})
+        assert order.tolist() == [1, 2, 0]
+
+    def test_fusion_recovers_consensus(self):
+        """Item that two features agree is close must outrank an item each
+        single feature disagrees about."""
+        scorer = CombinedScorer(FeatureWeights.equal(["f", "g"]))
+        fused = scorer.fuse({
+            "f": [0.1, 0.0, 1.0],   # item 1 best by f
+            "g": [0.1, 1.0, 0.0],   # item 2 best by g
+        })
+        assert np.argmin(fused) == 0  # consensus item wins

@@ -1,0 +1,113 @@
+"""Distance measure tests, including hypothesis-checked metric properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.similarity.measures import (
+    canberra,
+    chi_square,
+    cosine_distance,
+    histogram_intersection,
+    jensen_shannon,
+    l1,
+    l2,
+)
+
+finite_vec = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    min_size=1,
+    max_size=20,
+)
+nonneg_vec = st.lists(
+    st.floats(min_value=0, max_value=1e6, allow_nan=False),
+    min_size=1,
+    max_size=20,
+)
+
+ALL_MEASURES = [l1, l2, canberra, chi_square, cosine_distance, histogram_intersection, jensen_shannon]
+
+
+class TestKnownValues:
+    def test_l1(self):
+        assert l1([1, 2, 3], [2, 2, 5]) == 3.0
+
+    def test_l2(self):
+        assert l2([0, 0], [3, 4]) == 5.0
+
+    def test_canberra(self):
+        assert canberra([1, 0], [3, 0]) == pytest.approx(0.5)
+
+    def test_chi_square(self):
+        assert chi_square([2, 0], [0, 2]) == pytest.approx(4.0)
+
+    def test_cosine_orthogonal(self):
+        assert cosine_distance([1, 0], [0, 1]) == pytest.approx(1.0)
+
+    def test_cosine_parallel(self):
+        assert cosine_distance([1, 2], [2, 4]) == pytest.approx(0.0)
+
+    def test_cosine_opposite(self):
+        assert cosine_distance([1, 0], [-1, 0]) == pytest.approx(2.0)
+
+    def test_intersection_identical(self):
+        assert histogram_intersection([1, 3], [2, 6]) == pytest.approx(0.0)
+
+    def test_intersection_disjoint(self):
+        assert histogram_intersection([1, 0], [0, 1]) == pytest.approx(1.0)
+
+    def test_jsd_disjoint_is_ln2(self):
+        assert jensen_shannon([1, 0], [0, 1]) == pytest.approx(np.log(2))
+
+
+class TestEdgeCases:
+    def test_length_mismatch(self):
+        for m in ALL_MEASURES:
+            with pytest.raises(ValueError):
+                m([1, 2], [1, 2, 3])
+
+    def test_zero_vectors(self):
+        assert cosine_distance([0, 0], [0, 0]) == 0.0
+        assert cosine_distance([0, 0], [1, 0]) == 1.0
+        assert histogram_intersection([0, 0], [0, 0]) == 0.0
+        assert canberra([0, 0], [0, 0]) == 0.0
+
+    def test_negative_inputs_rejected_where_required(self):
+        with pytest.raises(ValueError):
+            histogram_intersection([-1, 2], [1, 2])
+        with pytest.raises(ValueError):
+            jensen_shannon([-1, 2], [1, 2])
+
+
+@pytest.mark.parametrize("measure", [l1, l2, canberra, chi_square])
+class TestMetricPropertiesSigned:
+    @settings(max_examples=30, deadline=None)
+    @given(a=finite_vec)
+    def test_identity(self, measure, a):
+        assert measure(a, a) == pytest.approx(0.0, abs=1e-9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_symmetry_and_nonnegativity(self, measure, data):
+        a = data.draw(finite_vec)
+        b = data.draw(st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=len(a), max_size=len(a),
+        ))
+        d1, d2 = measure(a, b), measure(b, a)
+        assert d1 >= 0
+        assert d1 == pytest.approx(d2, rel=1e-9, abs=1e-12)
+
+
+class TestTriangleInequalityL1L2:
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_triangle(self, data):
+        n = data.draw(st.integers(1, 10))
+        fl = st.floats(min_value=-1e3, max_value=1e3, allow_nan=False)
+        a = data.draw(st.lists(fl, min_size=n, max_size=n))
+        b = data.draw(st.lists(fl, min_size=n, max_size=n))
+        c = data.draw(st.lists(fl, min_size=n, max_size=n))
+        for m in (l1, l2):
+            assert m(a, c) <= m(a, b) + m(b, c) + 1e-6

@@ -1,0 +1,138 @@
+"""CLI tests (driving repro.cli.main directly)."""
+
+import os
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture()
+def corpus_dir(tmp_path):
+    out = str(tmp_path / "corpus")
+    rc = main(["demo-corpus", out, "--per-category", "1",
+               "--shots", "2", "--frames-per-shot", "4", "--seed", "3"])
+    assert rc == 0
+    return out
+
+
+@pytest.fixture()
+def library(tmp_path, corpus_dir, capsys):
+    lib = str(tmp_path / "lib.rdb")
+    videos = sorted(
+        os.path.join(corpus_dir, f) for f in os.listdir(corpus_dir)
+    )
+    rc = main(["ingest", lib] + videos)
+    assert rc == 0
+    capsys.readouterr()
+    return lib
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestDemoCorpus:
+    def test_writes_rvf_files(self, corpus_dir):
+        files = sorted(os.listdir(corpus_dir))
+        assert len(files) == 5  # one per category
+        assert all(f.endswith(".rvf") for f in files)
+
+    def test_deterministic(self, tmp_path):
+        a, b = str(tmp_path / "a"), str(tmp_path / "b")
+        main(["demo-corpus", a, "--per-category", "1", "--shots", "1",
+              "--frames-per-shot", "2", "--seed", "9"])
+        main(["demo-corpus", b, "--per-category", "1", "--shots", "1",
+              "--frames-per-shot", "2", "--seed", "9"])
+        for f in os.listdir(a):
+            with open(os.path.join(a, f), "rb") as fa, open(os.path.join(b, f), "rb") as fb:
+                assert fa.read() == fb.read()
+
+
+class TestIngestAndList:
+    def test_list_shows_videos(self, library, capsys):
+        rc = main(["list", library])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cartoon_000" in out and "key frames" in out
+
+    def test_category_inferred_from_name(self, library, capsys):
+        main(["list", library])
+        out = capsys.readouterr().out
+        assert "sports" in out
+
+    def test_ingest_missing_file(self, tmp_path, capsys):
+        rc = main(["ingest", str(tmp_path / "x.rdb"), str(tmp_path / "nope.rvf")])
+        assert rc == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_empty_library_list(self, tmp_path, capsys):
+        rc = main(["list", str(tmp_path / "fresh.rdb")])
+        assert rc == 0
+        assert "empty" in capsys.readouterr().out
+
+
+class TestSearch:
+    def test_search_with_exported_frame(self, library, tmp_path, capsys):
+        frame_path = str(tmp_path / "query.ppm")
+        rc = main(["export-frame", library, "1", frame_path])
+        assert rc == 0
+        capsys.readouterr()
+
+        rc = main(["search", library, frame_path, "--top-k", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "# 1" in out and "d=0.0" in out
+
+    def test_search_single_feature_no_index(self, library, tmp_path, capsys):
+        frame_path = str(tmp_path / "q.ppm")
+        main(["export-frame", library, "1", frame_path])
+        capsys.readouterr()
+        rc = main(["search", library, frame_path, "--features", "sch", "--no-index"])
+        assert rc == 0
+        assert "pruned 0%" in capsys.readouterr().out
+
+    def test_search_bad_image(self, library, tmp_path, capsys):
+        bad = tmp_path / "bad.ppm"
+        bad.write_bytes(b"garbage")
+        rc = main(["search", library, str(bad)])
+        assert rc == 1
+
+    def test_unknown_feature(self, library, tmp_path, capsys):
+        frame_path = str(tmp_path / "q.ppm")
+        main(["export-frame", library, "1", frame_path])
+        rc = main(["search", library, frame_path, "--features", "sift"])
+        assert rc == 1
+
+
+class TestDeleteAndExport:
+    def test_delete(self, library, capsys):
+        rc = main(["delete", library, "1"])
+        assert rc == 0
+        capsys.readouterr()
+        main(["list", library])
+        out = capsys.readouterr().out
+        assert "   1  " not in out
+
+    def test_delete_unknown(self, library, capsys):
+        rc = main(["delete", library, "99"])
+        assert rc == 1
+
+    def test_export_unknown_frame(self, library, tmp_path):
+        rc = main(["export-frame", library, "999", str(tmp_path / "o.ppm")])
+        assert rc == 1
+
+    def test_export_roundtrip(self, library, tmp_path):
+        from repro.imaging.image import read_image
+
+        out = str(tmp_path / "frame.bmp")
+        rc = main(["export-frame", library, "1", out])
+        assert rc == 0
+        img = read_image(out)
+        assert img.width > 0

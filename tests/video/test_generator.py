@@ -1,0 +1,130 @@
+"""Synthetic corpus generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.video.generator import (
+    CATEGORIES,
+    SyntheticVideo,
+    VideoSpec,
+    generate_video,
+    make_corpus,
+)
+from repro.video.shots import cut_indices, frame_distances
+
+
+class TestVideoSpec:
+    def test_rejects_unknown_category(self):
+        with pytest.raises(ValueError):
+            VideoSpec(category="documentary", seed=1)
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(ValueError):
+            VideoSpec(category="sports", seed=1, n_shots=0)
+        with pytest.raises(ValueError):
+            VideoSpec(category="sports", seed=1, frames_per_shot=0)
+
+    def test_rejects_tiny_frames(self):
+        with pytest.raises(ValueError):
+            VideoSpec(category="sports", seed=1, width=4)
+
+
+class TestGenerateVideo:
+    @pytest.mark.parametrize("category", CATEGORIES)
+    def test_every_category_renders(self, category):
+        v = generate_video(
+            VideoSpec(category=category, seed=3, n_shots=1, frames_per_shot=2)
+        )
+        assert v.n_frames == 2
+        assert v.frames[0].shape == (96, 128, 3)
+        assert v.category == category
+
+    def test_deterministic(self):
+        spec = VideoSpec(category="news", seed=5, n_shots=2, frames_per_shot=3)
+        a = generate_video(spec)
+        b = generate_video(spec)
+        assert a.frames == b.frames
+
+    def test_different_seeds_differ(self):
+        a = generate_video(VideoSpec(category="news", seed=1, n_shots=1, frames_per_shot=1))
+        b = generate_video(VideoSpec(category="news", seed=2, n_shots=1, frames_per_shot=1))
+        assert a.frames[0] != b.frames[0]
+
+    def test_custom_dimensions(self):
+        v = generate_video(
+            VideoSpec(category="movies", seed=1, width=64, height=48, n_shots=1, frames_per_shot=1)
+        )
+        assert v.frames[0].shape == (48, 64, 3)
+
+    def test_name_default_and_override(self):
+        spec = VideoSpec(category="cartoon", seed=9, n_shots=1, frames_per_shot=1)
+        assert generate_video(spec).name == "cartoon_00009"
+        assert generate_video(spec, name="custom").name == "custom"
+
+    def test_shot_boundaries_property(self):
+        v = generate_video(VideoSpec(category="sports", seed=2, n_shots=3, frames_per_shot=4))
+        assert v.shot_boundaries == [4, 8]
+
+    def test_shots_produce_detectable_cuts(self):
+        v = generate_video(
+            VideoSpec(category="cartoon", seed=8, n_shots=3, frames_per_shot=6)
+        )
+        cuts = cut_indices(v.frames)
+        assert set(v.shot_boundaries) <= set(cuts)
+
+    def test_intra_shot_motion_smaller_than_cuts(self):
+        v = generate_video(
+            VideoSpec(category="sports", seed=4, n_shots=2, frames_per_shot=6)
+        )
+        dists = frame_distances(v.frames)
+        cut = dists[5]  # boundary between shot 0 and 1
+        intra = [d for i, d in enumerate(dists) if i != 5]
+        assert cut > 2 * max(intra)
+
+
+class TestMakeCorpus:
+    def test_counts_and_categories(self):
+        corpus = make_corpus(videos_per_category=2, seed=1, n_shots=1, frames_per_shot=2)
+        assert len(corpus) == 2 * len(CATEGORIES)
+        by_cat = {}
+        for v in corpus:
+            by_cat.setdefault(v.category, []).append(v)
+        assert set(by_cat) == set(CATEGORIES)
+        assert all(len(vs) == 2 for vs in by_cat.values())
+
+    def test_unique_names(self):
+        corpus = make_corpus(videos_per_category=3, seed=1, n_shots=1, frames_per_shot=1)
+        names = [v.name for v in corpus]
+        assert len(names) == len(set(names))
+
+    def test_deterministic(self):
+        a = make_corpus(videos_per_category=1, seed=6, n_shots=1, frames_per_shot=2)
+        b = make_corpus(videos_per_category=1, seed=6, n_shots=1, frames_per_shot=2)
+        assert all(x.frames == y.frames for x, y in zip(a, b))
+
+    def test_rejects_zero_videos(self):
+        with pytest.raises(ValueError):
+            make_corpus(videos_per_category=0)
+
+    def test_spec_overrides_forwarded(self):
+        corpus = make_corpus(videos_per_category=1, seed=1, n_shots=1,
+                             frames_per_shot=2, width=64, height=48)
+        assert corpus[0].frames[0].shape == (48, 64, 3)
+
+
+class TestCategorySeparation:
+    def test_same_category_closer_than_cross_category(self):
+        """The corpus's core property: intra-category frame distances are
+        smaller on average than inter-category ones (else retrieval by
+        low-level features could not work at all)."""
+        from repro.video.keyframes import frame_signature_distance
+
+        corpus = make_corpus(videos_per_category=2, seed=13, n_shots=1, frames_per_shot=1)
+        frames = {(v.category, v.name): v.frames[0] for v in corpus}
+        intra, inter = [], []
+        items = list(frames.items())
+        for i, ((cat_a, _na), fa) in enumerate(items):
+            for (cat_b, _nb), fb in items[i + 1:]:
+                d = frame_signature_distance(fa, fb, base_size=64)
+                (intra if cat_a == cat_b else inter).append(d)
+        assert np.mean(intra) < np.mean(inter)

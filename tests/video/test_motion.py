@@ -1,0 +1,96 @@
+"""Motion descriptor tests (extension)."""
+
+import numpy as np
+import pytest
+
+from repro.imaging.draw import Canvas
+from repro.imaging.image import Image
+from repro.video.motion import (
+    MOTION_DIMS,
+    block_motion_vectors,
+    motion_activity,
+    motion_energy,
+)
+
+
+def _moving_square_frames(n=6, step=3, size=64):
+    frames = []
+    for i in range(n):
+        c = Canvas(size, size, background=(20, 20, 20))
+        x = 8 + i * step
+        c.rect(x, 24, x + 16, 40, (220, 220, 220))
+        frames.append(c.to_image())
+    return frames
+
+
+class TestMotionEnergy:
+    def test_static_clip_zero(self):
+        frames = [Image.blank(32, 32, (50, 50, 50))] * 4
+        assert motion_energy(frames) == [0.0, 0.0, 0.0]
+
+    def test_length(self):
+        frames = _moving_square_frames(5)
+        assert len(motion_energy(frames)) == 4
+
+    def test_faster_motion_higher_energy(self):
+        slow = motion_energy(_moving_square_frames(4, step=1))
+        fast = motion_energy(_moving_square_frames(4, step=6))
+        assert np.mean(fast) > np.mean(slow)
+
+
+class TestBlockMatching:
+    def test_static_frames_zero_vectors(self):
+        a = Image.blank(48, 48, (90, 90, 90))
+        vectors = block_motion_vectors(a, a)
+        assert np.all(vectors == 0)
+
+    def test_rightward_shift_detected(self):
+        frames = _moving_square_frames(2, step=3)
+        vectors = block_motion_vectors(frames[0], frames[1], block=16, radius=4)
+        moving = vectors[(vectors[:, 0] != 0) | (vectors[:, 1] != 0)]
+        assert moving.size > 0
+        # the dominant horizontal displacement matches the step
+        assert np.median(moving[:, 0]) == pytest.approx(3, abs=1)
+        assert np.all(np.abs(moving[:, 1]) <= 1)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            block_motion_vectors(Image.blank(32, 32, 0), Image.blank(16, 16, 0))
+
+
+class TestMotionActivity:
+    def test_dims(self):
+        desc = motion_activity(_moving_square_frames(5))
+        assert desc.shape == (MOTION_DIMS,)
+
+    def test_static_clip(self):
+        frames = [Image.blank(48, 48, (30, 30, 30))] * 4
+        desc = motion_activity(frames)
+        assert np.all(desc == 0)
+
+    def test_direction_histogram_normalized(self):
+        desc = motion_activity(_moving_square_frames(6, step=4))
+        hist = desc[4:]
+        assert hist.sum() == pytest.approx(1.0) or hist.sum() == 0.0
+
+    def test_high_motion_fraction(self):
+        fast = motion_activity(_moving_square_frames(5, step=8), high_motion_threshold=1.0)
+        assert fast[3] == 1.0  # every transition exceeds the low threshold
+
+    def test_requires_two_frames(self):
+        with pytest.raises(ValueError):
+            motion_activity([Image.blank(16, 16, 0)])
+
+    def test_discriminates_static_from_dynamic_categories(self):
+        """Generator sanity: sports clips carry more motion than e-learning."""
+        from repro.video.generator import VideoSpec, generate_video
+
+        sports = generate_video(
+            VideoSpec(category="sports", seed=8, n_shots=1, frames_per_shot=6, noise_sigma=0.0)
+        )
+        slides = generate_video(
+            VideoSpec(category="elearning", seed=8, n_shots=1, frames_per_shot=6, noise_sigma=0.0)
+        )
+        e_sports = np.mean(motion_energy(list(sports.frames)))
+        e_slides = np.mean(motion_energy(list(slides.frames)))
+        assert e_sports > e_slides

@@ -1,0 +1,55 @@
+"""Frame-distance and cut-detection tests."""
+
+import pytest
+
+from repro.imaging.image import Image
+from repro.video.shots import cut_indices, frame_distance, frame_distances
+
+
+def _flat(v):
+    return Image.blank(16, 12, v)
+
+
+class TestFrameDistance:
+    def test_identical_zero(self):
+        assert frame_distance(_flat(7), _flat(7)) == 0.0
+
+    def test_mean_absolute(self):
+        assert frame_distance(_flat(0), _flat(10)) == pytest.approx(10.0)
+
+    def test_symmetric(self):
+        a, b = _flat(3), _flat(90)
+        assert frame_distance(a, b) == frame_distance(b, a)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            frame_distance(_flat(0), Image.blank(8, 8, 0))
+
+
+class TestDistances:
+    def test_length(self):
+        frames = [_flat(i) for i in range(5)]
+        assert len(frame_distances(frames)) == 4
+
+    def test_empty_and_single(self):
+        assert frame_distances([]) == []
+        assert frame_distances([_flat(0)]) == []
+
+
+class TestCuts:
+    def test_detects_single_cut(self):
+        frames = [_flat(10)] * 4 + [_flat(200)] * 4
+        assert cut_indices(frames) == [4]
+
+    def test_no_cut_in_smooth_sequence(self):
+        frames = [_flat(50 + i) for i in range(8)]
+        assert cut_indices(frames) == []
+
+    def test_short_sequences(self):
+        assert cut_indices([]) == []
+        assert cut_indices([_flat(0)]) == []
+
+    def test_floor_suppresses_noise_cuts(self):
+        # all distances tiny: even 3x the median stays below the floor
+        frames = [_flat(100 + (i % 2)) for i in range(10)]
+        assert cut_indices(frames, floor=8.0) == []

@@ -1,0 +1,75 @@
+"""Browse page and image-format route tests."""
+
+import pytest
+
+from repro.core.system import VideoRetrievalSystem
+from repro.web.api import CbvrApi
+
+
+@pytest.fixture()
+def api(small_corpus):
+    system = VideoRetrievalSystem.in_memory()
+    system.admin.add_video(small_corpus[0])
+    system.admin.add_video(small_corpus[2])
+    return CbvrApi(system)
+
+
+class TestFrameFormats:
+    def test_bmp_format(self, api):
+        status, ctype, body = api.handle("GET", "/frames/1", query={"format": "bmp"})
+        assert status == 200
+        assert ctype == "image/bmp"
+        assert body[:2] == b"BM"
+
+    def test_pgm_format(self, api):
+        status, ctype, body = api.handle("GET", "/frames/1", query={"format": "pgm"})
+        assert status == 200
+        assert body[:2] == b"P5"
+
+    def test_default_is_ppm(self, api):
+        _status, _ctype, body = api.handle("GET", "/frames/1")
+        assert body[:2] == b"P6"
+
+    def test_unknown_format(self, api):
+        status, _ctype, _body = api.handle("GET", "/frames/1", query={"format": "jpeg"})
+        assert status == 400
+
+    def test_bmp_decodes_to_stored_frame(self, api):
+        from repro.imaging.image import decode_image
+
+        _s, _c, body = api.handle("GET", "/frames/1", query={"format": "bmp"})
+        assert decode_image(body) == api.system.get_key_frame(1)
+
+
+class TestBrowsePage:
+    def test_html_rendered(self, api):
+        status, ctype, body = api.handle("GET", "/ui")
+        assert status == 200
+        assert ctype.startswith("text/html")
+        html = body.decode("utf-8")
+        assert "<h1>CBVR library</h1>" in html
+        assert "elearning_000" in html
+        assert 'src="/frames/1?format=bmp"' in html
+
+    def test_every_video_listed(self, api):
+        _s, _c, body = api.handle("GET", "/ui")
+        html = body.decode("utf-8")
+        for row in api.system.list_videos():
+            assert f"#{row['V_ID']} " in html
+
+    def test_names_escaped(self, small_corpus):
+        system = VideoRetrievalSystem.in_memory()
+        system.admin.add_video(
+            list(small_corpus[0].frames), name="<script>x</script>", category="e&m"
+        )
+        api = CbvrApi(system)
+        _s, _c, body = api.handle("GET", "/ui")
+        html = body.decode("utf-8")
+        assert "<script>x</script>" not in html
+        assert "&lt;script&gt;" in html
+
+    def test_empty_library(self):
+        api = CbvrApi(VideoRetrievalSystem.in_memory())
+        status, _c, body = api.handle("GET", "/ui")
+        assert status == 200
+        assert "0 videos" in body.decode("utf-8")

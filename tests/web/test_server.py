@@ -1,0 +1,46 @@
+"""HTTP shell tests over a real socket."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.system import VideoRetrievalSystem
+from repro.web.server import make_server
+
+
+@pytest.fixture()
+def server_url(small_corpus):
+    system = VideoRetrievalSystem.in_memory()
+    system.admin.add_video(small_corpus[0])
+    server, port = make_server(system)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield f"http://127.0.0.1:{port}", small_corpus[0]
+    server.shutdown()
+
+
+class TestHttp:
+    def test_get_videos(self, server_url):
+        base, _video = server_url
+        with urllib.request.urlopen(f"{base}/videos") as resp:
+            assert resp.status == 200
+            payload = json.loads(resp.read())
+        assert len(payload["videos"]) == 1
+
+    def test_search_roundtrip(self, server_url):
+        base, video = server_url
+        body = video.frames[0].encode("ppm")
+        req = urllib.request.Request(f"{base}/search?top_k=2", data=body, method="POST")
+        with urllib.request.urlopen(req) as resp:
+            payload = json.loads(resp.read())
+        assert payload["results"]
+        assert payload["results"][0]["video"] == video.name
+
+    def test_404_status_propagated(self, server_url):
+        base, _video = server_url
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            urllib.request.urlopen(f"{base}/videos/999")
+        assert exc.value.code == 404
