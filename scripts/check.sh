@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# One-shot quality gate: reprolint + ruff + mypy + tier-1 pytest.
+#
+# Usage: scripts/check.sh [--fast]
+#   --fast  skip the pytest suite (lint/type checks only)
+#
+# ruff and mypy are optional dependencies: when they are not installed
+# (e.g. in the offline reproduction container) the corresponding step is
+# reported as skipped instead of failing the gate.
+
+set -u
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+fast=0
+[ "${1:-}" = "--fast" ] && fast=1
+
+failures=0
+
+step() {
+    printf '\n== %s ==\n' "$1"
+}
+
+step "reprolint (repro lint src/repro)"
+if python -m repro.analysis src/repro; then
+    echo "reprolint: OK"
+else
+    failures=$((failures + 1))
+fi
+
+step "ruff"
+if command -v ruff >/dev/null 2>&1; then
+    if ruff check src/repro; then
+        echo "ruff: OK"
+    else
+        failures=$((failures + 1))
+    fi
+else
+    echo "ruff: not installed, skipped"
+fi
+
+step "mypy"
+if command -v mypy >/dev/null 2>&1; then
+    if mypy src/repro; then
+        echo "mypy: OK"
+    else
+        failures=$((failures + 1))
+    fi
+else
+    echo "mypy: not installed, skipped"
+fi
+
+if [ "$fast" -eq 0 ]; then
+    step "pytest (tier-1)"
+    if python -m pytest -x -q; then
+        echo "pytest: OK"
+    else
+        failures=$((failures + 1))
+    fi
+fi
+
+step "summary"
+if [ "$failures" -eq 0 ]; then
+    echo "all checks passed"
+else
+    echo "$failures check(s) FAILED"
+fi
+exit "$failures"

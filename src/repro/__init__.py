@@ -15,6 +15,8 @@ The package implements the paper's complete system from scratch:
 - :mod:`repro.eval` -- ground truth, precision metrics, simulated user study,
   and the Table 1 experiment driver
 - :mod:`repro.web` -- a small JSON HTTP facade over the system
+- :mod:`repro.analysis` -- reprolint, the project-native static analyzer
+  that enforces the registry/feature-string/SQL/purity contracts in CI
 
 Quickstart::
 

@@ -1,0 +1,50 @@
+"""reprolint -- project-native static analysis for the CBVR system.
+
+The retrieval pipeline is held together by conventions no unit test sees
+end-to-end: extractors must register, feature strings must round-trip
+through their ``<tag> <n> <v1>...`` VARCHAR2 form, the DB layer must stay
+parameterized, and the imaging/similarity substrate must stay pure.  This
+package checks those contracts statically, over the AST, in CI.
+
+Three entry points:
+
+- ``repro lint [paths]`` (and ``python -m repro.analysis``) -- the CLI;
+- :func:`lint_paths` / :func:`lint_source` -- the library API;
+- ``tests/analysis/test_self_clean.py`` -- the tier-1 gate that runs the
+  full rule set over ``src/repro`` on every test run.
+
+See ``docs/static_analysis.md`` for the rule catalogue and how to add a
+rule.
+"""
+
+from repro.analysis.engine import (
+    LintConfig,
+    LintEngine,
+    ModuleInfo,
+    ProjectRule,
+    Rule,
+    all_rules,
+    lint_paths,
+    lint_source,
+    module_name_for,
+    register_rule,
+)
+from repro.analysis.findings import Finding, Report, Severity
+from repro.analysis.runner import main
+
+__all__ = [
+    "Finding",
+    "Report",
+    "Severity",
+    "LintConfig",
+    "LintEngine",
+    "ModuleInfo",
+    "Rule",
+    "ProjectRule",
+    "register_rule",
+    "all_rules",
+    "lint_paths",
+    "lint_source",
+    "module_name_for",
+    "main",
+]

@@ -1,0 +1,316 @@
+"""Rule engine for ``reprolint``.
+
+The engine parses every target file once into an :class:`ModuleInfo`
+(source, AST, derived module name), then runs two kinds of rules over the
+result:
+
+- :class:`Rule` -- checked module-by-module (most rules);
+- :class:`ProjectRule` -- checked once against *all* modules, for
+  cross-file contracts such as extractor-registry uniqueness.
+
+Suppression works like other linters: ``# reprolint: disable=R4`` on the
+offending line silences that rule for the line, and a comment line
+``# reprolint: disable-file=R5`` anywhere in the file silences the rule for
+the whole file.  ``disable=all`` is accepted in both forms.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Type, Union
+
+from repro.analysis.findings import Finding, Report, Severity
+
+__all__ = [
+    "ModuleInfo",
+    "LintConfig",
+    "Rule",
+    "ProjectRule",
+    "LintEngine",
+    "register_rule",
+    "all_rules",
+    "module_name_for",
+    "lint_paths",
+    "lint_source",
+]
+
+_PRAGMA_RE = re.compile(
+    r"#\s*reprolint:\s*disable(?P<file>-file)?\s*=\s*(?P<rules>[A-Za-z0-9_,\s]+)"
+)
+
+
+@dataclass(frozen=True)
+class ModuleInfo:
+    """One parsed source file, ready for rule visitors."""
+
+    path: str
+    module: str  # dotted module name, e.g. "repro.features.glcm"
+    source: str
+    tree: ast.Module
+    lines: Tuple[str, ...]
+
+    @property
+    def package(self) -> str:
+        """Parent package ("repro.features" for "repro.features.glcm")."""
+        return self.module.rsplit(".", 1)[0] if "." in self.module else ""
+
+    def in_package(self, prefix: str) -> bool:
+        return self.module == prefix or self.module.startswith(prefix + ".")
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Rule selection and project-shape knobs.
+
+    The defaults encode this repository's layout; fixture tests override
+    them freely, which is also how a future second project would adapt the
+    linter.
+    """
+
+    select: Optional[frozenset] = None  # None = all registered rules
+    ignore: frozenset = frozenset()
+    #: modules that must stay free of IO and of db/web/core imports
+    pure_packages: Tuple[str, ...] = ("repro.imaging", "repro.similarity")
+    #: modules allowed to do file IO despite living in a pure package
+    io_allowlist: frozenset = frozenset({"repro.imaging.image"})
+    #: the embedded-database package (R4 / R9 scope)
+    db_package: str = "repro.db"
+    #: where extractors live (R1/R2/R10 scope)
+    features_package: str = "repro.features"
+    #: names of the approved SQL-building helpers (R4)
+    sql_builders: frozenset = frozenset({"build_select", "build_insert", "build_delete"})
+
+    def wants(self, rule_id: str) -> bool:
+        if rule_id in self.ignore:
+            return False
+        return self.select is None or rule_id in self.select
+
+    def with_rules(
+        self,
+        select: Optional[Iterable[str]] = None,
+        ignore: Optional[Iterable[str]] = None,
+    ) -> "LintConfig":
+        return replace(
+            self,
+            select=frozenset(select) if select is not None else self.select,
+            ignore=frozenset(ignore) if ignore is not None else self.ignore,
+        )
+
+
+class Rule:
+    """Base class: one named, per-module check.
+
+    Subclasses set the class attributes and implement :meth:`check`,
+    yielding findings.  ``scope`` restricts the rule to module-name
+    prefixes (empty tuple = every module).
+    """
+
+    rule_id: str = ""
+    title: str = ""
+    severity: Severity = Severity.ERROR
+    fix_hint: str = ""
+
+    def applies_to(self, module: ModuleInfo, config: LintConfig) -> bool:
+        return True
+
+    def check(self, module: ModuleInfo, config: LintConfig) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self,
+        module: ModuleInfo,
+        node: Union[ast.AST, int],
+        message: str,
+        fix_hint: Optional[str] = None,
+    ) -> Finding:
+        if isinstance(node, ast.AST):
+            line = getattr(node, "lineno", 1)
+            col = getattr(node, "col_offset", 0) + 1
+        else:
+            line, col = int(node), 1
+        return Finding(
+            rule_id=self.rule_id,
+            severity=self.severity,
+            path=module.path,
+            line=line,
+            col=col,
+            message=message,
+            fix_hint=self.fix_hint if fix_hint is None else fix_hint,
+        )
+
+
+class ProjectRule(Rule):
+    """A rule that needs the whole module set (cross-file contracts)."""
+
+    def check(self, module: ModuleInfo, config: LintConfig) -> Iterable[Finding]:
+        return ()
+
+    def check_project(
+        self, modules: Sequence[ModuleInfo], config: LintConfig
+    ) -> Iterable[Finding]:
+        raise NotImplementedError
+
+
+_RULES: Dict[str, Type[Rule]] = {}
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global catalogue."""
+    if not cls.rule_id:
+        raise ValueError(f"{cls.__name__} must define a rule_id")
+    if cls.rule_id in _RULES and _RULES[cls.rule_id] is not cls:
+        raise ValueError(f"duplicate rule id {cls.rule_id!r}")
+    _RULES[cls.rule_id] = cls
+    return cls
+
+
+def all_rules() -> List[Type[Rule]]:
+    """Every registered rule class, sorted by id."""
+    import repro.analysis.rules  # noqa: F401  (registers the built-in rules)
+
+    return [_RULES[rid] for rid in sorted(_RULES)]
+
+
+def module_name_for(path: Union[str, Path]) -> str:
+    """Dotted module name, derived by walking up through ``__init__.py`` dirs."""
+    p = Path(path)
+    parts: List[str] = [] if p.stem == "__init__" else [p.stem]
+    parent = p.parent
+    while (parent / "__init__.py").exists():
+        parts.insert(0, parent.name)
+        parent = parent.parent
+    return ".".join(parts) if parts else p.stem
+
+
+@dataclass
+class _Suppressions:
+    file_level: Set[str] = field(default_factory=set)
+    by_line: Dict[int, Set[str]] = field(default_factory=dict)
+
+    def hides(self, finding: Finding) -> bool:
+        for pool in (self.file_level, self.by_line.get(finding.line, ())):
+            if finding.rule_id in pool or "all" in pool:
+                return True
+        return False
+
+
+def _scan_pragmas(lines: Sequence[str]) -> _Suppressions:
+    sup = _Suppressions()
+    for lineno, line in enumerate(lines, start=1):
+        m = _PRAGMA_RE.search(line)
+        if not m:
+            continue
+        rules = {r.strip() for r in m.group("rules").split(",") if r.strip()}
+        if m.group("file"):
+            sup.file_level |= rules
+        else:
+            sup.by_line.setdefault(lineno, set()).update(rules)
+    return sup
+
+
+class LintEngine:
+    """Parses files, runs the rule set, and assembles a :class:`Report`."""
+
+    def __init__(self, config: Optional[LintConfig] = None):
+        self.config = config or LintConfig()
+        self.rules: List[Rule] = [
+            cls() for cls in all_rules() if self.config.wants(cls.rule_id)
+        ]
+
+    # -- module loading -------------------------------------------------------
+
+    def load_source(
+        self, source: str, path: str = "<string>", module: Optional[str] = None
+    ) -> ModuleInfo:
+        tree = ast.parse(source, filename=path)
+        return ModuleInfo(
+            path=path,
+            module=module if module is not None else module_name_for(path),
+            source=source,
+            tree=tree,
+            lines=tuple(source.splitlines()),
+        )
+
+    def collect_files(self, paths: Sequence[Union[str, Path]]) -> List[Path]:
+        files: List[Path] = []
+        for raw in paths:
+            p = Path(raw)
+            if p.is_dir():
+                files.extend(sorted(p.rglob("*.py")))
+            elif p.suffix == ".py":
+                files.append(p)
+        seen: Set[Path] = set()
+        unique = []
+        for f in files:
+            r = f.resolve()
+            if r not in seen:
+                seen.add(r)
+                unique.append(f)
+        return unique
+
+    # -- running --------------------------------------------------------------
+
+    def lint_modules(self, modules: Sequence[ModuleInfo]) -> Report:
+        findings: List[Finding] = []
+        for rule in self.rules:
+            if isinstance(rule, ProjectRule):
+                findings.extend(rule.check_project(modules, self.config))
+            else:
+                for module in modules:
+                    if rule.applies_to(module, self.config):
+                        findings.extend(rule.check(module, self.config))
+        by_path = {m.path: _scan_pragmas(m.lines) for m in modules}
+        kept = [
+            f
+            for f in findings
+            if f.path not in by_path or not by_path[f.path].hides(f)
+        ]
+        return Report(findings=kept, n_files=len(modules), n_rules=len(self.rules))
+
+    def lint_paths(self, paths: Sequence[Union[str, Path]]) -> Report:
+        modules: List[ModuleInfo] = []
+        parse_failures: List[Finding] = []
+        for path in self.collect_files(paths):
+            text = path.read_text(encoding="utf-8")
+            try:
+                modules.append(self.load_source(text, path=str(path)))
+            except SyntaxError as exc:
+                parse_failures.append(
+                    Finding(
+                        rule_id="PARSE",
+                        severity=Severity.ERROR,
+                        path=str(path),
+                        line=exc.lineno or 1,
+                        col=(exc.offset or 0) + 1,
+                        message=f"file does not parse: {exc.msg}",
+                    )
+                )
+        report = self.lint_modules(modules)
+        if parse_failures:
+            report = Report(
+                findings=list(report.findings) + parse_failures,
+                n_files=report.n_files + len(parse_failures),
+                n_rules=report.n_rules,
+            )
+        return report
+
+
+def lint_paths(
+    paths: Sequence[Union[str, Path]], config: Optional[LintConfig] = None
+) -> Report:
+    """Lint files/directories with the full (or configured) rule set."""
+    return LintEngine(config).lint_paths(paths)
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    module: str = "fixture",
+    config: Optional[LintConfig] = None,
+) -> Report:
+    """Lint one in-memory module (the fixture-test entry point)."""
+    engine = LintEngine(config)
+    return engine.lint_modules([engine.load_source(source, path=path, module=module)])

@@ -1,0 +1,45 @@
+"""Built-in reprolint rules.
+
+Importing this package registers every rule with the engine's catalogue
+(mirroring how ``repro.features`` registers extractors).  The catalogue:
+
+====  ==========================  ==============================================
+id    name                        enforces
+====  ==========================  ==============================================
+R1    extractor-registered        FeatureExtractor subclasses register a name
+R2    registry-unique             extractor names/tags collide nowhere
+R3    feature-string-contract     to_string/from_string keep the header form
+R4    parameterized-sql           no interpolated SQL at execute() sites
+R5    pure-layers                 imaging/similarity stay IO- and layer-free
+R6    exception-hygiene           no bare/swallowing except handlers
+R7    no-mutable-defaults         no mutable default arguments
+R8    explicit-exports            public modules declare a truthful __all__
+R9    db-error-hierarchy          db layer raises DatabaseError subclasses
+R10   extractor-module-imported   features/__init__ imports every extractor
+====  ==========================  ==============================================
+"""
+
+from repro.analysis.rules.errors import DbErrorHierarchyRule
+from repro.analysis.rules.exports import ExportsRule
+from repro.analysis.rules.extractors import (
+    ExtractorModuleImportRule,
+    ExtractorRegistrationRule,
+    FeatureStringContractRule,
+    RegistryUniquenessRule,
+)
+from repro.analysis.rules.hygiene import ExceptionHygieneRule, MutableDefaultRule
+from repro.analysis.rules.purity import PurityRule
+from repro.analysis.rules.sql import SqlConstructionRule
+
+__all__ = [
+    "ExtractorRegistrationRule",
+    "RegistryUniquenessRule",
+    "FeatureStringContractRule",
+    "ExtractorModuleImportRule",
+    "SqlConstructionRule",
+    "PurityRule",
+    "ExceptionHygieneRule",
+    "MutableDefaultRule",
+    "ExportsRule",
+    "DbErrorHierarchyRule",
+]

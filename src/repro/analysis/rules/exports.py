@@ -1,0 +1,125 @@
+"""Rule R8: every public module declares an importable ``__all__``.
+
+The repo's convention is that a module's ``__all__`` *is* its API surface
+-- docs, the web facade and the re-exporting ``__init__`` files all rely on
+it.  A missing ``__all__`` makes the surface implicit; a stale one (naming
+something that no longer exists) breaks ``from module import *`` and any
+tooling that trusts it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Set
+
+from repro.analysis.engine import Finding, LintConfig, ModuleInfo, Rule, register_rule
+
+__all__ = ["ExportsRule"]
+
+
+def _find_all_assign(tree: ast.Module) -> Optional[ast.Assign]:
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == "__all__":
+                    return node
+    return None
+
+
+def _literal_names(value: ast.expr) -> Optional[List[str]]:
+    """Exported names if ``__all__`` is a literal list/tuple of strings."""
+    if not isinstance(value, (ast.List, ast.Tuple)):
+        return None
+    names = []
+    for elt in value.elts:
+        if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+            names.append(elt.value)
+        else:
+            return None
+    return names
+
+
+def _bound_names(tree: ast.Module) -> Optional[Set[str]]:
+    """Names bound at module scope; None when not statically derivable."""
+    bound: Set[str] = set()
+
+    def visit_block(stmts):
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                bound.add(stmt.name)
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    collect_target(target)
+            elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+                collect_target(stmt.target)
+            elif isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    bound.add(alias.asname or alias.name.split(".")[0])
+            elif isinstance(stmt, ast.ImportFrom):
+                for alias in stmt.names:
+                    if alias.name == "*":
+                        return False  # star import: give up
+                    bound.add(alias.asname or alias.name)
+            elif isinstance(stmt, (ast.If, ast.Try, ast.With, ast.For, ast.While)):
+                for block in (
+                    getattr(stmt, "body", []),
+                    getattr(stmt, "orelse", []),
+                    getattr(stmt, "finalbody", []),
+                ):
+                    if visit_block(block) is False:
+                        return False
+                for handler in getattr(stmt, "handlers", []):
+                    if visit_block(handler.body) is False:
+                        return False
+        return True
+
+    def collect_target(target):
+        if isinstance(target, ast.Name):
+            bound.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                collect_target(elt)
+
+    if visit_block(tree.body) is False:
+        return None
+    return bound
+
+
+@register_rule
+class ExportsRule(Rule):
+    """R8: public modules declare ``__all__`` and every entry is bound."""
+
+    rule_id = "R8"
+    title = "explicit-exports"
+    fix_hint = "declare __all__ as a literal list of names defined in the module"
+
+    def applies_to(self, module: ModuleInfo, config: LintConfig) -> bool:
+        stem = module.module.rsplit(".", 1)[-1]
+        return not (stem.startswith("_") and stem != "__init__") and stem != "__main__"
+
+    def check(self, module: ModuleInfo, config: LintConfig) -> Iterable[Finding]:
+        assign = _find_all_assign(module.tree)
+        if assign is None:
+            yield self.finding(
+                module,
+                1,
+                f"module {module.module} has no __all__; its public surface "
+                "is implicit",
+            )
+            return
+        names = _literal_names(assign.value)
+        if names is None:
+            return  # computed __all__ (e.g. built from a registry): presence is enough
+        bound = _bound_names(module.tree)
+        if bound is None:
+            return  # star imports: cannot verify statically
+        if "__getattr__" in bound:
+            return  # PEP 562 lazy module: names resolve dynamically
+        for name in names:
+            if name not in bound:
+                yield self.finding(
+                    module,
+                    assign,
+                    f"__all__ exports {name!r}, which is never defined in "
+                    f"{module.module}",
+                )

@@ -1,0 +1,233 @@
+"""Rules R1-R3 and R10: the feature-extractor registry contracts.
+
+The retrieval pipeline discovers extractors exclusively through the
+``@register_extractor`` registry (``repro/features/base.py``); an extractor
+that subclasses :class:`FeatureExtractor` but never registers, or registers
+under a colliding ``name``/``tag``, silently drops a feature column from
+every ingested video.  These rules make that failure mode a lint error.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.analysis.engine import (
+    Finding,
+    LintConfig,
+    ModuleInfo,
+    ProjectRule,
+    Rule,
+    register_rule,
+)
+from repro.analysis.rules.util import (
+    base_names,
+    calls_function,
+    calls_super_method,
+    class_defs,
+    class_str_attr,
+    decorator_names,
+    is_abstract_class,
+    references_attribute,
+)
+
+__all__ = [
+    "ExtractorRegistrationRule",
+    "RegistryUniquenessRule",
+    "FeatureStringContractRule",
+    "ExtractorModuleImportRule",
+]
+
+_BASE_CLASS = "FeatureExtractor"
+_DECORATOR = "register_extractor"
+
+
+def _is_extractor_subclass(cls: ast.ClassDef) -> bool:
+    return _BASE_CLASS in base_names(cls)
+
+
+def _registered_classes(module: ModuleInfo) -> List[ast.ClassDef]:
+    return [
+        cls for cls in class_defs(module.tree) if _DECORATOR in decorator_names(cls)
+    ]
+
+
+@register_rule
+class ExtractorRegistrationRule(Rule):
+    """R1: every concrete FeatureExtractor subclass registers a real name."""
+
+    rule_id = "R1"
+    title = "extractor-registered"
+    fix_hint = (
+        "decorate the class with @register_extractor and give it a "
+        'non-empty class-level name = "..." string'
+    )
+
+    def check(self, module: ModuleInfo, config: LintConfig) -> Iterable[Finding]:
+        for cls in class_defs(module.tree):
+            if not _is_extractor_subclass(cls):
+                continue
+            if cls.name.startswith("_") or is_abstract_class(cls):
+                continue
+            registered = _DECORATOR in decorator_names(cls)
+            name_value, name_line = class_str_attr(cls, "name")
+            if not registered:
+                yield self.finding(
+                    module,
+                    cls,
+                    f"{cls.name} subclasses {_BASE_CLASS} but is never "
+                    f"@{_DECORATOR}-ed; the retrieval pipeline will not see it",
+                )
+            if name_line is None or not name_value:
+                yield self.finding(
+                    module,
+                    cls if name_line is None else name_line,
+                    f"{cls.name} must declare a non-empty class-level "
+                    "'name' string literal (the registry key)",
+                )
+
+
+@register_rule
+class RegistryUniquenessRule(ProjectRule):
+    """R2: registry ``name``/``tag`` values are unique across the project.
+
+    A duplicate ``name`` raises at import time, but only if both modules
+    are imported; a duplicate ``tag`` never raises and silently makes two
+    different features indistinguishable in the VARCHAR2 string form.
+    """
+
+    rule_id = "R2"
+    title = "registry-unique"
+    fix_hint = "pick a unique registry name/tag for each extractor"
+
+    def check_project(
+        self, modules: Sequence[ModuleInfo], config: LintConfig
+    ) -> Iterable[Finding]:
+        seen_names: Dict[str, Tuple[str, str]] = {}
+        seen_tags: Dict[str, Tuple[str, str]] = {}
+        for module in modules:
+            for cls in _registered_classes(module):
+                name_value, _ = class_str_attr(cls, "name")
+                tag_value, tag_line = class_str_attr(cls, "tag")
+                if tag_line is None or not tag_value:
+                    tag_value = name_value  # register_extractor defaults tag to name
+                for value, seen, kind in (
+                    (name_value, seen_names, "name"),
+                    (tag_value, seen_tags, "tag"),
+                ):
+                    if not value:
+                        continue
+                    if value in seen:
+                        other_cls, other_mod = seen[value]
+                        yield self.finding(
+                            module,
+                            cls,
+                            f"extractor {kind} {value!r} on {cls.name} collides "
+                            f"with {other_cls} in {other_mod}",
+                        )
+                    else:
+                        seen[value] = (cls.name, module.module)
+
+
+@register_rule
+class FeatureStringContractRule(Rule):
+    """R3: to_string/from_string overrides keep the ``<tag> <n> ...`` header.
+
+    The DB layer round-trips every feature through the paper's VARCHAR2
+    string form; an override that drops the tag or the length header
+    corrupts rows that only fail much later, at query time.  Overrides must
+    delegate to the base implementation or visibly emit/parse the header.
+    """
+
+    rule_id = "R3"
+    title = "feature-string-contract"
+    fix_hint = (
+        "delegate via super().to_string()/from_string(), or emit the tag "
+        "and length header (to_string) / split and int-parse it (from_string)"
+    )
+
+    _FEATURE_BASES = ("FeatureVector", "FeatureExtractor")
+
+    def _is_feature_class(self, cls: ast.ClassDef) -> bool:
+        bases = base_names(cls)
+        return (
+            any(b in self._FEATURE_BASES for b in bases)
+            or _DECORATOR in decorator_names(cls)
+        )
+
+    def check(self, module: ModuleInfo, config: LintConfig) -> Iterable[Finding]:
+        for cls in class_defs(module.tree):
+            if not self._is_feature_class(cls):
+                continue
+            for stmt in cls.body:
+                if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if stmt.name == "to_string":
+                    if calls_super_method(stmt, "to_string"):
+                        continue
+                    if calls_function(stmt, "to_string"):
+                        continue  # delegates to a FeatureVector's to_string
+                    if references_attribute(stmt, "tag") and calls_function(stmt, "len"):
+                        continue
+                    yield self.finding(
+                        module,
+                        stmt,
+                        f"{cls.name}.to_string does not emit the "
+                        "'<tag> <n> <v1>...' header the DB layer round-trips",
+                    )
+                elif stmt.name == "from_string":
+                    if calls_super_method(stmt, "from_string") or calls_function(
+                        stmt, "from_string"
+                    ):
+                        continue
+                    if calls_function(stmt, "split") and calls_function(stmt, "int"):
+                        continue
+                    yield self.finding(
+                        module,
+                        stmt,
+                        f"{cls.name}.from_string does not parse the "
+                        "'<tag> <n> <v1>...' header (split + int length check)",
+                    )
+
+
+@register_rule
+class ExtractorModuleImportRule(ProjectRule):
+    """R10: every extractor module is imported by the features package.
+
+    ``@register_extractor`` only runs when its module is imported; an
+    extractor file that ``repro/features/__init__.py`` forgets to import is
+    registered in no process that imports the package normally -- the
+    classic silently-missing-feature bug this linter exists to catch.
+    """
+
+    rule_id = "R10"
+    title = "extractor-module-imported"
+    fix_hint = "import the module from the features package __init__.py"
+
+    def check_project(
+        self, modules: Sequence[ModuleInfo], config: LintConfig
+    ) -> Iterable[Finding]:
+        package = config.features_package
+        init = next((m for m in modules if m.module == package), None)
+        if init is None:
+            return  # features __init__ not part of this lint run
+        imported = set()
+        for node in ast.walk(init.tree):
+            if isinstance(node, ast.Import):
+                imported.update(alias.name for alias in node.names)
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                imported.add(node.module)
+                imported.update(f"{node.module}.{a.name}" for a in node.names)
+        for module in modules:
+            if module is init or not module.in_package(package):
+                continue
+            for cls in _registered_classes(module):
+                if module.module not in imported:
+                    yield self.finding(
+                        module,
+                        cls,
+                        f"{cls.name} registers itself in {module.module}, but "
+                        f"{package}/__init__.py never imports that module, so "
+                        "the registration never runs",
+                    )
+                    break  # one finding per module is enough

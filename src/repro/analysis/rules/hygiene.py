@@ -1,0 +1,107 @@
+"""Rules R6 and R7: exception and default-argument hygiene.
+
+Both are classic Python foot-guns that have bitten retrieval quality in
+this codebase's lineage: a swallowed exception hides a failing extractor
+(the frame silently ingests with missing features), and a mutable default
+shares state between every call of a hot-path function.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.analysis.engine import Finding, LintConfig, ModuleInfo, Rule, register_rule
+from repro.analysis.rules.util import dotted_name
+
+__all__ = ["ExceptionHygieneRule", "MutableDefaultRule"]
+
+
+def _is_trivial_body(body: List[ast.stmt]) -> bool:
+    """Only ``pass`` / ``...`` statements: the handler swallows silently."""
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring or ellipsis
+        return False
+    return True
+
+
+def _catches_everything(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    types = (
+        handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+    )
+    return any(
+        dotted_name(t).rsplit(".", 1)[-1] in ("Exception", "BaseException")
+        for t in types
+    )
+
+
+@register_rule
+class ExceptionHygieneRule(Rule):
+    """R6: no bare ``except:`` and no silently-swallowed Exception."""
+
+    rule_id = "R6"
+    title = "exception-hygiene"
+    fix_hint = (
+        "catch the narrowest exception type that can actually occur, and "
+        "handle or re-raise it -- never pass"
+    )
+
+    def check(self, module: ModuleInfo, config: LintConfig) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    module,
+                    node,
+                    "bare 'except:' catches SystemExit/KeyboardInterrupt too; "
+                    "name the exception type",
+                )
+            elif _catches_everything(node) and _is_trivial_body(node.body):
+                yield self.finding(
+                    module,
+                    node,
+                    "'except Exception: pass' swallows every failure silently",
+                )
+
+
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray"})
+
+
+@register_rule
+class MutableDefaultRule(Rule):
+    """R7: no mutable default arguments."""
+
+    rule_id = "R7"
+    title = "no-mutable-defaults"
+    fix_hint = "default to None (or a tuple/frozenset) and construct inside the body"
+
+    def _is_mutable(self, default: ast.expr) -> bool:
+        if isinstance(default, _MUTABLE_LITERALS):
+            return True
+        if isinstance(default, ast.Call) and isinstance(default.func, ast.Name):
+            return default.func.id in _MUTABLE_CALLS
+        return False
+
+    def check(self, module: ModuleInfo, config: LintConfig) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    label = getattr(node, "name", "<lambda>")
+                    yield self.finding(
+                        module,
+                        default,
+                        f"{label}() has a mutable default argument; the object "
+                        "is shared across every call",
+                    )

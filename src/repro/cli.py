@@ -11,6 +11,7 @@ writing Python:
 - ``export-frame`` -- write a stored key frame to an image file
 - ``serve``        -- start the HTTP facade on a library
 - ``table1``       -- run the paper's Table 1 experiment
+- ``lint``         -- run the reprolint static analyzer over source paths
 
 Every command prints plain text and exits non-zero on errors.
 """
@@ -20,7 +21,10 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.system import VideoRetrievalSystem
 
 __all__ = ["main", "build_parser"]
 
@@ -71,6 +75,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--port", type=int, default=8765)
     p.add_argument("--admin-password", default=None)
 
+    p = sub.add_parser(
+        "lint",
+        help="run the reprolint static analyzer (see 'repro lint --help')",
+        add_help=False,
+    )
+    p.add_argument("lint_args", nargs=argparse.REMAINDER)
+
     p = sub.add_parser("table1", help="run the paper's Table 1 experiment")
     p.add_argument("--videos-per-category", type=int, default=8)
     p.add_argument("--queries-per-category", type=int, default=6)
@@ -80,7 +91,7 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _open_system(path: str, admin_password: Optional[str] = None):
+def _open_system(path: str, admin_password: Optional[str] = None) -> "VideoRetrievalSystem":
     from repro.core.config import SystemConfig
     from repro.core.system import VideoRetrievalSystem
 
@@ -88,7 +99,7 @@ def _open_system(path: str, admin_password: Optional[str] = None):
     return VideoRetrievalSystem.open(path, config)
 
 
-def _cmd_demo_corpus(args) -> int:
+def _cmd_demo_corpus(args: argparse.Namespace) -> int:
     from repro.video.codec import write_rvf
     from repro.video.generator import make_corpus
 
@@ -106,7 +117,7 @@ def _cmd_demo_corpus(args) -> int:
     return 0
 
 
-def _cmd_ingest(args) -> int:
+def _cmd_ingest(args: argparse.Namespace) -> int:
     from repro.video.codec import RvfReader
 
     system = _open_system(args.library)
@@ -123,7 +134,7 @@ def _cmd_ingest(args) -> int:
     return 0
 
 
-def _cmd_list(args) -> int:
+def _cmd_list(args: argparse.Namespace) -> int:
     system = _open_system(args.library)
     videos = system.list_videos()
     if not videos:
@@ -136,7 +147,7 @@ def _cmd_list(args) -> int:
     return 0
 
 
-def _cmd_search(args) -> int:
+def _cmd_search(args: argparse.Namespace) -> int:
     from repro.imaging.image import read_image
 
     system = _open_system(args.library)
@@ -157,7 +168,7 @@ def _cmd_search(args) -> int:
     return 0
 
 
-def _cmd_delete(args) -> int:
+def _cmd_delete(args: argparse.Namespace) -> int:
     system = _open_system(args.library)
     removed = system.login_admin().delete_video(args.video_id)
     print(f"deleted video {args.video_id} ({removed} key frames)")
@@ -165,7 +176,7 @@ def _cmd_delete(args) -> int:
     return 0
 
 
-def _cmd_export_frame(args) -> int:
+def _cmd_export_frame(args: argparse.Namespace) -> int:
     system = _open_system(args.library)
     image = system.get_key_frame(args.frame_id)
     image.save(args.out)
@@ -174,7 +185,7 @@ def _cmd_export_frame(args) -> int:
     return 0
 
 
-def _cmd_serve(args) -> int:  # pragma: no cover - blocking loop
+def _cmd_serve(args: argparse.Namespace) -> int:  # pragma: no cover - blocking loop
     from repro.web.server import make_server
 
     system = _open_system(args.library, admin_password=args.admin_password)
@@ -190,7 +201,7 @@ def _cmd_serve(args) -> int:  # pragma: no cover - blocking loop
     return 0
 
 
-def _cmd_table1(args) -> int:
+def _cmd_table1(args: argparse.Namespace) -> int:
     from repro.eval.table1 import PAPER_TABLE1, run_table1
 
     result = run_table1(
@@ -204,8 +215,15 @@ def _cmd_table1(args) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.runner import main as lint_main
+
+    return lint_main(args.lint_args)
+
+
 _COMMANDS = {
     "demo-corpus": _cmd_demo_corpus,
+    "lint": _cmd_lint,
     "ingest": _cmd_ingest,
     "list": _cmd_list,
     "search": _cmd_search,
@@ -217,6 +235,10 @@ _COMMANDS = {
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv[:1] == ["lint"]:
+        # dispatch before argparse: REMAINDER would refuse leading --flags
+        return _cmd_lint(argparse.Namespace(lint_args=argv[1:]))
     args = build_parser().parse_args(argv)
     try:
         return _COMMANDS[args.command](args)

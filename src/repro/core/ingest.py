@@ -22,9 +22,9 @@ from repro.core.config import SystemConfig
 from repro.core.store import FeatureStore, FrameRecord
 from repro.db.engine import Database
 from repro.db.errors import DatabaseError
+from repro.db.sql import build_insert, build_select
 from repro.features.base import FeatureExtractor, FeatureVector, get_extractor
 from repro.imaging.image import Image
-from repro.indexing.rangefinder import RangeFinder
 from repro.indexing.tree import RangeIndex
 from repro.video.codec import encode_rvf_bytes
 from repro.video.generator import SyntheticVideo
@@ -88,7 +88,7 @@ class Ingestor:
     # -- id allocation ----------------------------------------------------------
 
     def _next_id(self, table: str, column: str) -> int:
-        rows = self.db.execute(f"SELECT {column} FROM {table}").rows
+        rows = self.db.execute(build_select(table, (column,))).rows
         return 1 + max((int(r[column]) for r in rows), default=0)
 
     # -- operations -----------------------------------------------------------------
@@ -175,11 +175,7 @@ class Ingestor:
         for name, vector in features.items():
             columns.append(FEATURE_COLUMNS[name])
             values.append(vector.to_string())
-        placeholders = ", ".join("?" for _ in values)
-        self.db.execute(
-            f"INSERT INTO KEY_FRAMES ({', '.join(columns)}) VALUES ({placeholders})",
-            tuple(values),
-        )
+        self.db.execute(build_insert("KEY_FRAMES", columns), tuple(values))
         return FrameRecord(
             frame_id=frame_id,
             video_id=video_id,

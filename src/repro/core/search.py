@@ -239,7 +239,9 @@ class SearchEngine:
         nq, nr = cost_matrix.shape
         indices_q = list(range(nq))
         indices_r = list(range(nr))
-        cost = lambda i, j: float(cost_matrix[i, j])
+        def cost(i: int, j: int) -> float:
+            return float(cost_matrix[i, j])
+
         if self.config.sequence_method == "dtw":
             return dtw_distance(indices_q, indices_r, cost)
         return sequence_similarity(

@@ -9,7 +9,7 @@ and the DB together, and on open it is rebuilt from the table.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.catalog import FEATURE_COLUMNS
 from repro.db.engine import Database

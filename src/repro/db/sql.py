@@ -21,8 +21,8 @@ travel.  Identifiers may be double-quoted, as in the paper's DDL.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple, Union
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.db.errors import SqlSyntaxError
 from repro.db.schema import Column, TableSchema
@@ -31,6 +31,10 @@ from repro.db.types import type_from_name
 __all__ = [
     "tokenize",
     "parse",
+    "quote_ident",
+    "build_select",
+    "build_insert",
+    "build_delete",
     "CreateTable",
     "DropTable",
     "Insert",
@@ -621,3 +625,61 @@ def parse(text: str) -> Tuple[Statement, int]:
     parser = _Parser(tokenize(text), text)
     stmt = parser.parse_statement()
     return stmt, parser.n_params
+
+
+# ---------------------------------------------------------------------------
+# statement builders
+#
+# The only sanctioned way to assemble SQL from runtime values (table/column
+# names picked from a config, feature columns, ...).  Values always travel
+# as '?' parameters; identifiers are validated against the tokenizer's
+# identifier grammar, so no runtime string can smuggle syntax into a
+# statement.  reprolint rule R4 enforces that execute() call sites use
+# literals or these helpers -- nothing hand-concatenated.
+# ---------------------------------------------------------------------------
+
+_IDENTIFIER_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_$#]*$")
+
+
+def quote_ident(name: str) -> str:
+    """Validate (and return) one SQL identifier.
+
+    Raises :class:`SqlSyntaxError` for anything the tokenizer would not
+    read back as a single plain identifier.
+    """
+    if not isinstance(name, str) or not _IDENTIFIER_RE.match(name):
+        raise SqlSyntaxError(f"invalid SQL identifier {name!r}")
+    return name
+
+
+def build_select(
+    table: str,
+    columns: Sequence[str] = ("*",),
+    where_eq: Optional[str] = None,
+    order_by: Sequence[str] = (),
+) -> str:
+    """``SELECT cols FROM table [WHERE col = ?] [ORDER BY cols]``."""
+    cols = ", ".join("*" if c == "*" else quote_ident(c) for c in columns)
+    text = f"SELECT {cols} FROM {quote_ident(table)}"
+    if where_eq is not None:
+        text += f" WHERE {quote_ident(where_eq)} = ?"
+    if order_by:
+        text += " ORDER BY " + ", ".join(quote_ident(c) for c in order_by)
+    return text
+
+
+def build_insert(table: str, columns: Sequence[str]) -> str:
+    """``INSERT INTO table (cols) VALUES (?, ...)`` -- one ``?`` per column."""
+    if not columns:
+        raise SqlSyntaxError("INSERT needs at least one column")
+    cols = ", ".join(quote_ident(c) for c in columns)
+    marks = ", ".join("?" for _ in columns)
+    return f"INSERT INTO {quote_ident(table)} ({cols}) VALUES ({marks})"
+
+
+def build_delete(table: str, where_eq: Optional[str] = None) -> str:
+    """``DELETE FROM table [WHERE col = ?]``."""
+    text = f"DELETE FROM {quote_ident(table)}"
+    if where_eq is not None:
+        text += f" WHERE {quote_ident(where_eq)} = ?"
+    return text

@@ -8,7 +8,7 @@ use to skip full scans.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.db.errors import CatalogError, ConstraintError
 from repro.db.schema import TableSchema

@@ -80,7 +80,7 @@ class VARCHAR2(SqlType):
 
     def __init__(self, max_length: int = 4000):
         if max_length < 1:
-            raise ValueError("VARCHAR2 length must be >= 1")
+            raise TypeMismatchError("VARCHAR2 length must be >= 1")
         self.max_length = max_length
 
     def validate(self, value):

@@ -9,7 +9,7 @@ that mapping.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, Hashable, List, Mapping, Sequence
 
 __all__ = ["CategoryGroundTruth"]
 

@@ -28,7 +28,7 @@ Combined      0.629   0.553   0.494   0.421
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np

@@ -83,7 +83,17 @@ class FeatureVector:
         values = tokens[2:]
         if len(values) != n:
             raise ValueError(f"feature string declares {n} values, has {len(values)}")
-        return cls(kind=kind, values=np.array([float(v) for v in values]), tag=tag)
+        try:
+            arr = np.array([float(v) for v in values], dtype=np.float64)
+        except ValueError as exc:
+            raise ValueError(f"non-numeric token in {kind!r} feature string: {exc}") from exc
+        if not np.all(np.isfinite(arr)):
+            bad = [values[i] for i in np.flatnonzero(~np.isfinite(arr))[:3]]
+            raise ValueError(
+                f"non-finite value(s) {bad} in {kind!r} feature string; "
+                "nan/inf would silently poison every distance computed from it"
+            )
+        return cls(kind=kind, values=arr, tag=tag)
 
 
 class FeatureExtractor(abc.ABC):
@@ -143,7 +153,7 @@ def register_extractor(cls: Type[FeatureExtractor]) -> Type[FeatureExtractor]:
     return cls
 
 
-def get_extractor(name: str, **kwargs) -> FeatureExtractor:
+def get_extractor(name: str, **kwargs: object) -> FeatureExtractor:
     """Instantiate a registered extractor by name."""
     try:
         cls = _REGISTRY[name]

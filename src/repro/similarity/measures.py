@@ -7,7 +7,12 @@ on the extractors; these are the building blocks.
 
 from __future__ import annotations
 
+from typing import Sequence, Tuple, Union
+
 import numpy as np
+
+#: anything the measures accept: 1-D arrays or plain float sequences
+ArrayLike = Union[np.ndarray, Sequence[float]]
 
 __all__ = [
     "l1",
@@ -21,7 +26,7 @@ __all__ = [
 ]
 
 
-def _pair(a, b):
+def _pair(a: ArrayLike, b: ArrayLike) -> Tuple[np.ndarray, np.ndarray]:
     va = np.asarray(a, dtype=np.float64).ravel()
     vb = np.asarray(b, dtype=np.float64).ravel()
     if va.shape != vb.shape:
@@ -29,13 +34,13 @@ def _pair(a, b):
     return va, vb
 
 
-def l1(a, b) -> float:
+def l1(a: ArrayLike, b: ArrayLike) -> float:
     """Manhattan distance."""
     va, vb = _pair(a, b)
     return float(np.abs(va - vb).sum())
 
 
-def l2(a, b) -> float:
+def l2(a: ArrayLike, b: ArrayLike) -> float:
     """Euclidean distance."""
     va, vb = _pair(a, b)
     return float(np.sqrt(((va - vb) ** 2).sum()))
@@ -45,7 +50,7 @@ def l2(a, b) -> float:
 euclidean = l2
 
 
-def canberra(a, b) -> float:
+def canberra(a: ArrayLike, b: ArrayLike) -> float:
     """Canberra distance: sum of |a-b| / (|a|+|b|), zero-denominator terms skipped."""
     va, vb = _pair(a, b)
     denom = np.abs(va) + np.abs(vb)
@@ -53,7 +58,7 @@ def canberra(a, b) -> float:
     return float(np.sum(np.abs(va - vb)[mask] / denom[mask]))
 
 
-def chi_square(a, b) -> float:
+def chi_square(a: ArrayLike, b: ArrayLike) -> float:
     """Chi-square histogram distance: sum of (a-b)^2 / (a+b)."""
     va, vb = _pair(a, b)
     denom = va + vb
@@ -61,7 +66,7 @@ def chi_square(a, b) -> float:
     return float(np.sum((va - vb)[mask] ** 2 / denom[mask]))
 
 
-def cosine_distance(a, b) -> float:
+def cosine_distance(a: ArrayLike, b: ArrayLike) -> float:
     """1 - cosine similarity; 0 for parallel vectors, up to 2 for opposite."""
     va, vb = _pair(a, b)
     na = np.linalg.norm(va)
@@ -71,7 +76,7 @@ def cosine_distance(a, b) -> float:
     return float(1.0 - np.dot(va, vb) / (na * nb))
 
 
-def histogram_intersection(a, b) -> float:
+def histogram_intersection(a: ArrayLike, b: ArrayLike) -> float:
     """1 - normalized histogram intersection (a distance in [0, 1])."""
     va, vb = _pair(a, b)
     if np.any(va < 0) or np.any(vb < 0):
@@ -82,7 +87,7 @@ def histogram_intersection(a, b) -> float:
     return float(1.0 - np.minimum(va / sa, vb / sb).sum())
 
 
-def jensen_shannon(a, b) -> float:
+def jensen_shannon(a: ArrayLike, b: ArrayLike) -> float:
     """Jensen-Shannon divergence between L1-normalized distributions (nats)."""
     va, vb = _pair(a, b)
     if np.any(va < 0) or np.any(vb < 0):
@@ -91,7 +96,7 @@ def jensen_shannon(a, b) -> float:
     pb = vb / max(1e-12, vb.sum())
     m = (pa + pb) / 2.0
 
-    def _kl(p, q):
+    def _kl(p: np.ndarray, q: np.ndarray) -> float:
         mask = p > 0
         return float(np.sum(p[mask] * np.log(p[mask] / np.maximum(q[mask], 1e-300))))
 

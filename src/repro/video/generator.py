@@ -27,7 +27,7 @@ noise).  Everything is seeded, so corpora are exactly reproducible.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Sequence, Tuple
 
 import numpy as np
@@ -35,7 +35,6 @@ import numpy as np
 from repro.imaging.draw import Canvas
 from repro.imaging.image import Image
 from repro.imaging.synthetic import (
-    checkerboard,
     grass_texture,
     halftone_dots,
     smooth_noise,

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Optional, Tuple
+from typing import Tuple
 
 from repro.core.system import VideoRetrievalSystem
 from repro.web.api import CbvrApi

@@ -1,0 +1,172 @@
+"""Engine mechanics: pragmas, rule selection, file collection, CLI."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis import (
+    LintConfig,
+    LintEngine,
+    Severity,
+    all_rules,
+    lint_source,
+    module_name_for,
+)
+from repro.analysis.findings import Finding, Report
+from repro.analysis.runner import main as lint_main
+
+BARE_EXCEPT = """
+def f():
+    try:
+        g()
+    except:
+        return None
+"""
+
+
+class TestPragmas:
+    def test_line_pragma_suppresses(self):
+        src = BARE_EXCEPT.replace("except:", "except:  # reprolint: disable=R6")
+        assert not lint_source(src, config=LintConfig(select=frozenset({"R6"}))).findings
+
+    def test_line_pragma_is_rule_specific(self):
+        src = BARE_EXCEPT.replace("except:", "except:  # reprolint: disable=R7")
+        report = lint_source(src, config=LintConfig(select=frozenset({"R6"})))
+        assert len(report.findings) == 1
+
+    def test_file_pragma_suppresses_everywhere(self):
+        src = "# reprolint: disable-file=R6\n" + BARE_EXCEPT
+        assert not lint_source(src, config=LintConfig(select=frozenset({"R6"}))).findings
+
+    def test_disable_all(self):
+        src = BARE_EXCEPT.replace("except:", "except:  # reprolint: disable=all")
+        assert not lint_source(src, config=LintConfig(select=frozenset({"R6"}))).findings
+
+
+class TestConfig:
+    def test_ignore_beats_select(self):
+        config = LintConfig(select=frozenset({"R6"}), ignore=frozenset({"R6"}))
+        assert not LintEngine(config).rules
+
+    def test_default_runs_all_rules(self):
+        assert len(LintEngine().rules) == len(all_rules()) == 10
+
+    def test_with_rules_builds_new_config(self):
+        config = LintConfig().with_rules(select=["R1", "R4"])
+        assert config.wants("R1") and not config.wants("R6")
+
+
+class TestModuleNames:
+    def test_walks_up_init_chain(self, tmp_path):
+        pkg = tmp_path / "mypkg" / "sub"
+        pkg.mkdir(parents=True)
+        (tmp_path / "mypkg" / "__init__.py").write_text("")
+        (pkg / "__init__.py").write_text("")
+        (pkg / "mod.py").write_text("")
+        assert module_name_for(pkg / "mod.py") == "mypkg.sub.mod"
+        assert module_name_for(pkg / "__init__.py") == "mypkg.sub"
+
+    def test_bare_file(self, tmp_path):
+        assert module_name_for(tmp_path / "script.py") == "script"
+
+
+class TestLintPaths:
+    def test_directory_scan_and_parse_error(self, tmp_path):
+        (tmp_path / "ok.py").write_text("__all__ = []\n")
+        (tmp_path / "broken.py").write_text("def f(:\n")
+        report = LintEngine(LintConfig(select=frozenset({"R8"}))).lint_paths([tmp_path])
+        parse = [f for f in report.findings if f.rule_id == "PARSE"]
+        assert len(parse) == 1 and parse[0].severity is Severity.ERROR
+        assert not report.ok
+
+    def test_duplicate_paths_deduplicated(self, tmp_path):
+        target = tmp_path / "one.py"
+        target.write_text("def f(x=[]):\n    return x\n")
+        config = LintConfig(select=frozenset({"R7"}))
+        report = LintEngine(config).lint_paths([target, target, tmp_path])
+        assert len(report.findings) == 1
+
+
+class TestReportModel:
+    def finding(self, **kw):
+        base = dict(
+            rule_id="R6",
+            severity=Severity.ERROR,
+            path="x.py",
+            line=3,
+            col=1,
+            message="boom",
+            fix_hint="fix it",
+        )
+        base.update(kw)
+        return Finding(**base)
+
+    def test_sorted_and_rendered(self):
+        report = Report(
+            findings=[self.finding(line=9), self.finding(line=2)], n_files=1, n_rules=1
+        )
+        assert [f.line for f in report.findings] == [2, 9]
+        text = report.to_text()
+        assert "x.py:2:1: R6 error: boom" in text
+        assert "hint: fix it" in text
+
+    def test_ok_reflects_error_severity(self):
+        warn = self.finding(severity=Severity.WARNING)
+        assert Report(findings=[warn]).ok
+        assert not Report(findings=[warn, self.finding()]).ok
+
+    def test_json_round_trips(self):
+        report = Report(findings=[self.finding()], n_files=1, n_rules=10)
+        payload = json.loads(report.to_json())
+        assert payload["n_errors"] == 1
+        assert payload["findings"][0]["rule"] == "R6"
+
+
+class TestRunner:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("__all__ = []\n")
+        assert lint_main([str(target)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        target = tmp_path / "bad.py"
+        target.write_text(textwrap.dedent(BARE_EXCEPT))
+        assert lint_main(["--select", "R6", str(target)]) == 1
+        assert "R6" in capsys.readouterr().out
+
+    def test_json_output(self, tmp_path, capsys):
+        target = tmp_path / "bad.py"
+        target.write_text("def f(x=[]):\n    return x\n")
+        assert lint_main(["--format", "json", "--select", "R7", str(target)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"][0]["rule"] == "R7"
+
+    def test_unknown_rule_exits_two(self, tmp_path, capsys):
+        assert lint_main(["--select", "R99", str(tmp_path)]) == 2
+
+    def test_missing_path_exits_two(self, tmp_path):
+        assert lint_main([str(tmp_path / "nope")]) == 2
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("R1", "R4", "R10"):
+            assert rule_id in out
+
+    def test_cli_lint_subcommand(self, tmp_path, capsys):
+        from repro.cli import main as repro_main
+
+        target = tmp_path / "bad.py"
+        target.write_text("def f(x=[]):\n    return x\n")
+        assert repro_main(["lint", "--select", "R7", str(target)]) == 1
+
+
+@pytest.mark.parametrize("cls", all_rules())
+def test_rule_metadata_complete(cls):
+    """Each rule ships an id, a title, a docstring, and a fix hint."""
+    assert cls.rule_id and cls.rule_id.startswith("R")
+    assert cls.title
+    assert cls.__doc__ and cls.__doc__.strip()
+    assert cls.fix_hint

@@ -1,0 +1,23 @@
+"""Tier-1 gate: the full rule set over the package's own source.
+
+This is the test that turns reprolint into CI: any contract violation
+introduced anywhere in ``src/repro`` fails the ordinary pytest run.
+"""
+
+from pathlib import Path
+
+import repro
+from repro.analysis import lint_paths
+
+PACKAGE_DIR = Path(repro.__file__).parent
+
+
+def test_reprolint_is_clean_on_own_source():
+    report = lint_paths([PACKAGE_DIR])
+    assert not report.findings, "\n" + report.to_text()
+
+
+def test_full_tree_was_actually_scanned():
+    report = lint_paths([PACKAGE_DIR])
+    assert report.n_files >= 70, "package scan looks truncated"
+    assert report.n_rules == 10

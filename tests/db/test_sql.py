@@ -207,3 +207,45 @@ class TestDropAndErrors:
     def test_date_literal(self):
         stmt, _ = sql.parse("SELECT * FROM T WHERE D = DATE '2012-10-01'")
         assert stmt.where.right == sql.Literal("2012-10-01")
+
+
+class TestStatementBuilders:
+    """build_select/build_insert/build_delete: the R4-sanctioned way to
+    assemble SQL from runtime identifiers."""
+
+    def test_build_select_parses(self):
+        text = sql.build_select("KEY_FRAMES", ("I_ID", "V_ID"), where_eq="V_ID",
+                                order_by=("I_ID",))
+        stmt, n_params = sql.parse(text)
+        assert stmt.table == "KEY_FRAMES"
+        assert stmt.columns == ("I_ID", "V_ID")
+        assert n_params == 1
+        assert stmt.order_by[0].column == "I_ID"
+
+    def test_build_select_star(self):
+        stmt, n_params = sql.parse(sql.build_select("VIDEO_STORE"))
+        assert stmt.columns == () and n_params == 0
+
+    def test_build_insert_parses_with_param_per_column(self):
+        text = sql.build_insert("KEY_FRAMES", ("I_ID", "V_ID", "SCH"))
+        stmt, n_params = sql.parse(text)
+        assert stmt.table == "KEY_FRAMES"
+        assert stmt.columns == ("I_ID", "V_ID", "SCH")
+        assert n_params == 3
+
+    def test_build_delete_parses(self):
+        stmt, n_params = sql.parse(sql.build_delete("VIDEO_STORE", where_eq="V_ID"))
+        assert stmt.table == "VIDEO_STORE" and n_params == 1
+
+    def test_build_insert_requires_columns(self):
+        with pytest.raises(SqlSyntaxError):
+            sql.build_insert("T", ())
+
+    @pytest.mark.parametrize("bad", ["", "1BAD", "a b", "T;DROP", 'x"y', None])
+    def test_injection_shaped_identifiers_rejected(self, bad):
+        with pytest.raises(SqlSyntaxError):
+            sql.quote_ident(bad)
+
+    def test_quote_ident_accepts_paper_style_names(self):
+        for name in ("V_ID", "KEY_FRAMES", "MAJORREGIONS", "col$x", "a#b"):
+            assert sql.quote_ident(name) == name

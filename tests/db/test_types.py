@@ -49,7 +49,7 @@ class TestVarchar:
         assert VARCHAR2(60).render() == "VARCHAR2(60)"
 
     def test_bad_length(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(TypeMismatchError):
             VARCHAR2(0)
 
 
