@@ -1,0 +1,286 @@
+#!/usr/bin/env python
+"""Benchmark-regression harness: ingest + search throughput on synthetic videos.
+
+Builds a synthetic store, times the two pipeline hot paths the runtime
+layer optimizes (ingest fan-out, batched distance scoring), and writes
+``BENCH_throughput.json`` so successive PRs leave a perf trajectory:
+
+- **ingest**   -- full admin pipeline per video (ops/sec, p50/p95 latency)
+- **query_frame**   -- frame search, scalar per-record loop vs batched matrix
+- **query_vectors** -- scoring-only re-rank (the relevance-feedback path)
+- **query_video**   -- clip-to-clip DP search, scalar vs batched
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/regress.py            # full run (~2 min)
+    PYTHONPATH=src python benchmarks/regress.py --quick    # CI smoke (~30 s)
+    PYTHONPATH=src python benchmarks/regress.py --baseline BENCH_throughput.json
+
+The ``scalar`` columns run the pre-PR code path (``batch_distances=False``,
+one worker); ``speedup`` is scalar p50 / batched p50.  With ``--baseline``
+the run compares its ops/sec against a previous JSON and reports
+regressions beyond ``--tolerance``; ``--strict`` turns those into a
+non-zero exit (the CI regression gate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.config import SystemConfig
+from repro.core.search import SearchEngine
+from repro.core.system import VideoRetrievalSystem
+from repro.video.generator import VideoSpec, generate_video, make_corpus
+
+#: metrics compared against a --baseline file (higher is better)
+_TRACKED = [
+    ("ingest", "videos_per_sec"),
+    ("query_frame", "batched", "ops_per_sec"),
+    ("query_vectors", "batched", "ops_per_sec"),
+    ("query_video", "batched", "ops_per_sec"),
+]
+
+
+def _timed(fn: Callable[[], object], repeats: int) -> Dict[str, float]:
+    """Run ``fn`` ``repeats`` times; p50/p95 latency (ms) and ops/sec."""
+    latencies = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        latencies.append(time.perf_counter() - t0)
+    arr = np.asarray(latencies)
+    p50 = float(np.percentile(arr, 50))
+    return {
+        "repeats": repeats,
+        "latency_ms": {
+            "p50": round(p50 * 1000, 3),
+            "p95": round(float(np.percentile(arr, 95)) * 1000, 3),
+        },
+        "ops_per_sec": round(1.0 / p50, 3) if p50 > 0 else float("inf"),
+    }
+
+
+def run_benchmarks(
+    n_videos: int,
+    n_shots: int,
+    frames_per_shot: int,
+    repeats: int,
+    workers: int,
+    seed: int,
+) -> Dict[str, object]:
+    width, height = 64, 48
+    corpus = make_corpus(
+        videos_per_category=-(-n_videos // 5),  # 5 categories in the generator
+        seed=seed,
+        width=width,
+        height=height,
+        n_shots=n_shots,
+        frames_per_shot=frames_per_shot,
+    )[:n_videos]
+
+    # -- ingest ---------------------------------------------------------------
+    system = VideoRetrievalSystem.in_memory(SystemConfig(workers=workers))
+    per_video = []
+    t_total0 = time.perf_counter()
+    for video in corpus:
+        t0 = time.perf_counter()
+        system.admin.add_video(video)
+        per_video.append(time.perf_counter() - t0)
+    ingest_seconds = time.perf_counter() - t_total0
+    n_keyframes = system.n_key_frames()
+    arr = np.asarray(per_video)
+    ingest = {
+        "videos": len(corpus),
+        "frames": sum(v.n_frames for v in corpus),
+        "keyframes": n_keyframes,
+        "workers": workers,
+        "seconds": round(ingest_seconds, 3),
+        "videos_per_sec": round(len(corpus) / ingest_seconds, 3),
+        "keyframes_per_sec": round(n_keyframes / ingest_seconds, 3),
+        "latency_ms": {
+            "p50": round(float(np.percentile(arr, 50)) * 1000, 3),
+            "p95": round(float(np.percentile(arr, 95)) * 1000, 3),
+        },
+    }
+    print(
+        f"ingest    {len(corpus)} videos, {n_keyframes} key frames in "
+        f"{ingest_seconds:.1f}s ({ingest['keyframes_per_sec']:.1f} kf/s)"
+    )
+
+    # two engines over the same store: the pre-PR scalar path vs the
+    # batched path (identical rankings, measured by the tests)
+    scalar_engine = SearchEngine(
+        system.config.with_(batch_distances=False, workers=1),
+        system._store,
+        system._index,
+    )
+    batched_engine = SearchEngine(
+        system.config.with_(batch_distances=True),
+        system._store,
+        system._index,
+    )
+
+    def side_by_side(label: str, make_fn) -> Dict[str, object]:
+        scalar = _timed(make_fn(scalar_engine), repeats)
+        batched = _timed(make_fn(batched_engine), repeats)
+        speedup = round(
+            scalar["latency_ms"]["p50"] / max(1e-9, batched["latency_ms"]["p50"]), 2
+        )
+        print(
+            f"{label:13s} scalar p50 {scalar['latency_ms']['p50']:8.1f}ms   "
+            f"batched p50 {batched['latency_ms']['p50']:8.1f}ms   "
+            f"speedup {speedup:.2f}x"
+        )
+        return {"scalar": scalar, "batched": batched, "speedup": speedup}
+
+    # -- frame query (full scan: index pruning off to compare scoring) --------
+    query_image = system.any_key_frame()
+    result = {
+        "query_frame": side_by_side(
+            "query_frame",
+            lambda eng: lambda: eng.query_frame(query_image, top_k=20, use_index=False),
+        )
+    }
+
+    # -- scoring-only re-rank (relevance feedback's entry point) --------------
+    names = list(system.config.features)
+    query_vectors = {
+        name: batched_engine.extractors[name].extract(query_image) for name in names
+    }
+    result["query_vectors"] = side_by_side(
+        "query_vectors",
+        lambda eng: lambda: eng.query_with_vectors(query_vectors, top_k=20),
+    )
+
+    # -- video query ----------------------------------------------------------
+    clip = generate_video(
+        VideoSpec(
+            category="sports",
+            seed=seed + 4099,
+            width=width,
+            height=height,
+            n_shots=1,
+            frames_per_shot=3,
+        )
+    )
+    result["query_video"] = side_by_side(
+        "query_video",
+        lambda eng: lambda: eng.query_video(clip, top_k=10),
+    )
+
+    result["ingest"] = ingest
+    system.close()
+    return result
+
+
+def _lookup(report: Dict[str, object], path) -> Optional[float]:
+    node = report
+    for key in path:
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return float(node) if isinstance(node, (int, float)) else None
+
+
+def compare_to_baseline(
+    report: Dict[str, object], baseline: Dict[str, object], tolerance: float
+) -> List[str]:
+    """Tracked throughput metrics that regressed beyond ``tolerance``."""
+    regressions = []
+    for path in _TRACKED:
+        now, then = _lookup(report, path), _lookup(baseline, path)
+        if now is None or then is None or then <= 0:
+            continue
+        if now < then * (1.0 - tolerance):
+            regressions.append(
+                f"{'.'.join(path)}: {now:.2f} ops/s vs baseline {then:.2f} "
+                f"(-{(1 - now / then) * 100:.0f}%, tolerance {tolerance * 100:.0f}%)"
+            )
+    return regressions
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small store / few repeats (CI smoke mode)")
+    parser.add_argument("--out", default="BENCH_throughput.json",
+                        help="output JSON path (default: %(default)s)")
+    parser.add_argument("--videos", type=int, default=None,
+                        help="store size (default: 20, quick: 6)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="query repetitions (default: 7, quick: 3)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="ingest workers (1 = serial, 0 = auto)")
+    parser.add_argument("--seed", type=int, default=2012)
+    parser.add_argument("--baseline", default=None,
+                        help="previous BENCH_throughput.json to compare against")
+    parser.add_argument("--tolerance", type=float, default=0.5,
+                        help="allowed fractional ops/sec drop vs baseline "
+                             "(default: %(default)s)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit non-zero when a baseline regression is found")
+    args = parser.parse_args(argv)
+
+    n_videos = args.videos if args.videos is not None else (6 if args.quick else 20)
+    repeats = args.repeats if args.repeats is not None else (3 if args.quick else 7)
+    n_shots = 12 if args.quick else 50
+    frames_per_shot = 3
+
+    print(
+        f"benchmarking: {n_videos} videos x {n_shots} shots x "
+        f"{frames_per_shot} frames, {repeats} repeats"
+    )
+    report: Dict[str, object] = {
+        "schema": "repro-bench-throughput/1",
+        "config": {
+            "quick": args.quick,
+            "videos": n_videos,
+            "n_shots": n_shots,
+            "frames_per_shot": frames_per_shot,
+            "repeats": repeats,
+            "workers": args.workers,
+            "seed": args.seed,
+            "python": sys.version.split()[0],
+        },
+    }
+    report.update(
+        run_benchmarks(
+            n_videos=n_videos,
+            n_shots=n_shots,
+            frames_per_shot=frames_per_shot,
+            repeats=repeats,
+            workers=args.workers,
+            seed=args.seed,
+        )
+    )
+
+    exit_code = 0
+    if args.baseline:
+        with open(args.baseline, "r", encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        regressions = compare_to_baseline(report, baseline, args.tolerance)
+        report["baseline_regressions"] = regressions
+        if regressions:
+            print("\nbaseline regressions:")
+            for line in regressions:
+                print(f"  REGRESSION {line}")
+            if args.strict:
+                exit_code = 1
+        else:
+            print("\nno baseline regressions")
+
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    return exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

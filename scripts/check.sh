@@ -4,9 +4,12 @@
 # Usage: scripts/check.sh [--fast]
 #   --fast  skip the pytest suite (lint/type checks only)
 #
-# ruff and mypy are optional dependencies: when they are not installed
-# (e.g. in the offline reproduction container) the corresponding step is
-# reported as skipped instead of failing the gate.
+# ruff and mypy are optional dependencies.  Locally, a missing tool is
+# reported as skipped; in CI (the CI environment variable is set, as on
+# GitHub Actions) a missing optional tool is still a skip -- CI installs
+# them via the dev extra -- but any *installed* tool that fails always
+# fails the gate, and a skip is called out loudly so a broken install
+# cannot silently drop a gate.
 
 set -u
 cd "$(dirname "$0")/.."
@@ -15,52 +18,80 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 fast=0
 [ "${1:-}" = "--fast" ] && fast=1
+in_ci=${CI:+1}
 
-failures=0
+gate_names=""
 
 step() {
     printf '\n== %s ==\n' "$1"
 }
 
+# record <gate> <status: ok|FAIL|skip>
+record() {
+    gate_names="$gate_names $1"
+    eval "status_$1=\"$2\""
+}
+
 step "reprolint (repro lint src/repro)"
 if python -m repro.analysis src/repro; then
-    echo "reprolint: OK"
+    record reprolint ok
 else
-    failures=$((failures + 1))
+    record reprolint FAIL
 fi
 
 step "ruff"
 if command -v ruff >/dev/null 2>&1; then
     if ruff check src/repro; then
-        echo "ruff: OK"
+        record ruff ok
     else
-        failures=$((failures + 1))
+        record ruff FAIL
     fi
 else
     echo "ruff: not installed, skipped"
+    record ruff skip
 fi
 
 step "mypy"
 if command -v mypy >/dev/null 2>&1; then
     if mypy src/repro; then
-        echo "mypy: OK"
+        record mypy ok
     else
-        failures=$((failures + 1))
+        record mypy FAIL
     fi
 else
     echo "mypy: not installed, skipped"
+    record mypy skip
 fi
 
 if [ "$fast" -eq 0 ]; then
     step "pytest (tier-1)"
     if python -m pytest -x -q; then
-        echo "pytest: OK"
+        record pytest ok
     else
-        failures=$((failures + 1))
+        record pytest FAIL
     fi
+else
+    record pytest skip
 fi
 
+# -- summary: one line per gate, plus the one-line table ---------------------
 step "summary"
+failures=0
+skips=0
+summary_line=""
+for gate in $gate_names; do
+    eval "status=\$status_$gate"
+    printf '%-10s %s\n' "$gate" "$status"
+    summary_line="$summary_line $gate=$status"
+    [ "$status" = "FAIL" ] && failures=$((failures + 1))
+    [ "$status" = "skip" ] && skips=$((skips + 1))
+done
+printf 'gates:%s\n' "$summary_line"
+
+if [ -n "$in_ci" ] && [ "$skips" -gt 0 ] && [ "$fast" -eq 0 ]; then
+    echo "warning: $skips optional gate(s) skipped in CI (tool not installed)"
+fi
+
 if [ "$failures" -eq 0 ]; then
     echo "all checks passed"
 else

@@ -41,6 +41,11 @@ class SystemConfig:
     #: weight of the clip-level motion descriptor in video queries
     #: (0 = appearance only, the paper's system; 1 = equal to appearance)
     video_motion_weight: float = 0.0
+    # execution layer (repro.runtime)
+    #: ingest worker processes: 1 = serial, 0 = auto (REPRO_WORKERS / CPU count)
+    workers: int = 1
+    #: score candidates with vectorized batch distances instead of per-record loops
+    batch_distances: bool = True
     # admin authentication (None = open access)
     admin_password: Optional[str] = None
 
@@ -59,6 +64,8 @@ class SystemConfig:
             raise ValueError("sequence_method must be 'dtw' or 'align'")
         if self.video_motion_weight < 0:
             raise ValueError("video_motion_weight must be non-negative")
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0 (0 = auto)")
 
     def weight_of(self, feature: str) -> float:
         return float(self.fusion_weights.get(feature, 1.0))

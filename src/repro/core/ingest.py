@@ -9,28 +9,60 @@
 4. insert the ``KEY_FRAMES`` rows, update the range index and the
    in-memory feature store -- all inside one transaction so a failing
    extractor leaves nothing half-ingested.
+
+Step 3 is the CPU hot path -- seven extractors over every key frame -- and
+is pure per-frame computation, so when ``config.workers > 1`` it fans out
+over a :class:`repro.runtime.WorkerPool`; the DB writes of step 4 stay in
+one transaction on the calling thread either way, and the pool's ordered
+map keeps results byte-identical to a serial run.
 """
 
 from __future__ import annotations
 
 import datetime
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Union
+from functools import partial
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.catalog import FEATURE_COLUMNS
 from repro.core.config import SystemConfig
 from repro.core.store import FeatureStore, FrameRecord
 from repro.db.engine import Database
 from repro.db.errors import DatabaseError
-from repro.db.sql import build_insert, build_select
+from repro.db.sql import build_insert
 from repro.features.base import FeatureExtractor, FeatureVector, get_extractor
 from repro.imaging.image import Image
+from repro.indexing.rangefinder import Bucket, RangeFinder
 from repro.indexing.tree import RangeIndex
+from repro.runtime import WorkerPool, resolve_workers
 from repro.video.codec import encode_rvf_bytes
 from repro.video.generator import SyntheticVideo
 from repro.video.keyframes import KeyFrameExtractor
 
 __all__ = ["Ingestor", "IngestReport"]
+
+#: per-key-frame computation result: features, index bucket, MAJORREGIONS, PPM
+FramePayload = Tuple[Dict[str, FeatureVector], Bucket, int, bytes]
+
+
+def _compute_frame_payload(
+    frame: Image,
+    extractors: Dict[str, FeatureExtractor],
+    finder: RangeFinder,
+    fallback_regions: FeatureExtractor,
+) -> FramePayload:
+    """Everything ``_ingest_frame`` needs that does not touch the DB.
+
+    Module-level and side-effect free so a :class:`WorkerPool` can ship it
+    to worker processes.
+    """
+    features = {name: extractor.extract(frame) for name, extractor in extractors.items()}
+    bucket = finder.bucket_for_image(frame)
+    if "regions" in features:
+        major_regions = int(features["regions"].values[2])
+    else:
+        major_regions = int(fallback_regions.extract(frame).values[2])
+    return features, bucket, major_regions, frame.encode("ppm")
 
 
 @dataclass(frozen=True)
@@ -56,6 +88,7 @@ class Ingestor:
         config: SystemConfig,
         store: FeatureStore,
         index: RangeIndex,
+        pool: Optional[WorkerPool] = None,
     ):
         self.db = db
         self.config = config
@@ -71,6 +104,11 @@ class Ingestor:
         # regions is needed for the MAJORREGIONS column even if not an
         # active search feature
         self._regions = self.extractors.get("regions") or get_extractor("regions")
+        self._pool = pool or WorkerPool(workers=resolve_workers(config.workers))
+
+    def close(self) -> None:
+        """Tear down the worker pool (no-op for serial configurations)."""
+        self._pool.close()
 
     @staticmethod
     def _motion_descriptor(frames: Sequence[Image]) -> FeatureVector:
@@ -87,9 +125,16 @@ class Ingestor:
 
     # -- id allocation ----------------------------------------------------------
 
+    #: literal MAX() statements per id column (R4: no interpolated SQL)
+    _MAX_ID_SQL = {
+        ("VIDEO_STORE", "V_ID"): "SELECT MAX(V_ID) FROM VIDEO_STORE",
+        ("KEY_FRAMES", "I_ID"): "SELECT MAX(I_ID) FROM KEY_FRAMES",
+    }
+
     def _next_id(self, table: str, column: str) -> int:
-        rows = self.db.execute(build_select(table, (column,))).rows
-        return 1 + max((int(r[column]) for r in rows), default=0)
+        """1 + the column's max, via an aggregate instead of fetching rows."""
+        result = self.db.execute(self._MAX_ID_SQL[(table, column)]).scalar()
+        return 1 + (int(result) if result is not None else 0)
 
     # -- operations -----------------------------------------------------------------
 
@@ -119,6 +164,16 @@ class Ingestor:
         stored_on = stored_on or datetime.date(2012, 10, 1)
         motion = self._motion_descriptor(frames)
 
+        # fan the pure per-frame computation out across workers; the order
+        # of payloads matches key_frames, so ids and rows are deterministic
+        compute = partial(
+            _compute_frame_payload,
+            extractors=self.extractors,
+            finder=self.index.finder,
+            fallback_regions=self._regions,
+        )
+        payloads = self._pool.map(compute, [frame for _index, frame in key_frames])
+
         new_records: List[FrameRecord] = []
         with self.db.transaction():
             self.db.execute(
@@ -126,9 +181,11 @@ class Ingestor:
                 " VALUES (?, ?, ?, ?, ?, ?)",
                 (video_id, name, category, video_blob, motion.to_string(), stored_on),
             )
-            for offset, (frame_index, frame) in enumerate(key_frames):
+            for offset, ((frame_index, _frame), payload) in enumerate(zip(key_frames, payloads)):
                 frame_id = next_frame_id + offset
-                record = self._ingest_frame(frame_id, video_id, name, category, frame_index, frame)
+                record = self._ingest_frame(
+                    frame_id, video_id, name, category, frame_index, payload
+                )
                 new_records.append(record)
 
         # DB committed; now mirror into store + index
@@ -150,23 +207,17 @@ class Ingestor:
         video_name: str,
         category: Optional[str],
         frame_index: int,
-        frame: Image,
+        payload: FramePayload,
     ) -> FrameRecord:
-        features: Dict[str, FeatureVector] = {
-            name: extractor.extract(frame) for name, extractor in self.extractors.items()
-        }
-        bucket = self.index.finder.bucket_for_image(frame)
-        if "regions" in features:
-            major_regions = int(features["regions"].values[2])
-        else:
-            major_regions = int(self._regions.extract(frame).values[2])
+        """Write one precomputed key frame's row (DB work only)."""
+        features, bucket, major_regions, ppm_blob = payload
         frame_name = f"{video_name}_f{frame_index:04d}"
 
         columns = ["I_ID", "I_NAME", "IMAGE", "MIN", "MAX", "MAJORREGIONS", "V_ID"]
         values: List[object] = [
             frame_id,
             frame_name,
-            frame.encode("ppm"),
+            ppm_blob,
             bucket.min,
             bucket.max,
             major_regions,
@@ -209,4 +260,4 @@ class Ingestor:
         ).rowcount
         if count == 0:
             raise DatabaseError(f"no video with id {video_id}")
-        self.store.rebuild_from_db(self.db, list(self.config.features))
+        self.store.rename_video(video_id, new_name)

@@ -13,6 +13,7 @@ similarity.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
@@ -23,12 +24,22 @@ from repro.core.store import FeatureStore, FrameRecord
 from repro.features.base import FeatureExtractor, FeatureVector, get_extractor
 from repro.imaging.image import Image
 from repro.indexing.tree import RangeIndex
+from repro.runtime import WorkerPool, resolve_workers
 from repro.similarity.dp import dtw_distance, sequence_similarity
 from repro.similarity.fusion import CombinedScorer, FeatureWeights, normalize_scores
 from repro.video.generator import SyntheticVideo
 from repro.video.keyframes import KeyFrameExtractor
 
 __all__ = ["SearchEngine", "VideoMatch"]
+
+
+def _extract_query_features(
+    frame: Image,
+    extractors: Dict[str, FeatureExtractor],
+    names: Sequence[str],
+) -> Dict[str, FeatureVector]:
+    """One query key frame's feature vectors (worker-process safe)."""
+    return {name: extractors[name].extract(frame) for name in names}
 
 
 class VideoMatch:
@@ -47,7 +58,13 @@ class VideoMatch:
 class SearchEngine:
     """Query execution over a feature store + range index."""
 
-    def __init__(self, config: SystemConfig, store: FeatureStore, index: RangeIndex):
+    def __init__(
+        self,
+        config: SystemConfig,
+        store: FeatureStore,
+        index: RangeIndex,
+        pool: Optional[WorkerPool] = None,
+    ):
         self.config = config
         self.store = store
         self.index = index
@@ -58,6 +75,11 @@ class SearchEngine:
             threshold=config.keyframe_threshold,
             base_size=config.keyframe_base_size,
         )
+        self._pool = pool or WorkerPool(workers=resolve_workers(config.workers))
+
+    def close(self) -> None:
+        """Tear down the worker pool (no-op for serial configurations)."""
+        self._pool.close()
 
     # -- frame query ------------------------------------------------------------
 
@@ -110,13 +132,17 @@ class SearchEngine:
             return SearchResults([], n_candidates=0, n_total=n_total)
 
         records = [self.store.get(fid) for fid in candidate_ids]
-        per_feature: Dict[str, List[float]] = {}
+        per_feature: Dict[str, np.ndarray] = {}
         for name in names:
             extractor = self.extractors[name]
             qv = query_vectors[name]
-            per_feature[name] = [
-                extractor.distance(qv, rec.features[name]) for rec in records
-            ]
+            if self.config.batch_distances:
+                matrix = self.store.feature_matrix(name, candidate_ids)
+                per_feature[name] = extractor.batch_distance(qv, matrix)
+            else:
+                per_feature[name] = np.array(
+                    [extractor.distance(qv, rec.features[name]) for rec in records]
+                )
 
         if len(names) == 1:
             fused = np.asarray(per_feature[names[0]], dtype=np.float64)
@@ -134,7 +160,7 @@ class SearchEngine:
                 frame_name=records[i].frame_name,
                 category=records[i].category,
                 distance=float(fused[i]),
-                per_feature={n: per_feature[n][i] for n in names},
+                per_feature={n: float(per_feature[n][i]) for n in names},
             )
             for i in order
         ]
@@ -154,9 +180,12 @@ class SearchEngine:
             raise ValueError("query video has no frames")
         names = self._resolve_features(features)
         key_frames = [f for _i, f in self.keyframe_extractor.extract(frames)]
-        query_seq = [
-            {name: self.extractors[name].extract(f) for name in names} for f in key_frames
-        ]
+        # per-key-frame extraction is the query-side CPU hot spot; fan it
+        # out over the pool (order-preserving, so results are unchanged)
+        extract = partial(
+            _extract_query_features, extractors=self.extractors, names=names
+        )
+        query_seq = self._pool.map(extract, key_frames)
 
         video_ids = self.store.video_ids()
         if not video_ids:
@@ -174,14 +203,20 @@ class SearchEngine:
             all_records.extend(records)
 
         nq, nr = len(query_seq), len(all_records)
+        record_ids = [rec.frame_id for rec in all_records]
         combined = np.zeros((nq, nr))
         total_weight = 0.0
         for name in names:
             extractor = self.extractors[name]
             m = np.empty((nq, nr))
-            for i, qf in enumerate(query_seq):
-                for j, rec in enumerate(all_records):
-                    m[i, j] = extractor.distance(qf[name], rec.features[name])
+            if self.config.batch_distances:
+                matrix = self.store.feature_matrix(name, record_ids)
+                for i, qf in enumerate(query_seq):
+                    m[i, :] = extractor.batch_distance(qf[name], matrix)
+            else:
+                for i, qf in enumerate(query_seq):
+                    for j, rec in enumerate(all_records):
+                        m[i, j] = extractor.distance(qf[name], rec.features[name])
             w = self.config.weight_of(name)
             combined += w * normalize_scores(m.ravel()).reshape(nq, nr)
             total_weight += w

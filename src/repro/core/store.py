@@ -8,8 +8,10 @@ and the DB together, and on open it is rebuilt from the table.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.catalog import FEATURE_COLUMNS
 from repro.db.engine import Database
@@ -40,6 +42,9 @@ class FeatureStore:
         self._by_video: Dict[int, List[int]] = {}
         # clip-level motion descriptors (extension; see repro.video.motion)
         self._video_motion: Dict[int, FeatureVector] = {}
+        # feature name -> (stacked matrix over all frames, frame_id -> row);
+        # built lazily by feature_matrix, dropped on any add/remove
+        self._matrix_cache: Dict[str, Tuple[np.ndarray, Dict[int, int]]] = {}
 
     # -- container protocol --------------------------------------------------
 
@@ -69,6 +74,7 @@ class FeatureStore:
             raise KeyError(f"frame id {record.frame_id} already in store")
         self._frames[record.frame_id] = record
         self._by_video.setdefault(record.video_id, []).append(record.frame_id)
+        self._matrix_cache.clear()
 
     def remove_video(self, video_id: int) -> List[int]:
         """Drop every frame of a video; returns the removed frame ids."""
@@ -76,12 +82,56 @@ class FeatureStore:
         for fid in frame_ids:
             del self._frames[fid]
         self._video_motion.pop(video_id, None)
+        if frame_ids:
+            self._matrix_cache.clear()
         return frame_ids
+
+    def rename_video(self, video_id: int, new_name: str) -> int:
+        """Rewrite ``video_name`` on the video's records (metadata only).
+
+        Feature vectors and buckets are untouched, so the stacked-matrix
+        cache stays valid.  Returns the number of affected frames.
+        """
+        frame_ids = self._by_video.get(video_id, [])
+        for fid in frame_ids:
+            self._frames[fid] = replace(self._frames[fid], video_name=new_name)
+        return len(frame_ids)
 
     def clear(self) -> None:
         self._frames.clear()
         self._by_video.clear()
         self._video_motion.clear()
+        self._matrix_cache.clear()
+
+    # -- stacked feature matrices ------------------------------------------------
+
+    def feature_matrix(
+        self, name: str, frame_ids: Optional[Sequence[int]] = None
+    ) -> np.ndarray:
+        """The frames' ``name`` vectors stacked into an ``(n, d)`` matrix.
+
+        Row ``i`` is ``frame_ids[i]``'s vector (all frames in id order when
+        ``frame_ids`` is None).  The full stack is cached per feature and
+        invalidated by :meth:`add` / :meth:`remove_video` / :meth:`clear`;
+        subsets are cheap row gathers from that cache.  Raises ``KeyError``
+        for an unknown frame id or a frame missing the feature, exactly as
+        the scalar per-record path would.
+        """
+        cached = self._matrix_cache.get(name)
+        if cached is None:
+            ids = self.frame_ids()
+            rows = [self._frames[fid].features[name].values for fid in ids]
+            if rows:
+                base = np.stack(rows).astype(np.float64, copy=False)
+            else:
+                base = np.empty((0, 0), dtype=np.float64)
+            base.setflags(write=False)
+            cached = (base, {fid: i for i, fid in enumerate(ids)})
+            self._matrix_cache[name] = cached
+        base, row_of = cached
+        if frame_ids is None:
+            return base
+        return base[[row_of[fid] for fid in frame_ids]]
 
     # -- clip-level motion ------------------------------------------------------
 

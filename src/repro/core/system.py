@@ -27,6 +27,7 @@ from repro.db.types import ORD_VIDEO
 from repro.imaging.image import Image, decode_image
 from repro.indexing.rangefinder import RangeFinder
 from repro.indexing.tree import RangeIndex
+from repro.runtime import WorkerPool, resolve_workers
 from repro.video.generator import SyntheticVideo
 
 __all__ = ["VideoRetrievalSystem", "AdminSession", "AuthenticationError"]
@@ -70,8 +71,15 @@ class VideoRetrievalSystem:
             max_level=self.config.index_max_level,
         )
         self._index = RangeIndex(finder)
-        self._ingestor = Ingestor(self.db, self.config, self._store, self._index)
-        self._engine = SearchEngine(self.config, self._store, self._index)
+        # one worker pool shared by ingest and search (lazy: serial configs
+        # never spawn processes)
+        self._pool = WorkerPool(workers=resolve_workers(self.config.workers))
+        self._ingestor = Ingestor(
+            self.db, self.config, self._store, self._index, pool=self._pool
+        )
+        self._engine = SearchEngine(
+            self.config, self._store, self._index, pool=self._pool
+        )
         self._reload_from_db()
 
     # -- constructors ----------------------------------------------------------
@@ -178,4 +186,5 @@ class VideoRetrievalSystem:
         return self._index.stats()
 
     def close(self) -> None:
+        self._pool.close()
         self.db.close()

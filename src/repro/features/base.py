@@ -121,6 +121,41 @@ class FeatureExtractor(abc.ABC):
         self._check_pair(a, b)
         return l1(a.values, b.values)
 
+    def batch_distance(self, q: FeatureVector, matrix: np.ndarray) -> np.ndarray:
+        """Distances from ``q`` to every row of a stacked ``(n, d)`` matrix.
+
+        Subclasses that override :meth:`distance` override this too with
+        the matching vectorized measure; this default guarantees agreement
+        for any extractor that has not, by looping the scalar method.  An
+        extractor inheriting the base L1 ``distance`` gets the vectorized
+        L1 directly.
+        """
+        from repro.similarity.measures import l1_batch
+
+        m = self._check_batch(q, matrix)
+        if type(self).distance is FeatureExtractor.distance:
+            return l1_batch(q.values, m)
+        return np.array(
+            [
+                self.distance(q, FeatureVector(kind=self.name, values=row, tag=q.tag))
+                for row in m
+            ],
+            dtype=np.float64,
+        )
+
+    def _check_batch(self, q: FeatureVector, matrix: np.ndarray) -> np.ndarray:
+        """Validate a query/matrix pair; returns the matrix as float64."""
+        if q.kind != self.name:
+            raise ValueError(
+                f"{type(self).__name__} compares {self.name!r} vectors, got {q.kind!r}"
+            )
+        m = np.asarray(matrix, dtype=np.float64)
+        if m.ndim != 2:
+            raise ValueError(f"candidate matrix must be 2-D, got shape {m.shape}")
+        if m.shape[1] != len(q):
+            raise ValueError(f"vector lengths differ: {len(q)} vs {m.shape[1]}")
+        return m
+
     def _check_pair(self, a: FeatureVector, b: FeatureVector) -> None:
         if a.kind != self.name or b.kind != self.name:
             raise ValueError(

@@ -66,3 +66,10 @@ class SimpleColorHistogram(FeatureExtractor):
         pa = a.values / max(1e-12, a.values.sum())
         pb = b.values / max(1e-12, b.values.sum())
         return float(np.abs(pa - pb).sum())
+
+    def batch_distance(self, q: FeatureVector, matrix: np.ndarray) -> np.ndarray:
+        """Vectorized normalized-histogram L1 distances."""
+        m = self._check_batch(q, matrix)
+        pq = q.values / max(1e-12, q.values.sum())
+        pm = m / np.maximum(m.sum(axis=1), 1e-12)[:, np.newaxis]
+        return np.abs(pm - pq).sum(axis=1)

@@ -98,3 +98,9 @@ class EdgeHistogram(FeatureExtractor):
         """L1 distance (the MPEG-7 matching rule for EHD)."""
         self._check_pair(a, b)
         return float(np.abs(a.values - b.values).sum())
+
+    def batch_distance(self, q: FeatureVector, matrix: np.ndarray) -> np.ndarray:
+        """Vectorized L1 distances against a stacked matrix."""
+        from repro.similarity.measures import l1_batch
+
+        return l1_batch(q.values, self._check_batch(q, matrix))

@@ -139,3 +139,9 @@ class GaborTexture(FeatureExtractor):
         """Euclidean distance (the standard measure for Gabor energy vectors)."""
         self._check_pair(a, b)
         return float(np.sqrt(np.sum((a.values - b.values) ** 2)))
+
+    def batch_distance(self, q: FeatureVector, matrix: np.ndarray) -> np.ndarray:
+        """Vectorized Euclidean distances against a stacked matrix."""
+        from repro.similarity.measures import l2_batch
+
+        return l2_batch(q.values, self._check_batch(q, matrix))

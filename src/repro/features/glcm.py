@@ -146,3 +146,10 @@ class GlcmTexture(FeatureExtractor):
         denom = np.abs(va) + np.abs(vb)
         mask = denom > 1e-12
         return float(np.sum(np.abs(va - vb)[mask] / denom[mask]))
+
+    def batch_distance(self, q: FeatureVector, matrix: np.ndarray) -> np.ndarray:
+        """Vectorized Canberra distances (pixelCounter column excluded)."""
+        from repro.similarity.measures import canberra_batch
+
+        m = self._check_batch(q, matrix)
+        return canberra_batch(q.values[1:], m[:, 1:])

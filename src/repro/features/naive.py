@@ -46,3 +46,10 @@ class NaiveSignature(FeatureExtractor):
         pa = a.values.reshape(-1, 3)
         pb = b.values.reshape(-1, 3)
         return float(np.sum(np.sqrt(np.sum((pa - pb) ** 2, axis=1))))
+
+    def batch_distance(self, q: FeatureVector, matrix: np.ndarray) -> np.ndarray:
+        """Vectorized per-grid-point color distances, summed per candidate."""
+        m = self._check_batch(q, matrix)
+        pq = q.values.reshape(-1, 3)
+        pm = m.reshape(m.shape[0], -1, 3)
+        return np.sqrt(((pm - pq) ** 2).sum(axis=2)).sum(axis=1)

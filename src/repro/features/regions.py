@@ -143,3 +143,9 @@ class SimpleRegionGrowing(FeatureExtractor):
         denom = np.abs(a.values) + np.abs(b.values)
         mask = denom > 1e-12
         return float(np.sum(np.abs(a.values - b.values)[mask] / denom[mask]))
+
+    def batch_distance(self, q: FeatureVector, matrix: np.ndarray) -> np.ndarray:
+        """Vectorized Canberra distances over the three counters."""
+        from repro.similarity.measures import canberra_batch
+
+        return canberra_batch(q.values, self._check_batch(q, matrix))

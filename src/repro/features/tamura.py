@@ -142,3 +142,13 @@ class TamuraTexture(FeatureExtractor):
         ha = a.values[2:] / max(1e-12, a.values[2:].sum())
         hb = b.values[2:] / max(1e-12, b.values[2:].sum())
         return d + float(np.abs(ha - hb).sum())
+
+    def batch_distance(self, q: FeatureVector, matrix: np.ndarray) -> np.ndarray:
+        """Vectorized head-Canberra + normalized-histogram-L1 distances."""
+        from repro.similarity.measures import canberra_batch
+
+        m = self._check_batch(q, matrix)
+        head = canberra_batch(q.values[:2], m[:, :2])
+        hq = q.values[2:] / max(1e-12, q.values[2:].sum())
+        hm = m[:, 2:] / np.maximum(m[:, 2:].sum(axis=1), 1e-12)[:, np.newaxis]
+        return head + np.abs(hm - hq).sum(axis=1)

@@ -1,0 +1,12 @@
+"""Execution layer: process-pool fan-out for the ingest/search hot paths.
+
+``repro.runtime`` owns *how* work is spread over cores so the pipeline
+layers (`core.ingest`, `core.search`) only say *what* to compute.  The
+contract is deliberately narrow: an order-preserving chunked ``map`` that
+degrades to the plain serial loop whenever parallelism cannot help
+(one worker, one item) or cannot work (unpicklable task, dead pool).
+"""
+
+from repro.runtime.pool import WorkerPool, parallel_map, resolve_workers
+
+__all__ = ["WorkerPool", "parallel_map", "resolve_workers"]

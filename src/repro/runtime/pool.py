@@ -1,0 +1,141 @@
+"""A deterministic process-pool ``map`` with graceful serial fallback.
+
+The feature extractors are pure CPU-bound NumPy/Python code, so threads
+buy nothing under the GIL; processes do.  :class:`WorkerPool` wraps
+``concurrent.futures.ProcessPoolExecutor`` with the three guarantees the
+pipeline needs:
+
+1. **Deterministic ordering** -- results come back in input order, so a
+   parallel ingest produces byte-identical feature strings to a serial
+   one.
+2. **Graceful fallback** -- ``workers == 1``, a single-item batch, an
+   unpicklable task, or a broken pool all degrade to the plain serial
+   loop instead of erroring.
+3. **Chunked dispatch** -- items are shipped in chunks so per-task IPC
+   overhead does not swamp short tasks.
+
+Exceptions raised *by the task function itself* always propagate: only
+infrastructure failures (pickling, dead workers) trigger the fallback.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Iterable, List, Optional, TypeVar
+
+__all__ = ["WorkerPool", "parallel_map", "resolve_workers"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: environment override for the auto worker count (`workers=0` in config)
+WORKERS_ENV_VAR = "REPRO_WORKERS"
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Turn a ``workers`` knob into an effective worker count.
+
+    ``None`` or ``0`` means *auto*: the ``REPRO_WORKERS`` environment
+    variable if set, else the machine's CPU count.  Negative counts are
+    rejected; the result is always >= 1.
+    """
+    if workers is None or workers == 0:
+        env = os.environ.get(WORKERS_ENV_VAR, "").strip()
+        if env:
+            try:
+                workers = int(env)
+            except ValueError:
+                raise ValueError(
+                    f"{WORKERS_ENV_VAR} must be an integer, got {env!r}"
+                ) from None
+        else:
+            workers = os.cpu_count() or 1
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0 (0 = auto), got {workers}")
+    return max(1, workers)
+
+
+def _is_picklable(obj: object) -> bool:
+    """Whether ``obj`` survives the trip to a worker process."""
+    try:
+        pickle.dumps(obj)
+        return True
+    except (pickle.PicklingError, TypeError, AttributeError):
+        return False
+
+
+class WorkerPool:
+    """Order-preserving chunked map over a lazily-created process pool.
+
+    The executor is only spawned on the first parallel ``map`` call, so a
+    pool configured with ``workers=1`` (the default everywhere) costs
+    nothing.  Pools are reusable across calls; ``close()`` (or use as a
+    context manager) tears the executor down.
+    """
+
+    def __init__(self, workers: int = 1, chunk_size: Optional[int] = None):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.workers = workers
+        self.chunk_size = chunk_size
+        self._executor: Optional[ProcessPoolExecutor] = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.workers)
+        return self._executor
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- the one operation ----------------------------------------------------
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
+        """``[fn(x) for x in items]``, fanned out when it can be.
+
+        Results are always in input order.  Falls back to the serial loop
+        when the pool is serial, the batch is trivial, or the task cannot
+        be shipped to workers; task exceptions propagate unchanged.
+        """
+        materialized = list(items)
+        if self.workers == 1 or len(materialized) <= 1:
+            return [fn(x) for x in materialized]
+        if not (_is_picklable(fn) and _is_picklable(materialized[0])):
+            return [fn(x) for x in materialized]
+        chunk = self.chunk_size or max(
+            1, -(-len(materialized) // (self.workers * 4))
+        )
+        try:
+            executor = self._ensure_executor()
+            return list(executor.map(fn, materialized, chunksize=chunk))
+        except (BrokenProcessPool, pickle.PicklingError, OSError):
+            # infrastructure died (or a result refused to pickle); the
+            # work itself is still valid, so redo it in-process
+            self.close()
+            return [fn(x) for x in materialized]
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    workers: int = 1,
+    chunk_size: Optional[int] = None,
+) -> List[R]:
+    """One-shot :meth:`WorkerPool.map` (pool created and torn down here)."""
+    with WorkerPool(workers=workers, chunk_size=chunk_size) as pool:
+        return pool.map(fn, items)

@@ -1,0 +1,98 @@
+"""Unit tests for the repro.runtime execution layer."""
+
+import os
+
+import pytest
+
+from repro.runtime import WorkerPool, parallel_map, resolve_workers
+from repro.runtime.pool import WORKERS_ENV_VAR
+
+
+def _square(x):
+    return x * x
+
+
+def _boom(x):
+    raise RuntimeError(f"task failed on {x}")
+
+
+class TestResolveWorkers:
+    def test_explicit_count_passes_through(self):
+        assert resolve_workers(3) == 3
+
+    def test_one_is_serial(self):
+        assert resolve_workers(1) == 1
+
+    def test_zero_means_auto(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV_VAR, raising=False)
+        assert resolve_workers(0) == max(1, os.cpu_count() or 1)
+
+    def test_none_means_auto(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV_VAR, raising=False)
+        assert resolve_workers(None) >= 1
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "5")
+        assert resolve_workers(0) == 5
+
+    def test_bad_env_value(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "lots")
+        with pytest.raises(ValueError):
+            resolve_workers(0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_workers(-2)
+
+
+class TestWorkerPool:
+    def test_serial_map(self):
+        with WorkerPool(workers=1) as pool:
+            assert pool.map(_square, [3, 1, 2]) == [9, 1, 4]
+
+    def test_parallel_map_preserves_order(self):
+        with WorkerPool(workers=2) as pool:
+            assert pool.map(_square, list(range(20))) == [x * x for x in range(20)]
+
+    def test_parallel_pool_is_reusable(self):
+        with WorkerPool(workers=2) as pool:
+            assert pool.map(_square, [1, 2]) == [1, 4]
+            assert pool.map(_square, [5, 6]) == [25, 36]
+
+    def test_empty_items(self):
+        with WorkerPool(workers=2) as pool:
+            assert pool.map(_square, []) == []
+
+    def test_single_item_stays_serial(self):
+        pool = WorkerPool(workers=4)
+        try:
+            assert pool.map(_square, [7]) == [49]
+            assert pool._executor is None  # never spawned
+        finally:
+            pool.close()
+
+    def test_unpicklable_fn_falls_back_to_serial(self):
+        calls = []
+
+        def local_fn(x):  # closures cannot be pickled
+            calls.append(x)
+            return x + 1
+
+        with WorkerPool(workers=2) as pool:
+            assert pool.map(local_fn, [1, 2, 3]) == [2, 3, 4]
+        assert calls == [1, 2, 3]
+
+    def test_task_exception_propagates(self):
+        with WorkerPool(workers=2) as pool:
+            with pytest.raises(RuntimeError, match="task failed"):
+                pool.map(_boom, [1, 2, 3])
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            WorkerPool(workers=0)
+        with pytest.raises(ValueError):
+            WorkerPool(workers=2, chunk_size=0)
+
+
+def test_parallel_map_convenience():
+    assert parallel_map(_square, [2, 3], workers=2) == [4, 9]
