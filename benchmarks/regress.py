@@ -9,6 +9,10 @@ layer optimizes (ingest fan-out, batched distance scoring), and writes
 - **query_frame**   -- frame search, scalar per-record loop vs batched matrix
 - **query_vectors** -- scoring-only re-rank (the relevance-feedback path)
 - **query_video**   -- clip-to-clip DP search, scalar vs batched
+- **ann_query_frame** -- IVF candidate index + exact re-rank vs the PR 2
+  brute-force batched path (reference extraction, no ANN), with a
+  recall@10-vs-brute-force column
+- **cache_hit** -- repeated identical query served from the LRU result cache
 
 Usage::
 
@@ -36,6 +40,7 @@ import numpy as np
 from repro.core.config import SystemConfig
 from repro.core.search import SearchEngine
 from repro.core.system import VideoRetrievalSystem
+from repro.imaging import accel
 from repro.video.generator import VideoSpec, generate_video, make_corpus
 
 #: metrics compared against a --baseline file (higher is better)
@@ -44,6 +49,8 @@ _TRACKED = [
     ("query_frame", "batched", "ops_per_sec"),
     ("query_vectors", "batched", "ops_per_sec"),
     ("query_video", "batched", "ops_per_sec"),
+    ("ann_query_frame", "ann", "ops_per_sec"),
+    ("cache_hit", "hit", "ops_per_sec"),
 ]
 
 
@@ -114,14 +121,16 @@ def run_benchmarks(
     )
 
     # two engines over the same store: the pre-PR scalar path vs the
-    # batched path (identical rankings, measured by the tests)
+    # batched path (identical rankings, measured by the tests).  The
+    # query-result cache is off so repeated timing iterations measure
+    # the scoring path, not cache hits.
     scalar_engine = SearchEngine(
-        system.config.with_(batch_distances=False, workers=1),
+        system.config.with_(batch_distances=False, workers=1, query_cache_size=0),
         system._store,
         system._index,
     )
     batched_engine = SearchEngine(
-        system.config.with_(batch_distances=True),
+        system.config.with_(batch_distances=True, query_cache_size=0),
         system._store,
         system._index,
     )
@@ -172,6 +181,93 @@ def run_benchmarks(
     result["query_video"] = side_by_side(
         "query_video",
         lambda eng: lambda: eng.query_video(clip, top_k=10),
+    )
+
+    # -- IVF candidate index vs the PR 2 brute-force batched path -------------
+    # "pr2" is the previous release measured in-place: batched scoring over
+    # the full store with the reference (pre-accel) extraction pipeline and
+    # no candidate index.  "ann" is this release: accelerated extraction +
+    # IVF probe + exact re-rank of the probed union.
+    ann_cells, ann_nprobe = 16, 3
+    ann_engine = SearchEngine(
+        system.config.with_(
+            batch_distances=True,
+            query_cache_size=0,
+            ann=True,
+            ann_cells=ann_cells,
+            ann_nprobe=ann_nprobe,
+        ),
+        system._store,
+        system._index,
+    )
+
+    def pr2_query() -> None:
+        with accel.reference_paths():
+            batched_engine.query_frame(query_image, top_k=20, use_index=False)
+
+    pr2 = _timed(pr2_query, repeats)
+    ann = _timed(
+        lambda: ann_engine.query_frame(query_image, top_k=20, use_index=False),
+        repeats,
+    )
+    ann_speedup = round(
+        pr2["latency_ms"]["p50"] / max(1e-9, ann["latency_ms"]["p50"]), 2
+    )
+
+    # recall@10: ANN top-10 vs the brute-force top-10, averaged over a
+    # deterministic spread of stored key frames used as queries
+    frame_ids = system._store.frame_ids()
+    n_queries = min(10, len(frame_ids))
+    stride = max(1, len(frame_ids) // n_queries)
+    recalls = []
+    for fid in frame_ids[::stride][:n_queries]:
+        probe_image = system.get_key_frame(fid)
+        brute = [h.frame_id for h in
+                 batched_engine.query_frame(probe_image, top_k=10, use_index=False)]
+        approx = [h.frame_id for h in
+                  ann_engine.query_frame(probe_image, top_k=10, use_index=False)]
+        recalls.append(len(set(brute) & set(approx)) / max(1, len(brute)))
+    recall_at_10 = round(float(np.mean(recalls)), 3) if recalls else 1.0
+
+    result["ann_query_frame"] = {
+        "pr2": pr2,
+        "ann": ann,
+        "speedup_vs_pr2": ann_speedup,
+        "recall_at_10": recall_at_10,
+        "recall_queries": len(recalls),
+        "ann_cells": ann_cells,
+        "ann_nprobe": ann_nprobe,
+        "ann_stats": ann_engine.ann_stats(),
+    }
+    print(
+        f"ann_query_frame  pr2 p50 {pr2['latency_ms']['p50']:8.1f}ms   "
+        f"ann p50 {ann['latency_ms']['p50']:8.1f}ms   "
+        f"speedup {ann_speedup:.2f}x   recall@10 {recall_at_10:.3f}"
+    )
+
+    # -- query-result cache: repeated identical query ------------------------
+    cache_engine = SearchEngine(
+        system.config.with_(batch_distances=True, query_cache_size=256),
+        system._store,
+        system._index,
+    )
+    t0 = time.perf_counter()
+    cache_engine.query_frame(query_image, top_k=20, use_index=False)
+    miss_ms = round((time.perf_counter() - t0) * 1000, 3)
+    hit = _timed(
+        lambda: cache_engine.query_frame(query_image, top_k=20, use_index=False),
+        repeats,
+    )
+    result["cache_hit"] = {
+        "miss_latency_ms": miss_ms,
+        "hit": hit,
+        "speedup_vs_miss": round(miss_ms / max(1e-9, hit["latency_ms"]["p50"]), 2),
+        "cache_stats": cache_engine.cache_stats(),
+    }
+    print(
+        f"cache_hit     miss {miss_ms:8.1f}ms   "
+        f"hit p50 {hit['latency_ms']['p50']:8.3f}ms   "
+        f"speedup {result['cache_hit']['speedup_vs_miss']:.0f}x"
     )
 
     result["ingest"] = ingest

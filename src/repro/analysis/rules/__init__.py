@@ -16,6 +16,7 @@ R7    no-mutable-defaults         no mutable default arguments
 R8    explicit-exports            public modules declare a truthful __all__
 R9    db-error-hierarchy          db layer raises DatabaseError subclasses
 R10   extractor-module-imported   features/__init__ imports every extractor
+R11   seeded-randomness           numpy randomness uses explicitly seeded RNGs
 ====  ==========================  ==============================================
 """
 
@@ -29,6 +30,7 @@ from repro.analysis.rules.extractors import (
 )
 from repro.analysis.rules.hygiene import ExceptionHygieneRule, MutableDefaultRule
 from repro.analysis.rules.purity import PurityRule
+from repro.analysis.rules.randomness import SeededRandomnessRule
 from repro.analysis.rules.sql import SqlConstructionRule
 
 __all__ = [
@@ -42,4 +44,5 @@ __all__ = [
     "MutableDefaultRule",
     "ExportsRule",
     "DbErrorHierarchyRule",
+    "SeededRandomnessRule",
 ]

@@ -63,6 +63,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma-separated feature names (default: combined)")
     p.add_argument("--no-index", action="store_true",
                    help="full scan instead of range-finder pruning")
+    p.add_argument("--ann", action="store_true",
+                   help="sublinear retrieval: probe the IVF inverted-file "
+                        "candidate index and re-rank exactly")
+    p.add_argument("--ann-cells", type=int, default=16,
+                   help="k-means cells of the IVF coarse quantizer")
+    p.add_argument("--ann-nprobe", type=int, default=3,
+                   help="cells probed per query (= cells: exact ranking)")
 
     p = sub.add_parser("delete", help="delete a video by id")
     p.add_argument("library")
@@ -159,7 +166,16 @@ def _cmd_list(args: argparse.Namespace) -> int:
 def _cmd_search(args: argparse.Namespace) -> int:
     from repro.imaging.image import read_image
 
-    system = _open_system(args.library)
+    if args.ann:
+        from repro.core.config import SystemConfig
+        from repro.core.system import VideoRetrievalSystem
+
+        config = SystemConfig(
+            ann=True, ann_cells=args.ann_cells, ann_nprobe=args.ann_nprobe
+        )
+        system = VideoRetrievalSystem.open(args.library, config)
+    else:
+        system = _open_system(args.library)
     query = read_image(args.image)
     features = args.features.split(",") if args.features else None
     results = system.search(

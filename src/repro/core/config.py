@@ -35,6 +35,17 @@ class SystemConfig:
     index_first_threshold: float = 55.0
     index_threshold: float = 60.0
     index_max_level: int = 3
+    # IVF inverted-file candidate index (sublinear retrieval extension):
+    # k-means coarse quantizer over the stored feature vectors; queries
+    # only score the members of the ``ann_nprobe`` nearest of the
+    # ``ann_cells`` cells, exactly re-ranked.  Composes with the range
+    # index (candidates are intersected).
+    ann: bool = False
+    ann_cells: int = 16
+    ann_nprobe: int = 3
+    #: LRU query-result cache entries (0 disables caching); invalidated
+    #: automatically on any store mutation
+    query_cache_size: int = 256
     # video-to-video similarity
     sequence_method: str = "dtw"  # 'dtw' or 'align'
     sequence_gap_penalty: float = 0.5
@@ -66,6 +77,14 @@ class SystemConfig:
             raise ValueError("video_motion_weight must be non-negative")
         if self.workers < 0:
             raise ValueError("workers must be >= 0 (0 = auto)")
+        if self.ann_cells < 1:
+            raise ValueError("ann_cells must be >= 1")
+        if self.ann_nprobe < 1:
+            raise ValueError("ann_nprobe must be >= 1")
+        if self.ann_nprobe > self.ann_cells:
+            raise ValueError("ann_nprobe must not exceed ann_cells")
+        if self.query_cache_size < 0:
+            raise ValueError("query_cache_size must be >= 0")
 
     def weight_of(self, feature: str) -> float:
         return float(self.fusion_weights.get(feature, 1.0))

@@ -13,16 +13,20 @@ similarity.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from functools import partial
 from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.core.cache import QueryCache, digest_array, digest_vectors
 from repro.core.config import SystemConfig
 from repro.core.results import RetrievalResult, SearchResults
 from repro.core.store import FeatureStore, FrameRecord
 from repro.features.base import FeatureExtractor, FeatureVector, get_extractor
+from repro.imaging import accel
 from repro.imaging.image import Image
+from repro.indexing.ann import IVFIndex
 from repro.indexing.tree import RangeIndex
 from repro.runtime import WorkerPool, resolve_workers
 from repro.similarity.dp import dtw_distance, sequence_similarity
@@ -40,6 +44,34 @@ def _extract_query_features(
 ) -> Dict[str, FeatureVector]:
     """One query key frame's feature vectors (worker-process safe)."""
     return {name: extractors[name].extract(frame) for name in names}
+
+
+def _stable_topk(fused: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` smallest values, in stable-argsort order.
+
+    Exactly equivalent to ``np.argsort(fused, kind="stable")[:k]`` (ties
+    broken by original position, including at the selection boundary) but
+    O(n + k log k) instead of O(n log n): an ``argpartition`` narrows to k
+    candidates, a boundary-tie repair keeps the lowest-index tied entries,
+    and a lexsort orders the survivors.
+    """
+    n = fused.size
+    k = max(0, min(k, n))
+    if k == 0:
+        return np.empty(0, dtype=np.intp)
+    if k >= n:
+        return np.lexsort((np.arange(n), fused))
+    sel = np.argpartition(fused, k - 1)[:k]
+    boundary = fused[sel].max()
+    tied_selected = int(np.count_nonzero(fused[sel] == boundary))
+    tied_total = int(np.count_nonzero(fused == boundary))
+    if tied_total > tied_selected:
+        # argpartition picked an arbitrary subset of the boundary ties;
+        # stable order wants the lowest original indices
+        strictly = np.nonzero(fused < boundary)[0]
+        tied = np.nonzero(fused == boundary)[0][: k - strictly.size]
+        sel = np.concatenate([strictly, tied])
+    return sel[np.lexsort((sel, fused[sel]))]
 
 
 class VideoMatch:
@@ -76,10 +108,59 @@ class SearchEngine:
             base_size=config.keyframe_base_size,
         )
         self._pool = pool or WorkerPool(workers=resolve_workers(config.workers))
+        #: IVF candidate index (None when ``config.ann`` is off); trained
+        #: lazily on the first probe and self-synced against the store
+        self.ann: Optional[IVFIndex] = (
+            IVFIndex(store, config.features, n_cells=config.ann_cells)
+            if config.ann
+            else None
+        )
+        self._query_cache = QueryCache(config.query_cache_size)
+        # feature name -> (structure generation, prepared full-store matrix);
+        # lets batch scoring skip per-query matrix preprocessing (see
+        # FeatureExtractor.prepare_matrix)
+        self._prepared: Dict[str, tuple] = {}
+
+    def _prepared_matrix(self, name: str) -> np.ndarray:
+        """The feature's prepared full stack, rebuilt when frames change."""
+        generation = self.store.structure_generation
+        entry = self._prepared.get(name)
+        if entry is None or entry[0] != generation:
+            prepared = self.extractors[name].prepare_matrix(
+                self.store.feature_matrix(name)
+            )
+            prepared.setflags(write=False)
+            entry = (generation, prepared)
+            self._prepared[name] = entry
+        return entry[1]
 
     def close(self) -> None:
         """Tear down the worker pool (no-op for serial configurations)."""
         self._pool.close()
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Hit/miss/invalidation counters of the query-result cache."""
+        return self._query_cache.stats()
+
+    def ann_stats(self) -> Optional[Dict[str, int]]:
+        """Build/probe counters of the IVF index (None when disabled)."""
+        return self.ann.stats.as_dict() if self.ann is not None else None
+
+    def _cached_results(self, key, builder) -> SearchResults:
+        """Run ``builder`` through the query cache (generation-checked)."""
+        if not self._query_cache.enabled:
+            return builder()
+        generation = self.store.generation
+        results = self._query_cache.get(key, generation)
+        if results is None:
+            results = builder()
+            self._query_cache.put(key, generation, results)
+        # fresh wrapper + per-hit dict copies, so callers can't mutate the
+        # cached entry through the returned object
+        hits = [replace(h, per_feature=dict(h.per_feature)) for h in results.hits]
+        return SearchResults(
+            hits, n_candidates=results.n_candidates, n_total=results.n_total
+        )
 
     # -- frame query ------------------------------------------------------------
 
@@ -98,12 +179,27 @@ class SearchEngine:
         """
         names = self._resolve_features(features)
         use_index = self.config.use_index if use_index is None else use_index
+        if not self._query_cache.enabled:  # don't pay the pixel digest
+            return self._query_frame(image, names, top_k, use_index)
+        key = ("frame", digest_array(image.pixels), tuple(names), top_k, use_index)
+        return self._cached_results(
+            key, lambda: self._query_frame(image, names, top_k, use_index)
+        )
 
+    def _query_frame(
+        self, image: Image, names: List[str], top_k: int, use_index: bool
+    ) -> SearchResults:
         if use_index:
-            candidate_ids = sorted(self.index.candidates(image))
+            candidate_ids: Optional[List[int]] = sorted(self.index.candidates(image))
         else:
-            candidate_ids = self.store.frame_ids()
+            candidate_ids = None  # the whole store (or the ANN probe below)
         query_vectors = {name: self.extractors[name].extract(image) for name in names}
+        if self.ann is not None and candidate_ids is not None:
+            # compose with the range index: a frame must survive both
+            ann_ids = self.ann.probe(query_vectors, self.config.ann_nprobe)
+            if ann_ids is not None:
+                wanted = set(ann_ids)
+                candidate_ids = [fid for fid in candidate_ids if fid in wanted]
         return self.query_with_vectors(query_vectors, top_k=top_k, candidate_ids=candidate_ids)
 
     def query_with_vectors(
@@ -125,19 +221,79 @@ class SearchEngine:
         names = [n for n in query_vectors if n in self.extractors]
         if not names:
             raise ValueError("query_vectors holds no configured features")
+        if not self._query_cache.enabled:  # don't pay the vector digests
+            return self._query_with_vectors(
+                query_vectors, names, top_k, candidate_ids, weights
+            )
+        key = (
+            "vectors",
+            digest_vectors({n: query_vectors[n] for n in names}),
+            tuple(names),
+            top_k,
+            None
+            if weights is None
+            else tuple(sorted((str(n), float(w)) for n, w in weights.items())),
+            None
+            if candidate_ids is None
+            else digest_array(np.asarray(candidate_ids, dtype=np.int64)),
+        )
+        return self._cached_results(
+            key,
+            lambda: self._query_with_vectors(
+                query_vectors, names, top_k, candidate_ids, weights
+            ),
+        )
+
+    def _query_with_vectors(
+        self,
+        query_vectors: Dict[str, FeatureVector],
+        names: List[str],
+        top_k: int,
+        candidate_ids: Optional[Sequence[int]],
+        weights: Optional[Dict[str, float]],
+    ) -> SearchResults:
+        full_store = False
         if candidate_ids is None:
-            candidate_ids = self.store.frame_ids()
+            if self.ann is not None:
+                candidate_ids = self.ann.probe(query_vectors, self.config.ann_nprobe)
+            if candidate_ids is None:
+                candidate_ids = self.store.frame_ids()
+                full_store = True
+        else:
+            candidate_ids = list(candidate_ids)
         n_total = len(self.store)
         if not candidate_ids:
             return SearchResults([], n_candidates=0, n_total=n_total)
 
-        records = [self.store.get(fid) for fid in candidate_ids]
+        batched = self.config.batch_distances
+        fast = accel.fast_paths_enabled()
+        prepared_scoring = batched and fast
+        records: Optional[List[FrameRecord]] = None
+        rows: Optional[np.ndarray] = None
+        if not batched or not fast:
+            # the scalar path needs the records; the reference batched path
+            # materializes them too, replicating the pre-acceleration code
+            records = [self.store.get(fid) for fid in candidate_ids]
+        elif prepared_scoring and not full_store:
+            # one binary search maps candidate ids to stack rows for every
+            # feature (preparation commutes with row gathers)
+            rows = self.store.matrix_rows(candidate_ids)
         per_feature: Dict[str, np.ndarray] = {}
         for name in names:
             extractor = self.extractors[name]
             qv = query_vectors[name]
-            if self.config.batch_distances:
-                matrix = self.store.feature_matrix(name, candidate_ids)
+            if prepared_scoring:
+                # the id-sorted prepared stack is cached per generation;
+                # only subsets pay a gather
+                prepared = self._prepared_matrix(name)
+                if rows is not None:
+                    prepared = prepared[rows]
+                per_feature[name] = extractor.batch_distance_prepared(qv, prepared)
+            elif batched:
+                # reference batched path: raw stack + per-call preprocessing
+                matrix = self.store.feature_matrix(
+                    name, None if full_store else candidate_ids
+                )
                 per_feature[name] = extractor.batch_distance(qv, matrix)
             else:
                 per_feature[name] = np.array(
@@ -151,19 +307,26 @@ class SearchEngine:
                 weights = {n: self.config.weight_of(n) for n in names}
             fused = CombinedScorer(FeatureWeights(weights)).fuse(per_feature)
 
-        order = np.argsort(fused, kind="stable")[: max(0, top_k)]
-        hits = [
-            RetrievalResult(
-                frame_id=records[i].frame_id,
-                video_id=records[i].video_id,
-                video_name=records[i].video_name,
-                frame_name=records[i].frame_name,
-                category=records[i].category,
-                distance=float(fused[i]),
-                per_feature={n: float(per_feature[n][i]) for n in names},
+        if fast:
+            order = _stable_topk(fused, max(0, top_k))
+        else:
+            order = np.argsort(fused, kind="stable")[: max(0, top_k)]
+        hits = []
+        for i in order:
+            record = (
+                records[i] if records is not None else self.store.get(candidate_ids[i])
             )
-            for i in order
-        ]
+            hits.append(
+                RetrievalResult(
+                    frame_id=record.frame_id,
+                    video_id=record.video_id,
+                    video_name=record.video_name,
+                    frame_name=record.frame_name,
+                    category=record.category,
+                    distance=float(fused[i]),
+                    per_feature={n: float(per_feature[n][i]) for n in names},
+                )
+            )
         return SearchResults(hits, n_candidates=len(candidate_ids), n_total=n_total)
 
     # -- video query ---------------------------------------------------------------

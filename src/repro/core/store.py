@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.core.catalog import FEATURE_COLUMNS
 from repro.db.engine import Database
+from repro.imaging import accel
 from repro.features.base import FeatureVector
 from repro.indexing.rangefinder import Bucket
 
@@ -35,7 +36,15 @@ class FrameRecord:
 
 
 class FeatureStore:
-    """frame_id -> FrameRecord, with per-video grouping."""
+    """frame_id -> FrameRecord, with per-video grouping.
+
+    Two monotonic counters expose mutation state to the layers above:
+    :attr:`generation` moves on *any* visible change (query caches key on
+    it), :attr:`structure_generation` only when the frame population
+    changes (the ANN index and the internal matrix/id caches sync on it).
+    Bumping a counter is O(1), so bulk ingest pays one lazy cache rebuild
+    at the next query instead of one invalidation per insert.
+    """
 
     def __init__(self):
         self._frames: Dict[int, FrameRecord] = {}
@@ -43,8 +52,36 @@ class FeatureStore:
         # clip-level motion descriptors (extension; see repro.video.motion)
         self._video_motion: Dict[int, FeatureVector] = {}
         # feature name -> (stacked matrix over all frames, frame_id -> row);
-        # built lazily by feature_matrix, dropped on any add/remove
-        self._matrix_cache: Dict[str, Tuple[np.ndarray, Dict[int, int]]] = {}
+        # built lazily by feature_matrix, revalidated by generation
+        self._matrix_cache: Dict[str, Tuple[np.ndarray, Dict[int, int], np.ndarray]] = {}
+        self._generation = 0
+        self._structure_generation = 0
+        # structure generation the matrix/id caches were built at
+        self._cache_generation = -1
+        self._ids_cache: Tuple[int, ...] = ()
+        self._ids_arr: np.ndarray = np.empty(0, dtype=np.int64)
+
+    @property
+    def generation(self) -> int:
+        """Bumped on every mutation (adds, removals, renames, motion)."""
+        return self._generation
+
+    @property
+    def structure_generation(self) -> int:
+        """Bumped only when frames are added or removed."""
+        return self._structure_generation
+
+    def _mutated(self, structural: bool = False) -> None:
+        self._generation += 1
+        if structural:
+            self._structure_generation += 1
+
+    def _sync_caches(self) -> None:
+        if self._cache_generation != self._structure_generation:
+            self._matrix_cache.clear()
+            self._ids_cache = tuple(sorted(self._frames))
+            self._ids_arr = np.asarray(self._ids_cache, dtype=np.int64)
+            self._cache_generation = self._structure_generation
 
     # -- container protocol --------------------------------------------------
 
@@ -58,7 +95,8 @@ class FeatureStore:
         return self._frames[frame_id]
 
     def frame_ids(self) -> List[int]:
-        return sorted(self._frames)
+        self._sync_caches()
+        return list(self._ids_cache)
 
     def video_ids(self) -> List[int]:
         return sorted(self._by_video)
@@ -74,7 +112,7 @@ class FeatureStore:
             raise KeyError(f"frame id {record.frame_id} already in store")
         self._frames[record.frame_id] = record
         self._by_video.setdefault(record.video_id, []).append(record.frame_id)
-        self._matrix_cache.clear()
+        self._mutated(structural=True)
 
     def remove_video(self, video_id: int) -> List[int]:
         """Drop every frame of a video; returns the removed frame ids."""
@@ -83,7 +121,7 @@ class FeatureStore:
             del self._frames[fid]
         self._video_motion.pop(video_id, None)
         if frame_ids:
-            self._matrix_cache.clear()
+            self._mutated(structural=True)
         return frame_ids
 
     def rename_video(self, video_id: int, new_name: str) -> int:
@@ -95,6 +133,8 @@ class FeatureStore:
         frame_ids = self._by_video.get(video_id, [])
         for fid in frame_ids:
             self._frames[fid] = replace(self._frames[fid], video_name=new_name)
+        if frame_ids:
+            self._mutated()
         return len(frame_ids)
 
     def clear(self) -> None:
@@ -102,6 +142,7 @@ class FeatureStore:
         self._by_video.clear()
         self._video_motion.clear()
         self._matrix_cache.clear()
+        self._mutated(structural=True)
 
     # -- stacked feature matrices ------------------------------------------------
 
@@ -112,11 +153,12 @@ class FeatureStore:
 
         Row ``i`` is ``frame_ids[i]``'s vector (all frames in id order when
         ``frame_ids`` is None).  The full stack is cached per feature and
-        invalidated by :meth:`add` / :meth:`remove_video` / :meth:`clear`;
-        subsets are cheap row gathers from that cache.  Raises ``KeyError``
-        for an unknown frame id or a frame missing the feature, exactly as
-        the scalar per-record path would.
+        lazily rebuilt when :attr:`structure_generation` has moved since it
+        was built; subsets are cheap row gathers from that cache.  Raises
+        ``KeyError`` for an unknown frame id or a frame missing the
+        feature, exactly as the scalar per-record path would.
         """
+        self._sync_caches()
         cached = self._matrix_cache.get(name)
         if cached is None:
             ids = self.frame_ids()
@@ -131,7 +173,40 @@ class FeatureStore:
         base, row_of = cached
         if frame_ids is None:
             return base
+        if accel.fast_paths_enabled():
+            wanted = np.asarray(frame_ids, dtype=np.int64)
+            if wanted.size == self._ids_arr.size and bool(
+                np.array_equal(wanted, self._ids_arr)
+            ):
+                return base
+            try:
+                return base[self.matrix_rows(wanted)]
+            except KeyError:
+                pass  # unknown id: the dict path below raises it by value
         return base[[row_of[fid] for fid in frame_ids]]
+
+    def matrix_rows(self, frame_ids: Sequence[int]) -> np.ndarray:
+        """Row positions of ``frame_ids`` in the id-ordered stacked matrices.
+
+        The stacks of :meth:`feature_matrix` hold frames in ascending-id
+        order, so the id -> row mapping is a binary search.  Raises
+        ``KeyError`` for an id not in the store.
+        """
+        self._sync_caches()
+        wanted = np.asarray(frame_ids, dtype=np.int64)
+        if wanted.size == 0:
+            return np.empty(0, dtype=np.int64)
+        id_arr = self._ids_arr
+        if id_arr.size:
+            pos = np.searchsorted(id_arr, wanted)
+            pos = np.minimum(pos, id_arr.size - 1)
+            ok = id_arr[pos] == wanted
+            if bool(np.all(ok)):
+                return pos
+            bad = wanted[~ok][0]
+        else:
+            bad = wanted[0]
+        raise KeyError(int(bad))
 
     # -- clip-level motion ------------------------------------------------------
 

@@ -185,6 +185,14 @@ class VideoRetrievalSystem:
     def index_stats(self):
         return self._index.stats()
 
+    def ann_stats(self):
+        """IVF candidate-index counters (None unless ``config.ann``)."""
+        return self._engine.ann_stats()
+
+    def cache_stats(self):
+        """Query-result cache counters (hits, misses, invalidations)."""
+        return self._engine.cache_stats()
+
     def close(self) -> None:
         self._pool.close()
         self.db.close()

@@ -143,6 +143,23 @@ class FeatureExtractor(abc.ABC):
             dtype=np.float64,
         )
 
+    def prepare_matrix(self, matrix: np.ndarray) -> np.ndarray:
+        """Precompute a reusable form of a stacked candidate matrix.
+
+        The default is the raw float64 matrix.  Extractors whose
+        :meth:`batch_distance` preprocesses the candidate rows per call
+        (e.g. row normalization) override this together with
+        :meth:`batch_distance_prepared`, so a caller ranking many queries
+        against an unchanged store can pay the preprocessing once.  Row i
+        of the prepared matrix must describe row i of the input, so row
+        gathers commute with preparation.
+        """
+        return np.asarray(matrix, dtype=np.float64)
+
+    def batch_distance_prepared(self, q: FeatureVector, prepared: np.ndarray) -> np.ndarray:
+        """Distances from ``q`` to rows prepared by :meth:`prepare_matrix`."""
+        return self.batch_distance(q, prepared)
+
     def _check_batch(self, q: FeatureVector, matrix: np.ndarray) -> np.ndarray:
         """Validate a query/matrix pair; returns the matrix as float64."""
         if q.kind != self.name:

@@ -70,6 +70,14 @@ class SimpleColorHistogram(FeatureExtractor):
     def batch_distance(self, q: FeatureVector, matrix: np.ndarray) -> np.ndarray:
         """Vectorized normalized-histogram L1 distances."""
         m = self._check_batch(q, matrix)
+        return self.batch_distance_prepared(q, self.prepare_matrix(m))
+
+    def prepare_matrix(self, matrix: np.ndarray) -> np.ndarray:
+        """Row-normalized histograms (the per-call hot spot, done once)."""
+        m = np.asarray(matrix, dtype=np.float64)
+        return m / np.maximum(m.sum(axis=1), 1e-12)[:, np.newaxis]
+
+    def batch_distance_prepared(self, q: FeatureVector, prepared: np.ndarray) -> np.ndarray:
+        m = self._check_batch(q, prepared)
         pq = q.values / max(1e-12, q.values.sum())
-        pm = m / np.maximum(m.sum(axis=1), 1e-12)[:, np.newaxis]
-        return np.abs(pm - pq).sum(axis=1)
+        return np.abs(m - pq).sum(axis=1)

@@ -24,6 +24,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.features.base import FeatureExtractor, FeatureVector, register_extractor
+from repro.imaging import accel
 from repro.imaging.color import quantize_hsv
 from repro.imaging.image import Image
 
@@ -54,6 +55,8 @@ def correlogram_counts(quantized: np.ndarray, n_colors: int, max_distance: int) 
     q = np.asarray(quantized)
     if q.ndim != 2:
         raise ValueError("quantized must be a 2-D index array")
+    if accel.fast_paths_enabled() and q.size:
+        return _correlogram_counts_windows(q, n_colors, max_distance)
     h, w = q.shape
     counts = np.zeros((n_colors, max_distance), dtype=np.float64)
     for d in range(1, max_distance + 1):
@@ -69,6 +72,55 @@ def correlogram_counts(quantized: np.ndarray, n_colors: int, max_distance: int) 
             if not same.any():
                 continue
             counts[:, d - 1] += np.bincount(a[same].ravel(), minlength=n_colors)
+    return counts
+
+
+_RING_INDEX_CACHE: dict = {}
+
+
+def _ring_indices(max_distance: int):
+    """Cached per-distance ``(rows, cols)`` into a ``(2D+1, 2D+1)`` shift
+    grid centered at ``(D, D)``, one pair per :func:`ring_offsets` entry."""
+    rings = _RING_INDEX_CACHE.get(max_distance)
+    if rings is None:
+        d_max = max_distance
+        rings = []
+        for d in range(1, d_max + 1):
+            offsets = np.asarray(ring_offsets(d))
+            rings.append((d_max + offsets[:, 1], d_max + offsets[:, 0]))
+        _RING_INDEX_CACHE[max_distance] = rings
+    return rings
+
+
+def _correlogram_counts_windows(
+    q: np.ndarray, n_colors: int, max_distance: int
+) -> np.ndarray:
+    """All-shifts-at-once counting: bitwise identical to the offset loop.
+
+    The image is padded with a sentinel color so out-of-image neighbours
+    can never match, and ``sliding_window_view`` exposes every shift in
+    ``[-D, D]^2`` as one ``(2D+1, 2D+1, h, w)`` stack.  A single vectorized
+    equality against the unshifted image replaces the per-offset Python
+    loop; each ring then reduces its 8d shift planes and histograms by
+    color.  All quantities are small integer counts, so the float64
+    bincount accumulation is exact.
+    """
+    from numpy.lib.stride_tricks import sliding_window_view
+
+    h, w = q.shape
+    d_max = max_distance
+    padded = np.full((h + 2 * d_max, w + 2 * d_max), n_colors, dtype=q.dtype)
+    padded[d_max : d_max + h, d_max : d_max + w] = q
+    windows = sliding_window_view(padded, (h, w))
+    same = windows == q
+
+    flat_q = q.ravel()
+    counts = np.empty((n_colors, d_max), dtype=np.float64)
+    for d, (rows, cols) in enumerate(_ring_indices(d_max), start=1):
+        ring = same[rows, cols].sum(axis=0, dtype=np.int64)
+        counts[:, d - 1] = np.bincount(
+            flat_q, weights=ring.ravel().astype(np.float64), minlength=n_colors
+        )
     return counts
 
 

@@ -17,7 +17,6 @@ from __future__ import annotations
 import numpy as np
 
 from repro.features.base import FeatureExtractor, FeatureVector, register_extractor
-from repro.imaging.color import rgb_to_gray
 from repro.imaging.image import Image
 
 __all__ = ["EdgeHistogram", "edge_type_map"]
@@ -79,7 +78,7 @@ class EdgeHistogram(FeatureExtractor):
         return self.grid * self.grid * N_EDGE_TYPES
 
     def extract(self, image: Image) -> FeatureVector:
-        gray = rgb_to_gray(image.pixels) if image.is_rgb else image.pixels
+        gray = image.gray()
         types = edge_type_map(gray, self.threshold)
         bh, bw = types.shape
         values = np.zeros(self.n_dims)

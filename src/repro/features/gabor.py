@@ -20,7 +20,7 @@ from typing import Dict, Tuple
 import numpy as np
 
 from repro.features.base import FeatureExtractor, FeatureVector, register_extractor
-from repro.imaging.color import rgb_to_gray
+from repro.imaging import accel
 from repro.imaging.image import Image
 
 __all__ = ["GaborTexture", "gabor_filter_bank", "gabor_responses"]
@@ -94,6 +94,16 @@ def gabor_responses(
         raise ValueError("gabor_responses expects a 2-D gray array")
     bank = _cached_bank(a.shape, scales, orientations, ul, uh)
     spectrum = np.fft.fft2(a)
+    if accel.fast_paths_enabled() and accel.HAVE_SCIPY:
+        import scipy.fft as sfft
+
+        # multiply into a preallocated complex stack (the bank is real, so
+        # real and imaginary parts scale independently), then run one
+        # batched inverse transform over the filter axis
+        prod = np.empty(bank.shape, dtype=np.complex128)
+        np.multiply(bank, spectrum.real, out=prod.real)
+        np.multiply(bank, spectrum.imag, out=prod.imag)
+        return np.abs(sfft.ifft2(prod, axes=(-2, -1), overwrite_x=True))
     out = np.empty_like(bank)
     for i in range(bank.shape[0]):
         out[i] = np.abs(np.fft.ifft2(spectrum * bank[i]))
@@ -124,7 +134,7 @@ class GaborTexture(FeatureExtractor):
         return 2 * self.scales * self.orientations
 
     def extract(self, image: Image) -> FeatureVector:
-        gray = rgb_to_gray(image.pixels) if image.is_rgb else image.pixels
+        gray = image.gray()
         mags = gabor_responses(
             gray.astype(np.float64), self.scales, self.orientations, self.ul, self.uh
         )

@@ -21,10 +21,12 @@ tiny 2.27e-4 value, while the default computes the textbook correlation in
 
 from __future__ import annotations
 
+from typing import Dict, Tuple
+
 import numpy as np
 
 from repro.features.base import FeatureExtractor, FeatureVector, register_extractor
-from repro.imaging.color import rgb_to_gray
+from repro.imaging import accel
 from repro.imaging.image import Image
 from repro.imaging.resize import resize_array
 
@@ -47,6 +49,21 @@ def glcm_matrix(gray: np.ndarray, step: int = 1, levels: int = 256) -> np.ndarra
         raise ValueError("glcm_matrix expects a 2-D gray array")
     if step < 1 or step >= a.shape[1]:
         raise ValueError(f"step must be in [1, width); got {step}")
+    if accel.fast_paths_enabled():
+        # one narrow-int conversion instead of two wide ones; counts are
+        # exact integers either way, so the result is identical
+        ai = a.astype(np.int32)
+        left = ai[:, :-step]
+        right = ai[:, step:]
+        if levels != 256:
+            left = left * levels // 256
+            right = right * levels // 256
+        flat = left * np.int32(levels) + right
+        counts = np.bincount(flat.ravel(), minlength=levels * levels)
+        glcm = counts.reshape(levels, levels)
+        glcm = glcm + glcm.T  # symmetric accumulation, 2 entries per pair
+        total = float(glcm.sum())
+        return glcm / total if total > 0 else glcm.astype(np.float64)
     left = a[:, :-step].astype(np.int64)
     right = a[:, step:].astype(np.int64)
     if levels != 256:
@@ -60,9 +77,58 @@ def glcm_matrix(gray: np.ndarray, step: int = 1, levels: int = 256) -> np.ndarra
     return glcm / total if total > 0 else glcm
 
 
+_GRID_CACHE: Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+
+
+def _cached_grids(n: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Constant ``(levels, (a-b)^2, 1/(1+(a-b)^2))`` grids for an n-level GLCM."""
+    grids = _GRID_CACHE.get(n)
+    if grids is None:
+        levels = np.arange(n, dtype=np.float64)
+        d2 = (levels[:, np.newaxis] - levels[np.newaxis, :]) ** 2
+        if len(_GRID_CACHE) > 4:
+            _GRID_CACHE.clear()
+        grids = (levels, d2, 1.0 / (1.0 + d2))
+        _GRID_CACHE[n] = grids
+    return grids
+
+
+def _glcm_statistics_fast(p: np.ndarray, paper_exact: bool) -> dict:
+    """Marginal-based statistics: same math, O(n) moment work after two
+    marginal reductions and no per-call constant-grid allocation."""
+    n = p.shape[0]
+    levels, d2, idm_w = _cached_grids(n)
+    row = p.sum(axis=1)
+    col = p.sum(axis=0)
+    asm = float(np.einsum("ij,ij->", p, p))
+    contrast = float(np.einsum("ij,ij->", d2, p))
+    px = float(levels @ row)
+    py = float(levels @ col)
+    varx = float((levels - px) ** 2 @ row)
+    vary = float((levels - py) ** 2 @ col)
+    cov = float(levels @ p @ levels) - px * py
+    if paper_exact:
+        denom = varx * vary
+    else:
+        denom = float(np.sqrt(varx * vary))
+    correlation = cov / denom if denom > 1e-18 else 0.0
+    idm = float(np.einsum("ij,ij->", idm_w, p))
+    logs = np.log(p, out=np.zeros_like(p), where=p > 0)
+    entropy = float(-np.einsum("ij,ij->", p, logs))
+    return {
+        "asm": asm,
+        "contrast": contrast,
+        "correlation": correlation,
+        "idm": idm,
+        "entropy": entropy,
+    }
+
+
 def glcm_statistics(glcm: np.ndarray, paper_exact: bool = False) -> dict:
     """The five Haralick statistics of a normalized GLCM."""
     p = np.asarray(glcm, dtype=np.float64)
+    if accel.fast_paths_enabled():
+        return _glcm_statistics_fast(p, paper_exact)
     n = p.shape[0]
     levels = np.arange(n, dtype=np.float64)
     a = levels[:, np.newaxis]
@@ -121,7 +187,7 @@ class GlcmTexture(FeatureExtractor):
         self.paper_exact = paper_exact
 
     def _prepare(self, image: Image) -> np.ndarray:
-        gray = rgb_to_gray(image.pixels) if image.is_rgb else image.pixels
+        gray = image.gray()
         if self.preprocess:
             gray = resize_array(gray, self.base_size, self.base_size, "nearest")
         return gray

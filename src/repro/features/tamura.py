@@ -23,7 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.features.base import FeatureExtractor, FeatureVector, register_extractor
-from repro.imaging.color import rgb_to_gray
+from repro.imaging import accel
 from repro.imaging.filters import convolve2d
 from repro.imaging.image import Image
 
@@ -49,7 +49,18 @@ def _window_mean(ii: np.ndarray, half: int, h: int, w: int) -> np.ndarray:
     x0 = np.clip(xs - half, 0, w)[np.newaxis, :]
     x1 = np.clip(xs + half, 0, w)[np.newaxis, :]
     area = (y1 - y0) * (x1 - x0)
-    total = ii[y1, x1] - ii[y0, x1] - ii[y1, x0] + ii[y0, x0]
+    if accel.fast_paths_enabled():
+        # edge-padding turns the clipped gathers ii[clip(y +/- half), ...]
+        # into four contiguous slices of the same values
+        p = np.pad(ii, half, mode="edge")
+        total = (
+            p[2 * half : 2 * half + h, 2 * half : 2 * half + w]
+            - p[:h, 2 * half : 2 * half + w]
+            - p[2 * half : 2 * half + h, :w]
+            + p[:h, :w]
+        )
+    else:
+        total = ii[y1, x1] - ii[y0, x1] - ii[y1, x0] + ii[y0, x0]
     return total / np.maximum(area, 1)
 
 
@@ -85,12 +96,31 @@ def tamura_contrast(gray: np.ndarray) -> float:
     """sigma / kurtosis^(1/4); zero for constant images."""
     a = np.asarray(gray, dtype=np.float64).ravel()
     mu = a.mean()
-    sigma2 = np.mean((a - mu) ** 2)
-    if sigma2 < 1e-12:
-        return 0.0
-    mu4 = np.mean((a - mu) ** 4)
+    if accel.fast_paths_enabled():
+        d2 = np.square(a - mu)
+        sigma2 = d2.mean()
+        if sigma2 < 1e-12:
+            return 0.0
+        mu4 = np.mean(np.square(d2))
+    else:
+        sigma2 = np.mean((a - mu) ** 2)
+        if sigma2 < 1e-12:
+            return 0.0
+        mu4 = np.mean((a - mu) ** 4)
     alpha4 = mu4 / (sigma2**2)
     return float(np.sqrt(sigma2) / alpha4**0.25)
+
+
+def _prewitt_sliced(a: np.ndarray):
+    """Prewitt gradients via shifted slices (gray values are integers, so
+    the regrouped sums are exact -- identical to the convolution path)."""
+    h, w = a.shape
+    p = np.pad(a, 1, mode="reflect") if min(h, w) > 1 else np.pad(a, 1)
+    rowsum = p[:-2, :] + p[1:-1, :] + p[2:, :]
+    colsum = p[:, :-2] + p[:, 1:-1] + p[:, 2:]
+    gx = rowsum[:, :-2] - rowsum[:, 2:]
+    gy = colsum[:-2, :] - colsum[2:, :]
+    return gx, gy
 
 
 def directionality(gray: np.ndarray, bins: int = 16, threshold: float = 12.0) -> np.ndarray:
@@ -100,8 +130,11 @@ def directionality(gray: np.ndarray, bins: int = 16, threshold: float = 12.0) ->
     The returned histogram holds raw pixel counts, like the paper's dump.
     """
     a = np.asarray(gray, dtype=np.float64)
-    gx = convolve2d(a, _PREWITT_X)
-    gy = convolve2d(a, _PREWITT_Y)
+    if accel.fast_paths_enabled():
+        gx, gy = _prewitt_sliced(a)
+    else:
+        gx = convolve2d(a, _PREWITT_X)
+        gy = convolve2d(a, _PREWITT_Y)
     mag = (np.abs(gx) + np.abs(gy)) / 2.0
     theta = np.mod(np.arctan2(gy, gx) + np.pi / 2.0, np.pi)  # edge direction
     strong = mag > threshold
@@ -124,7 +157,7 @@ class TamuraTexture(FeatureExtractor):
         self.max_k = max_k
 
     def extract(self, image: Image) -> FeatureVector:
-        gray = rgb_to_gray(image.pixels) if image.is_rgb else image.pixels
+        gray = image.gray()
         g = gray.astype(np.float64)
         values = np.empty(2 + self.bins)
         values[0] = coarseness(g, max_k=self.max_k)
@@ -145,10 +178,20 @@ class TamuraTexture(FeatureExtractor):
 
     def batch_distance(self, q: FeatureVector, matrix: np.ndarray) -> np.ndarray:
         """Vectorized head-Canberra + normalized-histogram-L1 distances."""
+        m = self._check_batch(q, matrix)
+        return self.batch_distance_prepared(q, self.prepare_matrix(m))
+
+    def prepare_matrix(self, matrix: np.ndarray) -> np.ndarray:
+        """Raw (coarseness, contrast) head + row-normalized histograms."""
+        m = np.asarray(matrix, dtype=np.float64)
+        out = m.copy()
+        out[:, 2:] = m[:, 2:] / np.maximum(m[:, 2:].sum(axis=1), 1e-12)[:, np.newaxis]
+        return out
+
+    def batch_distance_prepared(self, q: FeatureVector, prepared: np.ndarray) -> np.ndarray:
         from repro.similarity.measures import canberra_batch
 
-        m = self._check_batch(q, matrix)
+        m = self._check_batch(q, prepared)
         head = canberra_batch(q.values[:2], m[:, :2])
         hq = q.values[2:] / max(1e-12, q.values[2:].sum())
-        hm = m[:, 2:] / np.maximum(m[:, 2:].sum(axis=1), 1e-12)[:, np.newaxis]
-        return head + np.abs(hm - hq).sum(axis=1)
+        return head + np.abs(m[:, 2:] - hq).sum(axis=1)

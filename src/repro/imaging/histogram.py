@@ -8,7 +8,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.imaging.color import rgb_to_gray
 from repro.imaging.image import Image
 
 __all__ = ["gray_histogram", "channel_histogram", "rgb_histogram"]
@@ -20,7 +19,7 @@ def gray_histogram(image: Image, bins: int = 256) -> np.ndarray:
     RGB inputs are converted with the paper's luminance matrix first.
     Returns an int64 array of length ``bins`` whose sum is ``width*height``.
     """
-    gray = rgb_to_gray(image.pixels) if image.is_rgb else image.pixels
+    gray = image.gray()
     if bins == 256:
         return np.bincount(gray.ravel(), minlength=256).astype(np.int64)
     idx = (gray.astype(np.int64) * bins) // 256

@@ -63,6 +63,25 @@ class Image:
         arr.setflags(write=False)
         object.__setattr__(self, "pixels", arr)
 
+    def gray(self) -> np.ndarray:
+        """The BT.601 gray conversion, memoized (instances are immutable).
+
+        Several extractors start from the same luminance plane; computing
+        it once per image removes the repeated conversion from the query
+        hot path.  The memo is part of this value object, not shared state.
+        """
+        from repro.imaging import accel
+        from repro.imaging.color import rgb_to_gray
+
+        if not accel.fast_paths_enabled():
+            return rgb_to_gray(self.pixels)
+        memo = self.__dict__.get("_gray_memo")
+        if memo is None:
+            memo = rgb_to_gray(self.pixels)
+            memo.setflags(write=False)
+            object.__setattr__(self, "_gray_memo", memo)
+        return memo
+
     # -- basic geometry -----------------------------------------------------
 
     @property

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.imaging import accel
 from repro.imaging.image import Image
 
 __all__ = ["resize", "resize_array"]
@@ -37,6 +38,8 @@ def resize_array(
     if interpolation == "nearest":
         rows = _nearest_indices(src_h, height)
         cols = _nearest_indices(src_w, width)
+        if accel.fast_paths_enabled():
+            return arr.take(rows, axis=0).take(cols, axis=1)
         return arr[np.ix_(rows, cols)] if arr.ndim == 2 else arr[rows][:, cols]
 
     # bilinear

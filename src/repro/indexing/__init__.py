@@ -6,7 +6,17 @@ tree over intensity ranges (Figure 7) and searches only need to scan
 frames whose bucket lies on the query bucket's root path or subtree.
 """
 
+from repro.indexing.ann import IVFIndex, IVFStats, kmeans
 from repro.indexing.rangefinder import Bucket, RangeFinder, paper_range_finder
 from repro.indexing.tree import IndexStats, RangeIndex
 
-__all__ = ["Bucket", "RangeFinder", "paper_range_finder", "RangeIndex", "IndexStats"]
+__all__ = [
+    "Bucket",
+    "RangeFinder",
+    "paper_range_finder",
+    "RangeIndex",
+    "IndexStats",
+    "IVFIndex",
+    "IVFStats",
+    "kmeans",
+]

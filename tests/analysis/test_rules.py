@@ -582,3 +582,77 @@ class TestR10ExtractorModuleImported:
         assert not run_rule_project(
             "R10", [("repro.features.extra", self.EXTRA)]
         )
+
+
+class TestR11SeededRandomness:
+    def test_legacy_global_rng_call_fires(self):
+        findings = run_rule(
+            "R11",
+            """
+            import numpy as np
+
+            def f():
+                return np.random.rand(3)
+            """,
+        )
+        assert len(findings) == 1
+        assert "global RNG" in findings[0].message
+
+    def test_global_seed_call_fires(self):
+        assert run_rule(
+            "R11",
+            "import numpy as np\nnp.random.seed(0)\n",
+        )
+
+    def test_unseeded_default_rng_fires(self):
+        findings = run_rule(
+            "R11",
+            """
+            import numpy as np
+
+            def f():
+                return np.random.default_rng().random()
+            """,
+        )
+        assert len(findings) == 1
+        assert "seed" in findings[0].message
+
+    def test_from_import_of_legacy_function_fires(self):
+        assert run_rule(
+            "R11",
+            """
+            from numpy.random import randint
+
+            def f():
+                return randint(0, 10)
+            """,
+        )
+
+    def test_seeded_default_rng_is_clean(self):
+        assert not run_rule(
+            "R11",
+            """
+            import numpy as np
+
+            def f(seed):
+                rng = np.random.default_rng(seed)
+                return rng.normal(size=4)
+            """,
+        )
+
+    def test_unrelated_random_attribute_is_clean(self):
+        assert not run_rule(
+            "R11",
+            """
+            import numpy as np
+
+            def f(rng):
+                return rng.random(3) + np.zeros(3)
+            """,
+        )
+
+    def test_no_numpy_import_is_clean(self):
+        assert not run_rule(
+            "R11",
+            "class random:\n    @staticmethod\n    def rand():\n        return 4\n\nx = random.rand()\n",
+        )

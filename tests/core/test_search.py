@@ -124,3 +124,49 @@ class TestResultsContainer:
         rows = ingested_system.search_by_name("%_000")
         assert len(rows) == 5  # one per category
         assert all(r["V_NAME"].endswith("_000") for r in rows)
+
+
+class TestStableTopK:
+    """_stable_topk must reproduce np.argsort(kind='stable')[:k] exactly."""
+
+    def _check(self, fused, k):
+        import numpy as np
+
+        from repro.core.search import _stable_topk
+
+        want = np.argsort(fused, kind="stable")[: max(0, k)]
+        got = _stable_topk(np.asarray(fused, dtype=np.float64), max(0, k))
+        assert np.array_equal(got, want), (fused, k)
+
+    def test_tie_heavy_random_arrays(self):
+        import numpy as np
+
+        gen = np.random.default_rng(4242)
+        for trial in range(50):
+            n = int(gen.integers(1, 40))
+            # few distinct values -> ties everywhere, including at the
+            # selection boundary where argpartition ordering is arbitrary
+            fused = gen.integers(0, 4, n).astype(np.float64)
+            for k in (0, 1, n // 2, n - 1, n, n + 5):
+                self._check(fused, k)
+
+    def test_all_equal(self):
+        self._check([2.0] * 7, 3)
+        self._check([2.0] * 7, 7)
+
+    def test_distinct_values(self):
+        import numpy as np
+
+        gen = np.random.default_rng(7)
+        fused = gen.permutation(20).astype(np.float64)
+        for k in (1, 5, 19, 20, 25):
+            self._check(fused, k)
+
+    def test_boundary_tie_straddles_cut(self):
+        # value 1.0 occupies ranks 1..4; k=3 cuts through the tie run and
+        # the stable order must keep the lowest original indices
+        self._check([5.0, 1.0, 1.0, 0.0, 1.0, 1.0, 9.0], 3)
+
+    def test_empty(self):
+        self._check([], 0)
+        self._check([], 3)
