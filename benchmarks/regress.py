@@ -13,6 +13,8 @@ layer optimizes (ingest fan-out, batched distance scoring), and writes
   brute-force batched path (reference extraction, no ANN), with a
   recall@10-vs-brute-force column
 - **cache_hit** -- repeated identical query served from the LRU result cache
+- **obs_overhead** -- the same frame search with full observability
+  (metrics + tracing) vs the ``obs_enabled=false`` null-object fast path
 
 Usage::
 
@@ -41,6 +43,7 @@ from repro.core.config import SystemConfig
 from repro.core.search import SearchEngine
 from repro.core.system import VideoRetrievalSystem
 from repro.imaging import accel
+from repro.obs import Obs
 from repro.video.generator import VideoSpec, generate_video, make_corpus
 
 #: metrics compared against a --baseline file (higher is better)
@@ -51,6 +54,7 @@ _TRACKED = [
     ("query_video", "batched", "ops_per_sec"),
     ("ann_query_frame", "ann", "ops_per_sec"),
     ("cache_hit", "hit", "ops_per_sec"),
+    ("obs_overhead", "disabled", "ops_per_sec"),
 ]
 
 
@@ -268,6 +272,41 @@ def run_benchmarks(
         f"cache_hit     miss {miss_ms:8.1f}ms   "
         f"hit p50 {hit['latency_ms']['p50']:8.3f}ms   "
         f"speedup {result['cache_hit']['speedup_vs_miss']:.0f}x"
+    )
+
+    # -- observability overhead: instrumented vs the disabled fast path -------
+    # ``batched_engine`` carries NULL_OBS (the obs_enabled=false path: one
+    # shared no-op object per instrumentation point); ``obs_engine`` records
+    # full metrics + traces on every query.  The gate tracks the *disabled*
+    # throughput so instrumentation can never tax uninstrumented callers.
+    obs_engine = SearchEngine(
+        system.config.with_(batch_distances=True, query_cache_size=0),
+        system._store,
+        system._index,
+        obs=Obs(),
+    )
+    disabled = _timed(
+        lambda: batched_engine.query_frame(query_image, top_k=20, use_index=False),
+        repeats,
+    )
+    enabled = _timed(
+        lambda: obs_engine.query_frame(query_image, top_k=20, use_index=False),
+        repeats,
+    )
+    overhead_pct = round(
+        (enabled["latency_ms"]["p50"] / max(1e-9, disabled["latency_ms"]["p50"]) - 1.0)
+        * 100,
+        2,
+    )
+    result["obs_overhead"] = {
+        "disabled": disabled,
+        "enabled": enabled,
+        "overhead_pct": overhead_pct,
+    }
+    print(
+        f"obs_overhead  disabled p50 {disabled['latency_ms']['p50']:8.1f}ms   "
+        f"enabled p50 {enabled['latency_ms']['p50']:8.1f}ms   "
+        f"overhead {overhead_pct:+.1f}%"
     )
 
     result["ingest"] = ingest

@@ -70,8 +70,24 @@ if [ "$fast" -eq 0 ]; then
     else
         record pytest FAIL
     fi
+
+    step "pytest (observability group)"
+    if python -m pytest -q tests/obs tests/web/test_obs_endpoints.py; then
+        record obs_tests ok
+    else
+        record obs_tests FAIL
+    fi
+
+    step "observability overhead (instrumented vs disabled)"
+    if python scripts/check_obs_overhead.py; then
+        record obs_overhead ok
+    else
+        record obs_overhead FAIL
+    fi
 else
     record pytest skip
+    record obs_tests skip
+    record obs_overhead skip
 fi
 
 # -- summary: one line per gate, plus the one-line table ---------------------

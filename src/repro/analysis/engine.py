@@ -82,6 +82,8 @@ class LintConfig:
     features_package: str = "repro.features"
     #: names of the approved SQL-building helpers (R4)
     sql_builders: frozenset = frozenset({"build_select", "build_insert", "build_delete"})
+    #: modules whose stdout is their user contract (R12 allows print here)
+    cli_modules: Tuple[str, ...] = ("repro.cli", "repro.analysis.runner")
 
     def wants(self, rule_id: str) -> bool:
         if rule_id in self.ignore:

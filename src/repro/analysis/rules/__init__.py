@@ -17,6 +17,7 @@ R8    explicit-exports            public modules declare a truthful __all__
 R9    db-error-hierarchy          db layer raises DatabaseError subclasses
 R10   extractor-module-imported   features/__init__ imports every extractor
 R11   seeded-randomness           numpy randomness uses explicitly seeded RNGs
+R12   no-print                    library code logs via repro.obs.log, not print
 ====  ==========================  ==============================================
 """
 
@@ -29,6 +30,7 @@ from repro.analysis.rules.extractors import (
     RegistryUniquenessRule,
 )
 from repro.analysis.rules.hygiene import ExceptionHygieneRule, MutableDefaultRule
+from repro.analysis.rules.printing import NoPrintRule
 from repro.analysis.rules.purity import PurityRule
 from repro.analysis.rules.randomness import SeededRandomnessRule
 from repro.analysis.rules.sql import SqlConstructionRule
@@ -45,4 +47,5 @@ __all__ = [
     "ExportsRule",
     "DbErrorHierarchyRule",
     "SeededRandomnessRule",
+    "NoPrintRule",
 ]

@@ -1,0 +1,46 @@
+"""Rule R12: no bare ``print()`` outside CLI modules.
+
+Library code that prints bypasses the structured logging layer: the
+output has no level, no ``key=value`` fields, can't be silenced by a
+deployment, and disappears when stdout is a pipe nobody reads.  Anything
+a library module wants to say goes through ``repro.obs.log``; only the
+modules whose *stdout is their user contract* (the ``repro`` CLI and the
+reprolint runner -- ``config.cli_modules``) may print.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.engine import Finding, LintConfig, ModuleInfo, Rule, register_rule
+
+__all__ = ["NoPrintRule"]
+
+
+@register_rule
+class NoPrintRule(Rule):
+    """R12: library modules log via repro.obs.log, never print()."""
+
+    rule_id = "R12"
+    title = "no-print"
+    fix_hint = (
+        "use repro.obs.log -- log.get_logger(__name__).info(event, **fields) "
+        "-- or move the output into a cli_modules entry point"
+    )
+
+    def applies_to(self, module: ModuleInfo, config: LintConfig) -> bool:
+        return not any(module.in_package(m) for m in config.cli_modules)
+
+    def check(self, module: ModuleInfo, config: LintConfig) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    "bare print() in library code bypasses structured logging",
+                )

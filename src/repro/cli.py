@@ -85,6 +85,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--port", type=int, default=8765)
     p.add_argument("--admin-password", default=None)
 
+    p = sub.add_parser("stats", help="show library counters and live metrics")
+    p.add_argument("library", nargs="?", default=None,
+                   help="library database path (.rdb)")
+    p.add_argument("--dump", default=None,
+                   help="read a saved metrics JSON dump instead of a library "
+                        "(as written by 'repro stats LIB --json')")
+    p.add_argument("--search-image", default=None,
+                   help="run one query with this image first, so search "
+                        "metrics carry samples")
+    p.add_argument("--json", action="store_true",
+                   help="emit the raw snapshot as JSON instead of a table")
+
     p = sub.add_parser(
         "lint",
         help="run the reprolint static analyzer (see 'repro lint --help')",
@@ -240,6 +252,33 @@ def _cmd_table1(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import format_stats
+
+    if (args.library is None) == (args.dump is None):
+        print("error: stats needs a library path or --dump FILE (not both)",
+              file=sys.stderr)
+        return 2
+    if args.dump is not None:
+        with open(args.dump, "r", encoding="utf-8") as fh:
+            snapshot = json.load(fh)
+    else:
+        system = _open_system(args.library)
+        if args.search_image is not None:
+            from repro.imaging.image import read_image
+
+            system.search(read_image(args.search_image), top_k=10)
+        snapshot = system.metrics()
+        system.close()
+    if args.json:
+        print(json.dumps(snapshot, indent=2, sort_keys=True, default=str))
+    else:
+        print(format_stats(snapshot))
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis.runner import main as lint_main
 
@@ -254,6 +293,7 @@ _COMMANDS = {
     "search": _cmd_search,
     "delete": _cmd_delete,
     "export-frame": _cmd_export_frame,
+    "stats": _cmd_stats,
     "serve": _cmd_serve,
     "table1": _cmd_table1,
 }

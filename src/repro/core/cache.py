@@ -18,6 +18,8 @@ from typing import Any, Dict, Hashable, Optional
 
 import numpy as np
 
+from repro.obs import NULL_OBS, Obs
+
 __all__ = ["QueryCache", "digest_array", "digest_vectors"]
 
 
@@ -52,13 +54,31 @@ class QueryCache:
     is a no-op), so callers don't need a separate code path.
     """
 
-    def __init__(self, max_entries: int = 256):
+    def __init__(self, max_entries: int = 256, obs: Obs = NULL_OBS):
         self.max_entries = int(max_entries)
         self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
         self._generation: Optional[int] = None
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
+        self.evictions = 0
+        self._m_requests = obs.counter(
+            "repro_cache_requests_total",
+            "Query-result cache lookups by outcome.",
+            labelnames=("result",),
+        )
+        self._m_hit = self._m_requests.labels(result="hit")
+        self._m_miss = self._m_requests.labels(result="miss")
+        self._m_invalidations = obs.counter(
+            "repro_cache_invalidations_total",
+            "Whole-cache drops caused by store mutations.",
+        )
+        self._m_evictions = obs.counter(
+            "repro_cache_evictions_total", "LRU evictions at capacity."
+        )
+        self._m_entries = obs.gauge(
+            "repro_cache_entries", "Entries currently cached."
+        )
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -71,20 +91,25 @@ class QueryCache:
         if self._generation != generation:
             if self._entries:
                 self.invalidations += 1
+                self._m_invalidations.inc()
                 self._entries.clear()
+                self._m_entries.set(0)
             self._generation = generation
 
     def get(self, key: Hashable, generation: int) -> Optional[Any]:
         if not self.enabled:
             self.misses += 1
+            self._m_miss.inc()
             return None
         self._check_generation(generation)
         entry = self._entries.get(key)
         if entry is None:
             self.misses += 1
+            self._m_miss.inc()
             return None
         self._entries.move_to_end(key)
         self.hits += 1
+        self._m_hit.inc()
         return entry
 
     def put(self, key: Hashable, generation: int, value: Any) -> None:
@@ -95,10 +120,14 @@ class QueryCache:
         self._entries.move_to_end(key)
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
+            self.evictions += 1
+            self._m_evictions.inc()
+        self._m_entries.set(len(self._entries))
 
     def clear(self) -> None:
         self._entries.clear()
         self._generation = None
+        self._m_entries.set(0)
 
     def stats(self) -> Dict[str, int]:
         return {
@@ -106,4 +135,5 @@ class QueryCache:
             "hits": self.hits,
             "misses": self.misses,
             "invalidations": self.invalidations,
+            "evictions": self.evictions,
         }

@@ -57,6 +57,13 @@ class SystemConfig:
     workers: int = 1
     #: score candidates with vectorized batch distances instead of per-record loops
     batch_distances: bool = True
+    # observability (repro.obs): metrics registry + tracing + structured logs
+    #: master gate; False swaps every instrumentation point for shared no-ops
+    obs_enabled: bool = True
+    #: ring-buffer capacity for recent request traces (``/traces/recent``)
+    obs_trace_buffer: int = 64
+    #: level for the ``repro`` logger tree (None = REPRO_LOG_LEVEL env / WARNING)
+    obs_log_level: Optional[str] = None
     # admin authentication (None = open access)
     admin_password: Optional[str] = None
 
@@ -85,6 +92,14 @@ class SystemConfig:
             raise ValueError("ann_nprobe must not exceed ann_cells")
         if self.query_cache_size < 0:
             raise ValueError("query_cache_size must be >= 0")
+        if self.obs_trace_buffer < 1:
+            raise ValueError("obs_trace_buffer must be >= 1")
+        if self.obs_log_level is not None:
+            allowed = ("DEBUG", "INFO", "WARNING", "ERROR", "CRITICAL")
+            if str(self.obs_log_level).upper() not in allowed:
+                raise ValueError(
+                    f"obs_log_level must be one of {allowed}, got {self.obs_log_level!r}"
+                )
 
     def weight_of(self, feature: str) -> float:
         return float(self.fusion_weights.get(feature, 1.0))

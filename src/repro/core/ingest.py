@@ -20,6 +20,7 @@ map keeps results byte-identical to a serial run.
 from __future__ import annotations
 
 import datetime
+import time
 from dataclasses import dataclass
 from functools import partial
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -34,6 +35,7 @@ from repro.features.base import FeatureExtractor, FeatureVector, get_extractor
 from repro.imaging.image import Image
 from repro.indexing.rangefinder import Bucket, RangeFinder
 from repro.indexing.tree import RangeIndex
+from repro.obs import NULL_OBS, Obs, log
 from repro.runtime import WorkerPool, resolve_workers
 from repro.video.codec import encode_rvf_bytes
 from repro.video.generator import SyntheticVideo
@@ -41,8 +43,10 @@ from repro.video.keyframes import KeyFrameExtractor
 
 __all__ = ["Ingestor", "IngestReport"]
 
-#: per-key-frame computation result: features, index bucket, MAJORREGIONS, PPM
-FramePayload = Tuple[Dict[str, FeatureVector], Bucket, int, bytes]
+#: per-key-frame computation result: features, index bucket, MAJORREGIONS,
+#: PPM blob, and per-extractor wall seconds (timed where the work ran, so
+#: parallel ingest still reports extraction latencies to the parent)
+FramePayload = Tuple[Dict[str, FeatureVector], Bucket, int, bytes, Dict[str, float]]
 
 
 def _compute_frame_payload(
@@ -56,13 +60,41 @@ def _compute_frame_payload(
     Module-level and side-effect free so a :class:`WorkerPool` can ship it
     to worker processes.
     """
-    features = {name: extractor.extract(frame) for name, extractor in extractors.items()}
+    features: Dict[str, FeatureVector] = {}
+    timings: Dict[str, float] = {}
+    for name, extractor in extractors.items():
+        t0 = time.perf_counter()
+        features[name] = extractor.extract(frame)
+        timings[name] = time.perf_counter() - t0
     bucket = finder.bucket_for_image(frame)
     if "regions" in features:
         major_regions = int(features["regions"].values[2])
     else:
         major_regions = int(fallback_regions.extract(frame).values[2])
-    return features, bucket, major_regions, frame.encode("ppm")
+    return features, bucket, major_regions, frame.encode("ppm"), timings
+
+
+class _StageTimer:
+    """Context manager pairing a span with a per-stage histogram sample."""
+
+    __slots__ = ("_span", "_hist", "_label", "_t0")
+
+    def __init__(self, span: object, hist: object, label: str):
+        self._span = span
+        self._hist = hist
+        self._label = label
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_StageTimer":
+        self._t0 = time.perf_counter()
+        self._span.__enter__()
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        self._hist.labels(stage=self._label).observe(
+            time.perf_counter() - self._t0
+        )
+        return bool(self._span.__exit__(*exc_info))
 
 
 @dataclass(frozen=True)
@@ -89,6 +121,7 @@ class Ingestor:
         store: FeatureStore,
         index: RangeIndex,
         pool: Optional[WorkerPool] = None,
+        obs: Obs = NULL_OBS,
     ):
         self.db = db
         self.config = config
@@ -105,6 +138,36 @@ class Ingestor:
         # active search feature
         self._regions = self.extractors.get("regions") or get_extractor("regions")
         self._pool = pool or WorkerPool(workers=resolve_workers(config.workers))
+        self._obs = obs
+        self._log = log.get_logger(__name__)
+        self._m_videos = obs.counter(
+            "repro_ingest_videos_total", "Videos ingested."
+        )
+        self._m_frames = obs.counter(
+            "repro_ingest_frames_total", "Raw frames ingested."
+        )
+        self._m_keyframes = obs.counter(
+            "repro_ingest_keyframes_total", "Key frames extracted and stored."
+        )
+        self._m_deletes = obs.counter(
+            "repro_ingest_deletes_total", "Videos deleted."
+        )
+        self._m_renames = obs.counter(
+            "repro_ingest_renames_total", "Videos renamed."
+        )
+        self._m_video_seconds = obs.histogram(
+            "repro_ingest_video_seconds", "End-to-end add_video wall time."
+        )
+        self._m_stage_seconds = obs.histogram(
+            "repro_ingest_stage_seconds",
+            "Per-stage add_video wall time.",
+            labelnames=("stage",),
+        )
+        self._m_extract_seconds = obs.histogram(
+            "repro_ingest_extract_seconds",
+            "Per-extractor wall time per key frame (measured in the worker).",
+            labelnames=("feature",),
+        )
 
     def close(self) -> None:
         """Tear down the worker pool (no-op for serial configurations)."""
@@ -157,47 +220,82 @@ class Ingestor:
         if not frames:
             raise ValueError("cannot ingest an empty video")
 
-        video_id = self._next_id("VIDEO_STORE", "V_ID")
-        next_frame_id = self._next_id("KEY_FRAMES", "I_ID")
-        video_blob = encode_rvf_bytes(frames)
-        key_frames = self.keyframe_extractor.extract(frames)
-        stored_on = stored_on or datetime.date(2012, 10, 1)
-        motion = self._motion_descriptor(frames)
+        t_video = time.perf_counter()
+        with self._obs.span(
+            "ingest.add_video", name=name, frames=len(frames)
+        ) as root:
+            video_id = self._next_id("VIDEO_STORE", "V_ID")
+            next_frame_id = self._next_id("KEY_FRAMES", "I_ID")
+            with self._stage("encode"):
+                video_blob = encode_rvf_bytes(frames)
+            with self._stage("keyframes"):
+                key_frames = self.keyframe_extractor.extract(frames)
+            stored_on = stored_on or datetime.date(2012, 10, 1)
+            motion = self._motion_descriptor(frames)
 
-        # fan the pure per-frame computation out across workers; the order
-        # of payloads matches key_frames, so ids and rows are deterministic
-        compute = partial(
-            _compute_frame_payload,
-            extractors=self.extractors,
-            finder=self.index.finder,
-            fallback_regions=self._regions,
-        )
-        payloads = self._pool.map(compute, [frame for _index, frame in key_frames])
-
-        new_records: List[FrameRecord] = []
-        with self.db.transaction():
-            self.db.execute(
-                "INSERT INTO VIDEO_STORE (V_ID, V_NAME, CATEGORY, VIDEO, MOTION, DOSTORE)"
-                " VALUES (?, ?, ?, ?, ?, ?)",
-                (video_id, name, category, video_blob, motion.to_string(), stored_on),
+            # fan the pure per-frame computation out across workers; the order
+            # of payloads matches key_frames, so ids and rows are deterministic
+            compute = partial(
+                _compute_frame_payload,
+                extractors=self.extractors,
+                finder=self.index.finder,
+                fallback_regions=self._regions,
             )
-            for offset, ((frame_index, _frame), payload) in enumerate(zip(key_frames, payloads)):
-                frame_id = next_frame_id + offset
-                record = self._ingest_frame(
-                    frame_id, video_id, name, category, frame_index, payload
+            with self._stage("features"):
+                payloads = self._pool.map(
+                    compute, [frame for _index, frame in key_frames]
                 )
-                new_records.append(record)
+            for payload in payloads:
+                for feature, seconds in payload[4].items():
+                    self._m_extract_seconds.labels(feature=feature).observe(seconds)
 
-        # DB committed; now mirror into store + index
-        for record in new_records:
-            self.store.add(record)
-            self.index.insert_bucket(record.frame_id, record.bucket)
-        self.store.set_video_motion(video_id, motion)
+            new_records: List[FrameRecord] = []
+            with self._stage("db_txn"):
+                with self.db.transaction():
+                    self.db.execute(
+                        "INSERT INTO VIDEO_STORE (V_ID, V_NAME, CATEGORY, VIDEO, MOTION, DOSTORE)"
+                        " VALUES (?, ?, ?, ?, ?, ?)",
+                        (video_id, name, category, video_blob, motion.to_string(), stored_on),
+                    )
+                    for offset, ((frame_index, _frame), payload) in enumerate(zip(key_frames, payloads)):
+                        frame_id = next_frame_id + offset
+                        record = self._ingest_frame(
+                            frame_id, video_id, name, category, frame_index, payload
+                        )
+                        new_records.append(record)
+
+            # DB committed; now mirror into store + index
+            with self._stage("mirror"):
+                for record in new_records:
+                    self.store.add(record)
+                    self.index.insert_bucket(record.frame_id, record.bucket)
+                self.store.set_video_motion(video_id, motion)
+
+            root.annotate(video_id=video_id, keyframes=len(new_records))
+            elapsed = time.perf_counter() - t_video
+            self._m_videos.inc()
+            self._m_frames.inc(len(frames))
+            self._m_keyframes.inc(len(new_records))
+            self._m_video_seconds.observe(elapsed)
+            self._log.info(
+                "ingest.video",
+                video_id=video_id,
+                name=name,
+                frames=len(frames),
+                keyframes=len(new_records),
+                ms=round(elapsed * 1000.0, 2),
+            )
         return IngestReport(
             video_id=video_id,
             video_name=name,
             n_frames=len(frames),
             keyframe_ids=[r.frame_id for r in new_records],
+        )
+
+    def _stage(self, label: str) -> "_StageTimer":
+        """A span + stage-histogram context manager for one pipeline stage."""
+        return _StageTimer(
+            self._obs.span(f"ingest.{label}"), self._m_stage_seconds, label
         )
 
     def _ingest_frame(
@@ -210,7 +308,7 @@ class Ingestor:
         payload: FramePayload,
     ) -> FrameRecord:
         """Write one precomputed key frame's row (DB work only)."""
-        features, bucket, major_regions, ppm_blob = payload
+        features, bucket, major_regions, ppm_blob, _timings = payload
         frame_name = f"{video_name}_f{frame_index:04d}"
 
         columns = ["I_ID", "I_NAME", "IMAGE", "MIN", "MAX", "MAJORREGIONS", "V_ID"]
@@ -251,6 +349,10 @@ class Ingestor:
         for fid in frame_ids:
             if fid in self.index:
                 self.index.remove(fid)
+        self._m_deletes.inc()
+        self._log.info(
+            "ingest.delete", video_id=video_id, frames=len(frame_ids)
+        )
         return len(frame_ids)
 
     def rename_video(self, video_id: int, new_name: str) -> None:
@@ -261,3 +363,5 @@ class Ingestor:
         if count == 0:
             raise DatabaseError(f"no video with id {video_id}")
         self.store.rename_video(video_id, new_name)
+        self._m_renames.inc()
+        self._log.info("ingest.rename", video_id=video_id, name=new_name)

@@ -13,6 +13,7 @@ similarity.
 
 from __future__ import annotations
 
+import time
 from dataclasses import replace
 from functools import partial
 from typing import Dict, List, Optional, Sequence, Union
@@ -26,8 +27,10 @@ from repro.core.store import FeatureStore, FrameRecord
 from repro.features.base import FeatureExtractor, FeatureVector, get_extractor
 from repro.imaging import accel
 from repro.imaging.image import Image
+from repro.indexing import ann as ann_metrics
 from repro.indexing.ann import IVFIndex
 from repro.indexing.tree import RangeIndex
+from repro.obs import NULL_OBS, Obs, log
 from repro.runtime import WorkerPool, resolve_workers
 from repro.similarity.dp import dtw_distance, sequence_similarity
 from repro.similarity.fusion import CombinedScorer, FeatureWeights, normalize_scores
@@ -35,6 +38,15 @@ from repro.video.generator import SyntheticVideo
 from repro.video.keyframes import KeyFrameExtractor
 
 __all__ = ["SearchEngine", "VideoMatch"]
+
+#: histogram edges for candidate-set sizes (counts, not seconds)
+_COUNT_BUCKETS = (
+    1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 1024.0, 4096.0,
+    16384.0, 65536.0,
+)
+
+#: histogram edges for the range-index pruning ratio (fraction in [0, 1])
+_RATIO_BUCKETS = (0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0)
 
 
 def _extract_query_features(
@@ -96,6 +108,7 @@ class SearchEngine:
         store: FeatureStore,
         index: RangeIndex,
         pool: Optional[WorkerPool] = None,
+        obs: Obs = NULL_OBS,
     ):
         self.config = config
         self.store = store
@@ -110,12 +123,45 @@ class SearchEngine:
         self._pool = pool or WorkerPool(workers=resolve_workers(config.workers))
         #: IVF candidate index (None when ``config.ann`` is off); trained
         #: lazily on the first probe and self-synced against the store
-        self.ann: Optional[IVFIndex] = (
-            IVFIndex(store, config.features, n_cells=config.ann_cells)
-            if config.ann
-            else None
+        if config.ann:
+            self.ann: Optional[IVFIndex] = IVFIndex(
+                store, config.features, n_cells=config.ann_cells, obs=obs
+            )
+        else:
+            self.ann = None
+            ann_metrics.register_metrics(obs)  # families scrape at zero
+        self._query_cache = QueryCache(config.query_cache_size, obs=obs)
+        self._obs = obs
+        self._log = log.get_logger(__name__)
+        self._m_queries = obs.counter(
+            "repro_search_queries_total",
+            "Queries executed, by entry point.",
+            labelnames=("kind",),
         )
-        self._query_cache = QueryCache(config.query_cache_size)
+        self._m_query_seconds = obs.histogram(
+            "repro_search_seconds",
+            "End-to-end query wall time (cache hits included).",
+            labelnames=("kind",),
+        )
+        self._m_candidates = obs.histogram(
+            "repro_search_candidates",
+            "Candidates re-ranked per frame/vector query.",
+            buckets=_COUNT_BUCKETS,
+        )
+        self._m_pruning = obs.histogram(
+            "repro_search_pruning_ratio",
+            "Fraction of the store pruned by the range index before ranking.",
+            buckets=_RATIO_BUCKETS,
+        )
+        self._m_distance_seconds = obs.histogram(
+            "repro_search_distance_seconds",
+            "Per-feature distance computation time per ranked query.",
+            labelnames=("feature",),
+        )
+        self._m_fusion_seconds = obs.histogram(
+            "repro_search_fusion_seconds",
+            "Weighted multi-feature fusion time per ranked query.",
+        )
         # feature name -> (structure generation, prepared full-store matrix);
         # lets batch scoring skip per-query matrix preprocessing (see
         # FeatureExtractor.prepare_matrix)
@@ -162,6 +208,22 @@ class SearchEngine:
             hits, n_candidates=results.n_candidates, n_total=results.n_total
         )
 
+    def _record_query(
+        self, kind: str, t0: float, candidates: Optional[int] = None
+    ) -> None:
+        """Per-query bookkeeping shared by the three public entry points."""
+        elapsed = time.perf_counter() - t0
+        self._m_queries.labels(kind=kind).inc()
+        self._m_query_seconds.labels(kind=kind).observe(elapsed)
+        if candidates is not None:
+            self._m_candidates.observe(candidates)
+        self._log.debug(
+            "search.query",
+            kind=kind,
+            ms=round(elapsed * 1000.0, 2),
+            candidates=candidates,
+        )
+
     # -- frame query ------------------------------------------------------------
 
     def query_frame(
@@ -179,28 +241,48 @@ class SearchEngine:
         """
         names = self._resolve_features(features)
         use_index = self.config.use_index if use_index is None else use_index
-        if not self._query_cache.enabled:  # don't pay the pixel digest
-            return self._query_frame(image, names, top_k, use_index)
-        key = ("frame", digest_array(image.pixels), tuple(names), top_k, use_index)
-        return self._cached_results(
-            key, lambda: self._query_frame(image, names, top_k, use_index)
-        )
+        t0 = time.perf_counter()
+        with self._obs.span(
+            "search.query_frame", features=",".join(names), top_k=top_k
+        ) as span:
+            if not self._query_cache.enabled:  # don't pay the pixel digest
+                results = self._query_frame(image, names, top_k, use_index)
+            else:
+                key = (
+                    "frame", digest_array(image.pixels), tuple(names), top_k, use_index
+                )
+                results = self._cached_results(
+                    key, lambda: self._query_frame(image, names, top_k, use_index)
+                )
+            span.annotate(candidates=results.n_candidates)
+        self._record_query("frame", t0, results.n_candidates)
+        return results
 
     def _query_frame(
         self, image: Image, names: List[str], top_k: int, use_index: bool
     ) -> SearchResults:
         if use_index:
-            candidate_ids: Optional[List[int]] = sorted(self.index.candidates(image))
+            with self._obs.span("search.index.prune"):
+                candidate_ids: Optional[List[int]] = sorted(
+                    self.index.candidates(image)
+                )
+            n_total = len(self.store)
+            if n_total:
+                self._m_pruning.observe(1.0 - len(candidate_ids) / n_total)
         else:
             candidate_ids = None  # the whole store (or the ANN probe below)
-        query_vectors = {name: self.extractors[name].extract(image) for name in names}
+        with self._obs.span("search.extract"):
+            query_vectors = {
+                name: self.extractors[name].extract(image) for name in names
+            }
         if self.ann is not None and candidate_ids is not None:
             # compose with the range index: a frame must survive both
-            ann_ids = self.ann.probe(query_vectors, self.config.ann_nprobe)
+            with self._obs.span("search.ann.probe"):
+                ann_ids = self.ann.probe(query_vectors, self.config.ann_nprobe)
             if ann_ids is not None:
                 wanted = set(ann_ids)
                 candidate_ids = [fid for fid in candidate_ids if fid in wanted]
-        return self.query_with_vectors(query_vectors, top_k=top_k, candidate_ids=candidate_ids)
+        return self._vectors_entry(query_vectors, top_k, candidate_ids, None)
 
     def query_with_vectors(
         self,
@@ -218,6 +300,21 @@ class SearchEngine:
         whole store (no index pruning -- a moved query vector has no image
         to bucket).
         """
+        t0 = time.perf_counter()
+        with self._obs.span("search.query_vectors", top_k=top_k) as span:
+            results = self._vectors_entry(query_vectors, top_k, candidate_ids, weights)
+            span.annotate(candidates=results.n_candidates)
+        self._record_query("vectors", t0, results.n_candidates)
+        return results
+
+    def _vectors_entry(
+        self,
+        query_vectors: Dict[str, FeatureVector],
+        top_k: int,
+        candidate_ids: Optional[Sequence[int]],
+        weights: Optional[Dict[str, float]],
+    ) -> SearchResults:
+        """Validation + cache wrapping shared by frame and vector queries."""
         names = [n for n in query_vectors if n in self.extractors]
         if not names:
             raise ValueError("query_vectors holds no configured features")
@@ -280,6 +377,7 @@ class SearchEngine:
             rows = self.store.matrix_rows(candidate_ids)
         per_feature: Dict[str, np.ndarray] = {}
         for name in names:
+            t_dist = time.perf_counter()
             extractor = self.extractors[name]
             qv = query_vectors[name]
             if prepared_scoring:
@@ -299,13 +397,18 @@ class SearchEngine:
                 per_feature[name] = np.array(
                     [extractor.distance(qv, rec.features[name]) for rec in records]
                 )
+            self._m_distance_seconds.labels(feature=name).observe(
+                time.perf_counter() - t_dist
+            )
 
+        t_fuse = time.perf_counter()
         if len(names) == 1:
             fused = np.asarray(per_feature[names[0]], dtype=np.float64)
         else:
             if weights is None:
                 weights = {n: self.config.weight_of(n) for n in names}
             fused = CombinedScorer(FeatureWeights(weights)).fuse(per_feature)
+        self._m_fusion_seconds.observe(time.perf_counter() - t_fuse)
 
         if fast:
             order = _stable_topk(fused, max(0, top_k))
@@ -341,6 +444,18 @@ class SearchEngine:
         frames = list(video.frames) if isinstance(video, SyntheticVideo) else list(video)
         if not frames:
             raise ValueError("query video has no frames")
+        t0 = time.perf_counter()
+        with self._obs.span("search.query_video", frames=len(frames), top_k=top_k):
+            matches = self._query_video(frames, features, top_k)
+        self._record_query("video", t0)
+        return matches
+
+    def _query_video(
+        self,
+        frames: List[Image],
+        features: Optional[Sequence[str]],
+        top_k: int,
+    ) -> List[VideoMatch]:
         names = self._resolve_features(features)
         key_frames = [f for _i, f in self.keyframe_extractor.extract(frames)]
         # per-key-frame extraction is the query-side CPU hot spot; fan it

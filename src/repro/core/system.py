@@ -14,7 +14,7 @@ database rebuilds the in-memory feature store and range index from the
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Union
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 from repro.core.catalog import bootstrap
 from repro.core.config import SystemConfig
@@ -27,6 +27,7 @@ from repro.db.types import ORD_VIDEO
 from repro.imaging.image import Image, decode_image
 from repro.indexing.rangefinder import RangeFinder
 from repro.indexing.tree import RangeIndex
+from repro.obs import Obs, log as obs_log
 from repro.runtime import WorkerPool, resolve_workers
 from repro.video.generator import SyntheticVideo
 
@@ -62,7 +63,16 @@ class VideoRetrievalSystem:
 
     def __init__(self, db: Optional[Database] = None, config: Optional[SystemConfig] = None):
         self.config = config or SystemConfig()
+        #: per-system observability facade; disabled it costs one no-op
+        #: call per instrumentation point (see docs/observability.md)
+        self.obs = Obs(
+            enabled=self.config.obs_enabled,
+            trace_buffer=self.config.obs_trace_buffer,
+        )
+        if self.config.obs_log_level is not None:
+            obs_log.set_level(self.config.obs_log_level)
         self.db = db or Database()
+        self.db.attach_obs(self.obs)
         bootstrap(self.db)
         self._store = FeatureStore()
         finder = RangeFinder(
@@ -74,11 +84,13 @@ class VideoRetrievalSystem:
         # one worker pool shared by ingest and search (lazy: serial configs
         # never spawn processes)
         self._pool = WorkerPool(workers=resolve_workers(self.config.workers))
+        self._pool.attach_obs(self.obs)
         self._ingestor = Ingestor(
-            self.db, self.config, self._store, self._index, pool=self._pool
+            self.db, self.config, self._store, self._index, pool=self._pool,
+            obs=self.obs,
         )
         self._engine = SearchEngine(
-            self.config, self._store, self._index, pool=self._pool
+            self.config, self._store, self._index, pool=self._pool, obs=self.obs
         )
         self._reload_from_db()
 
@@ -182,15 +194,49 @@ class VideoRetrievalSystem:
             raise KeyError("the system holds no key frames yet")
         return self.get_key_frame(ids[0])
 
+    # -- observability ------------------------------------------------------------------
+
+    def metrics(self) -> Dict[str, Any]:
+        """One snapshot of every live counter the system keeps.
+
+        The unified stats surface: per-subsystem summaries under
+        ``store`` / ``index`` / ``ann`` / ``cache`` (``ann`` is None when
+        ``config.ann`` is off), plus the full metrics registry under
+        ``registry`` (same data ``GET /metrics`` renders as Prometheus
+        text).  ``index_stats()`` / ``ann_stats()`` / ``cache_stats()``
+        are thin shims over this.
+        """
+        index = self._index.stats()
+        return {
+            "store": {
+                "videos": self.n_videos(),
+                "key_frames": len(self._store),
+                "generation": self._store.generation,
+            },
+            "index": {
+                "entries": index.n_entries,
+                "buckets": index.n_buckets,
+                "mean_bucket_size": index.mean_bucket_size,
+            },
+            "ann": self._engine.ann_stats(),
+            "cache": self._engine.cache_stats(),
+            "registry": self.obs.registry.render_json(),
+        }
+
+    def recent_traces(self, limit: Optional[int] = None) -> List[dict]:
+        """The most recent root traces, newest first (empty when disabled)."""
+        return self.obs.recent_traces(limit)
+
     def index_stats(self):
+        """Range-index occupancy (rich :class:`IndexStats` snapshot)."""
         return self._index.stats()
 
     def ann_stats(self):
-        """IVF candidate-index counters (None unless ``config.ann``)."""
+        """Shim over :meth:`metrics`: IVF counters (None unless ``config.ann``)."""
         return self._engine.ann_stats()
 
     def cache_stats(self):
-        """Query-result cache counters (hits, misses, invalidations)."""
+        """Shim over :meth:`metrics`: query-result cache counters."""
         return self._engine.cache_stats()
 
     def close(self) -> None:

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import contextlib
 import re
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -155,11 +156,45 @@ class _Evaluator:
 class Database:
     """Catalog of tables + statement execution + transactions."""
 
+    #: statement AST class -> metric label
+    _STATEMENT_KINDS = {
+        "Select": "select",
+        "Insert": "insert",
+        "Update": "update",
+        "Delete": "delete",
+        "CreateTable": "create",
+        "DropTable": "drop",
+    }
+
     def __init__(self, storage: Optional["repro.db.storage.Storage"] = None):
         self.tables: Dict[str, Table] = {}
         self._storage = storage
         self._tx_snapshot = None
         self._tx_statements: List[Tuple[str, Tuple]] = []
+        # observability is opt-in (attach_obs); None keeps execute() lean
+        self._m_statements = None
+        self._m_seconds = None
+
+    def attach_obs(self, obs) -> None:
+        """Record per-statement counts and durations into ``obs``'s registry.
+
+        Takes a :class:`repro.obs.Obs`; attaching a disabled facade keeps
+        the no-instrumentation fast path.
+        """
+        if not obs.enabled:
+            self._m_statements = None
+            self._m_seconds = None
+            return
+        self._m_statements = obs.counter(
+            "repro_db_statements_total",
+            "SQL statements executed, by statement kind.",
+            labelnames=("kind",),
+        )
+        self._m_seconds = obs.histogram(
+            "repro_db_statement_seconds",
+            "Statement execution time (parse + dispatch).",
+            labelnames=("kind",),
+        )
 
     # -- persistence -----------------------------------------------------------
 
@@ -240,6 +275,7 @@ class Database:
 
     def execute(self, text: str, params: Sequence = ()) -> ResultSet:
         """Parse and run one statement with optional ``?`` bind parameters."""
+        t0 = time.perf_counter() if self._m_statements is not None else 0.0
         stmt, n_params = ast.parse(text)
         if len(params) != n_params:
             raise SqlSyntaxError(
@@ -247,6 +283,10 @@ class Database:
             )
         is_write = not isinstance(stmt, ast.Select)
         result = self._dispatch(stmt, tuple(params), text)
+        if self._m_statements is not None:
+            kind = self._STATEMENT_KINDS.get(type(stmt).__name__, "other")
+            self._m_statements.labels(kind=kind).inc()
+            self._m_seconds.labels(kind=kind).observe(time.perf_counter() - t0)
         if is_write:
             if self.in_transaction:
                 self._tx_statements.append((text, tuple(params)))

@@ -39,8 +39,13 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from repro.features.base import FeatureVector
+from repro.obs import NULL_OBS, Obs
 
-__all__ = ["IVFIndex", "IVFStats", "kmeans"]
+__all__ = ["IVFIndex", "IVFStats", "kmeans", "register_metrics"]
+
+#: count-style histogram buckets for probe fan-out metrics
+_COUNT_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0,
+                  1024.0, 4096.0, 16384.0, 65536.0)
 
 #: Default seed for the coarse quantizer (any fixed value works; what
 #: matters is that rebuilds on identical data give identical partitions).
@@ -141,10 +146,48 @@ class IVFStats:
         self.n_incremental_removes = 0
 
     def as_dict(self) -> Dict[str, int]:
-        return dict(self.__dict__)
+        # unified stats naming (no n_ prefix), matching cache/index keys
+        return {
+            "builds": self.n_builds,
+            "probes": self.n_probes,
+            "incremental_adds": self.n_incremental_adds,
+            "incremental_removes": self.n_incremental_removes,
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"IVFStats({self.as_dict()})"
+
+
+def register_metrics(obs: Obs) -> Dict[str, object]:
+    """Get-or-create the ANN metric families on ``obs``.
+
+    Called by :class:`IVFIndex` and by engines with ANN disabled, so the
+    families always appear in a ``/metrics`` scrape (at zero) regardless
+    of configuration.
+    """
+    return {
+        "builds": obs.counter(
+            "repro_ann_builds_total", "IVF coarse-quantizer (re)trainings."
+        ),
+        "probes": obs.counter(
+            "repro_ann_probes_total", "IVF probe calls."
+        ),
+        "incremental": obs.counter(
+            "repro_ann_incremental_total",
+            "Frames folded into the trained index without a retrain.",
+            labelnames=("op",),
+        ),
+        "cells_probed": obs.histogram(
+            "repro_ann_cells_probed",
+            "Cells visited per probe.",
+            buckets=_COUNT_BUCKETS,
+        ),
+        "candidates": obs.histogram(
+            "repro_ann_candidates",
+            "Candidate frames returned per probe (incl. residuals).",
+            buckets=_COUNT_BUCKETS,
+        ),
+    }
 
 
 class IVFIndex:
@@ -163,6 +206,7 @@ class IVFIndex:
         seed: int = DEFAULT_SEED,
         rebuild_drift: float = 0.3,
         n_assign: int = 2,
+        obs: Obs = NULL_OBS,
     ):
         if n_cells < 1:
             raise ValueError("n_cells must be >= 1")
@@ -179,6 +223,12 @@ class IVFIndex:
         self.rebuild_drift = float(rebuild_drift)
         self.n_assign = int(n_assign)
         self.stats = IVFStats()
+        families = register_metrics(obs)
+        self._m_builds = families["builds"]
+        self._m_probes = families["probes"]
+        self._m_incremental = families["incremental"]
+        self._m_cells_probed = families["cells_probed"]
+        self._m_candidates = families["candidates"]
 
         self._centroids: Optional[np.ndarray] = None
         self._scales: Optional[List[float]] = None
@@ -234,6 +284,7 @@ class IVFIndex:
     def build(self) -> None:
         """(Re)train the coarse quantizer on the store's current frames."""
         self.stats.n_builds += 1
+        self._m_builds.inc()
         self._known_generation = self._store.structure_generation
         self._churn = 0
         all_ids = self._store.frame_ids()
@@ -286,6 +337,7 @@ class IVFIndex:
             for cell in self._cells_of.pop(fid):
                 self._lists[cell].remove(fid)
             self.stats.n_incremental_removes += 1
+            self._m_incremental.labels(op="remove").inc()
         if added:
             embeddable = [fid for fid in added if self._embeddable(fid)]
             emb_set = set(embeddable)
@@ -295,6 +347,7 @@ class IVFIndex:
                 for fid, cells in zip(embeddable, self._nearest_cells(data)):
                     self._file(fid, cells)
                     self.stats.n_incremental_adds += 1
+                    self._m_incremental.labels(op="add").inc()
 
     # -- probing -----------------------------------------------------------------
 
@@ -311,8 +364,11 @@ class IVFIndex:
             raise ValueError("nprobe must be >= 1")
         self._sync()
         self.stats.n_probes += 1
+        self._m_probes.inc()
         if self._centroids is None:
-            return sorted(self._residuals)
+            residuals = sorted(self._residuals)
+            self._m_candidates.observe(len(residuals))
+            return residuals
         if any(name not in query_vectors for name in self._names):
             return None
         q = self._embed_vectors(query_vectors)
@@ -325,6 +381,8 @@ class IVFIndex:
         out: Set[int] = set(self._residuals)
         for cell in cells:
             out.update(self._lists[int(cell)])
+        self._m_cells_probed.observe(len(cells))
+        self._m_candidates.observe(len(out))
         return sorted(out)
 
     # -- introspection -----------------------------------------------------------

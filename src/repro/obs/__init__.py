@@ -1,0 +1,58 @@
+"""``repro.obs``: the observability layer (metrics, tracing, logging).
+
+Three zero-dependency pieces, usable separately or through the
+:class:`~repro.obs.facade.Obs` facade the retrieval system threads through
+its layers:
+
+- :mod:`repro.obs.metrics` -- Counter/Gauge/Histogram registry with
+  Prometheus-text and JSON renderers;
+- :mod:`repro.obs.tracing` -- hierarchical spans with a ring buffer of
+  recent request traces;
+- :mod:`repro.obs.log` -- stdlib-backed ``key=value`` structured logging.
+
+See ``docs/observability.md`` for the metric catalog and trace schema.
+"""
+
+from repro.obs import log
+from repro.obs.facade import NULL_OBS, Obs
+from repro.obs.stats import format_stats
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    DEFAULT_REGISTRY,
+    NULL_METRIC,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricFamily,
+    MetricsRegistry,
+    NullMetric,
+    NullRegistry,
+)
+from repro.obs.tracing import NULL_SPAN, NULL_TRACER, NullSpan, NullTracer, Span, Tracer
+
+__all__ = [
+    "Obs",
+    "NULL_OBS",
+    "log",
+    "format_stats",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "MetricError",
+    "NullMetric",
+    "NullRegistry",
+    "NULL_METRIC",
+    "NULL_REGISTRY",
+    "DEFAULT_REGISTRY",
+    "DEFAULT_BUCKETS",
+    "Span",
+    "Tracer",
+    "NullSpan",
+    "NullTracer",
+    "NULL_SPAN",
+    "NULL_TRACER",
+]

@@ -1,0 +1,444 @@
+"""Zero-dependency metrics primitives: Counter, Gauge, Histogram.
+
+A :class:`MetricsRegistry` is a thread-safe catalogue of metric
+*families*.  A family has a name, a help string and a fixed tuple of
+label names; each distinct label-value combination materializes one
+*child* holding the actual number(s).  Families with no label names act
+as their own single child, so unlabeled metrics read naturally::
+
+    registry = MetricsRegistry()
+    queries = registry.counter("repro_search_queries_total",
+                               "Queries executed.", labelnames=("kind",))
+    queries.labels(kind="frame").inc()
+
+    latency = registry.histogram("repro_search_seconds", "Query latency.")
+    latency.observe(0.012)
+
+Two renderers expose the whole registry: :meth:`MetricsRegistry.render_text`
+emits the Prometheus text exposition format (served by ``GET /metrics``)
+and :meth:`MetricsRegistry.render_json` a nested dict (``repro stats``,
+``VideoRetrievalSystem.metrics()``).
+
+``NULL_REGISTRY`` is the disabled-observability twin: it hands out shared
+no-op metric objects, so instrumented code paths keep a single
+attribute-call overhead when the ``obs_enabled`` gate is off.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "MetricError",
+    "NullMetric",
+    "NullRegistry",
+    "NULL_METRIC",
+    "NULL_REGISTRY",
+    "DEFAULT_REGISTRY",
+    "DEFAULT_BUCKETS",
+]
+
+#: latency-oriented default histogram buckets (seconds)
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+class MetricError(ValueError):
+    """Invalid metric name, labels, or a family re-registered differently."""
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", r"\\").replace("\n", r"\n").replace('"', r'\"')
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self) -> None:
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise MetricError("counters can only increase; use a Gauge")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self) -> None:
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket distribution of observed values.
+
+    ``buckets`` are the finite upper bounds, strictly increasing; an
+    implicit ``+Inf`` bucket always tops the list.  Rendering follows the
+    Prometheus convention: cumulative ``_bucket{le=...}`` counts plus
+    ``_sum`` and ``_count`` series.
+    """
+
+    __slots__ = ("buckets", "_counts", "_sum", "_count", "_lock")
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise MetricError("a histogram needs at least one bucket bound")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise MetricError(f"bucket bounds must strictly increase: {bounds}")
+        self.buckets = bounds
+        self._counts = [0] * (len(bounds) + 1)  # last slot = +Inf
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        idx = len(self.buckets)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                idx = i
+                break
+        with self._lock:
+            self._counts[idx] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def cumulative_counts(self) -> List[Tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, ending at ``+Inf``."""
+        with self._lock:
+            counts = list(self._counts)
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, n in zip(self.buckets + (math.inf,), counts):
+            running += n
+            out.append((bound, running))
+        return out
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricFamily:
+    """One named metric and its per-label-combination children.
+
+    Calling a data method (``inc``/``set``/``dec``/``observe``) directly on
+    a label-less family transparently targets its single child.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        if not _NAME_RE.match(name):
+            raise MetricError(f"invalid metric name {name!r}")
+        for label in labelnames:
+            if not _LABEL_RE.match(label):
+                raise MetricError(f"invalid label name {label!r} on {name}")
+        if kind not in _KINDS:
+            raise MetricError(f"unknown metric kind {kind!r}")
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._buckets = tuple(buckets)
+        self._children: Dict[Tuple[str, ...], object] = {}
+        self._lock = threading.Lock()
+
+    def _make_child(self):
+        if self.kind == "histogram":
+            return Histogram(self._buckets)
+        return _KINDS[self.kind]()
+
+    def labels(self, **labels: object):
+        """The child for one label-value combination (created on demand)."""
+        if set(labels) != set(self.labelnames):
+            raise MetricError(
+                f"{self.name} takes labels {self.labelnames}, got {tuple(labels)}"
+            )
+        key = tuple(str(labels[n]) for n in self.labelnames)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._make_child()
+                self._children[key] = child
+        return child
+
+    def _solo(self):
+        if self.labelnames:
+            raise MetricError(f"{self.name} is labeled; call .labels(...) first")
+        return self.labels()
+
+    # label-less conveniences -------------------------------------------------
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._solo().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._solo().dec(amount)
+
+    def set(self, value: float) -> None:
+        self._solo().set(value)
+
+    def observe(self, value: float) -> None:
+        self._solo().observe(value)
+
+    @property
+    def value(self) -> float:
+        return self._solo().value
+
+    def children(self) -> List[Tuple[Tuple[str, ...], object]]:
+        with self._lock:
+            return sorted(self._children.items())
+
+
+class MetricsRegistry:
+    """Thread-safe get-or-create catalogue of metric families."""
+
+    def __init__(self) -> None:
+        self._families: "Dict[str, MetricFamily]" = {}
+        self._lock = threading.Lock()
+
+    def _register(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        labelnames: Sequence[str],
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> MetricFamily:
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = MetricFamily(
+                    name, kind, help=help, labelnames=labelnames, buckets=buckets
+                )
+                self._families[name] = family
+                return family
+        if family.kind != kind or family.labelnames != tuple(labelnames):
+            raise MetricError(
+                f"metric {name!r} already registered as {family.kind}"
+                f"{family.labelnames}, requested {kind}{tuple(labelnames)}"
+            )
+        return family
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> MetricFamily:
+        return self._register(name, "counter", help, labelnames)
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> MetricFamily:
+        return self._register(name, "gauge", help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> MetricFamily:
+        return self._register(name, "histogram", help, labelnames, buckets=buckets)
+
+    def families(self) -> List[MetricFamily]:
+        with self._lock:
+            return [self._families[n] for n in sorted(self._families)]
+
+    def get(self, name: str) -> Optional[MetricFamily]:
+        with self._lock:
+            return self._families.get(name)
+
+    # -- renderers ------------------------------------------------------------
+
+    @staticmethod
+    def _label_str(labelnames: Sequence[str], values: Sequence[str],
+                   extra: Sequence[Tuple[str, str]] = ()) -> str:
+        pairs = [
+            f'{n}="{_escape_label_value(v)}"' for n, v in zip(labelnames, values)
+        ]
+        pairs.extend(f'{n}="{_escape_label_value(v)}"' for n, v in extra)
+        return "{" + ",".join(pairs) + "}" if pairs else ""
+
+    def render_text(self) -> str:
+        """The Prometheus text exposition format (version 0.0.4)."""
+        lines: List[str] = []
+        for family in self.families():
+            if family.help:
+                lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            for values, child in family.children():
+                if family.kind == "histogram":
+                    for bound, cum in child.cumulative_counts():
+                        le = self._label_str(
+                            family.labelnames, values,
+                            extra=((("le", _format_value(bound)),)),
+                        )
+                        lines.append(f"{family.name}_bucket{le} {cum}")
+                    base = self._label_str(family.labelnames, values)
+                    lines.append(
+                        f"{family.name}_sum{base} {_format_value(child.sum)}"
+                    )
+                    lines.append(f"{family.name}_count{base} {child.count}")
+                else:
+                    base = self._label_str(family.labelnames, values)
+                    lines.append(
+                        f"{family.name}{base} {_format_value(child.value)}"
+                    )
+        return "\n".join(lines) + "\n"
+
+    def render_json(self) -> Dict[str, object]:
+        """``name -> {type, help, samples}`` with plain-JSON values."""
+        out: Dict[str, object] = {}
+        for family in self.families():
+            samples: List[Dict[str, object]] = []
+            for values, child in family.children():
+                labels = dict(zip(family.labelnames, values))
+                if family.kind == "histogram":
+                    samples.append(
+                        {
+                            "labels": labels,
+                            "count": child.count,
+                            "sum": child.sum,
+                            "buckets": [
+                                {"le": b if b != math.inf else "+Inf", "count": c}
+                                for b, c in child.cumulative_counts()
+                            ],
+                        }
+                    )
+                else:
+                    samples.append({"labels": labels, "value": child.value})
+            out[family.name] = {
+                "type": family.kind,
+                "help": family.help,
+                "samples": samples,
+            }
+        return out
+
+
+class NullMetric:
+    """Shared do-nothing stand-in for every metric kind (disabled obs)."""
+
+    __slots__ = ()
+
+    def labels(self, **labels: object) -> "NullMetric":
+        return self
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    @property
+    def value(self) -> float:
+        return 0.0
+
+
+NULL_METRIC = NullMetric()
+
+
+class NullRegistry:
+    """Registry twin whose families are all the shared :data:`NULL_METRIC`."""
+
+    __slots__ = ()
+
+    def counter(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> NullMetric:
+        return NULL_METRIC
+
+    def gauge(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> NullMetric:
+        return NULL_METRIC
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> NullMetric:
+        return NULL_METRIC
+
+    def families(self) -> List[MetricFamily]:
+        return []
+
+    def get(self, name: str) -> None:
+        return None
+
+    def render_text(self) -> str:
+        return ""
+
+    def render_json(self) -> Dict[str, object]:
+        return {}
+
+
+NULL_REGISTRY = NullRegistry()
+
+#: process-global default registry for callers outside a system instance
+DEFAULT_REGISTRY = MetricsRegistry()

@@ -1,0 +1,76 @@
+"""Human rendering of a :meth:`VideoRetrievalSystem.metrics` snapshot.
+
+The ``repro stats`` command feeds either a live system's snapshot or a
+saved JSON dump (``repro stats --json > dump.json`` round-trips) through
+:func:`format_stats`.  The layout is a fixed-width table, one subsystem
+summary block followed by every non-zero metric sample in the registry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional
+
+__all__ = ["format_stats"]
+
+#: subsystem summary sections, in display order
+_SECTIONS = ("store", "index", "ann", "cache")
+
+
+def _fmt_value(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def _fmt_labels(labels: Mapping[str, object]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in labels.items())
+    return "{" + inner + "}"
+
+
+def _registry_rows(registry: Mapping[str, dict]) -> List[tuple]:
+    """``(sample_name, value)`` rows for every non-empty sample."""
+    rows: List[tuple] = []
+    for name in sorted(registry):
+        family = registry[name]
+        for sample in family.get("samples", []):
+            labels = _fmt_labels(sample.get("labels", {}))
+            if family.get("type") == "histogram":
+                count = sample.get("count", 0)
+                if not count:
+                    continue
+                total = sample.get("sum", 0.0)
+                mean = total / count if count else 0.0
+                rows.append((f"{name}{labels}", f"n={count} mean={mean:.6g}s"))
+            else:
+                value = sample.get("value", 0)
+                if not value:
+                    continue
+                rows.append((f"{name}{labels}", _fmt_value(value)))
+    return rows
+
+
+def format_stats(snapshot: Mapping[str, object]) -> str:
+    """Render one metrics snapshot as a plain-text table."""
+    lines: List[str] = []
+    for section in _SECTIONS:
+        data: Optional[Dict[str, object]] = snapshot.get(section)  # type: ignore[assignment]
+        if data is None:
+            lines.append(f"{section:<8} (disabled)")
+            continue
+        pairs = " ".join(f"{k}={_fmt_value(v)}" for k, v in data.items())
+        lines.append(f"{section:<8} {pairs}")
+
+    registry = snapshot.get("registry") or {}
+    rows = _registry_rows(registry)
+    if rows:
+        width = max(len(name) for name, _ in rows)
+        lines.append("")
+        lines.append(f"{'metric':<{width}}  value")
+        for name, value in rows:
+            lines.append(f"{name:<{width}}  {value}")
+    else:
+        lines.append("")
+        lines.append("(no metric samples recorded)")
+    return "\n".join(lines)

@@ -1,0 +1,171 @@
+"""Hierarchical request tracing.
+
+A :class:`Tracer` hands out spans as context managers::
+
+    with tracer.span("search.query_frame", top_k=20) as sp:
+        with tracer.span("search.ann.probe"):
+            ...
+        sp.annotate(candidates=123)
+
+Nesting is tracked per thread (``contextvars``), so the threaded HTTP
+server traces each request independently.  When a *root* span closes it is
+pushed into a bounded ring buffer of recent traces for post-hoc
+inspection (``GET /traces/recent``, ``system.recent_traces()``).  A span
+that exits through an exception is marked ``status="error"`` with the
+exception's type and message, and the exception propagates unchanged.
+
+``NULL_TRACER`` is the disabled twin: ``span()`` returns one shared no-op
+context manager, keeping the off-path overhead to a single call.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+__all__ = ["Span", "Tracer", "NullSpan", "NullTracer", "NULL_SPAN", "NULL_TRACER"]
+
+#: the span currently open on this thread (tail of the active chain)
+_CURRENT: "contextvars.ContextVar[Optional[Span]]" = contextvars.ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+
+class Span:
+    """One timed operation; closes via the context-manager protocol."""
+
+    __slots__ = (
+        "name", "attrs", "children", "status", "error",
+        "start_time", "duration_ms", "_t0", "_tracer", "_parent", "_token",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, object]):
+        self.name = name
+        self.attrs = attrs
+        self.children: List[Span] = []
+        self.status = "ok"
+        self.error: Optional[str] = None
+        self.start_time = time.time()
+        self.duration_ms: Optional[float] = None
+        self._t0 = time.perf_counter()
+        self._tracer = tracer
+        self._parent: Optional[Span] = None
+        self._token: Optional[contextvars.Token] = None
+
+    def annotate(self, **attrs: object) -> "Span":
+        """Attach more attributes to an open span."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        self._parent = _CURRENT.get()
+        self._token = _CURRENT.set(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration_ms = round((time.perf_counter() - self._t0) * 1000.0, 4)
+        if exc is not None:
+            self.status = "error"
+            self.error = f"{type(exc).__name__}: {exc}"
+        if self._token is not None:
+            _CURRENT.reset(self._token)
+        if self._parent is not None:
+            self._parent.children.append(self)
+        else:
+            self._tracer._record(self)
+        return False  # never swallow
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "name": self.name,
+            "start_time": self.start_time,
+            "duration_ms": self.duration_ms,
+            "status": self.status,
+        }
+        if self.attrs:
+            out["attrs"] = {k: _plain(v) for k, v in self.attrs.items()}
+        if self.error is not None:
+            out["error"] = self.error
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Span({self.name!r}, {self.duration_ms}ms, {self.status})"
+
+
+def _plain(value: object) -> object:
+    """A JSON-safe rendition of one attribute value."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return repr(value)
+
+
+class Tracer:
+    """Span factory plus a ring buffer of the last ``capacity`` root traces."""
+
+    def __init__(self, capacity: int = 64):
+        if capacity < 1:
+            raise ValueError(f"trace capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._recent: Deque[Span] = deque(maxlen=self.capacity)
+        self._lock = threading.Lock()
+
+    def span(self, name: str, /, **attrs: object) -> Span:
+        return Span(self, name, attrs)
+
+    def _record(self, root: Span) -> None:
+        with self._lock:
+            self._recent.append(root)
+
+    def recent(self, limit: Optional[int] = None) -> List[Dict[str, object]]:
+        """Most-recent-first dicts of the buffered root traces."""
+        with self._lock:
+            spans = list(self._recent)
+        spans.reverse()
+        if limit is not None:
+            spans = spans[: max(0, int(limit))]
+        return [s.to_dict() for s in spans]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._recent.clear()
+
+
+class NullSpan:
+    """Shared no-op span for disabled observability."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def annotate(self, **attrs: object) -> "NullSpan":
+        return self
+
+
+NULL_SPAN = NullSpan()
+
+
+class NullTracer:
+    """Tracer twin whose spans are all the shared :data:`NULL_SPAN`."""
+
+    __slots__ = ()
+
+    def span(self, name: str, /, **attrs: object) -> NullSpan:
+        return NULL_SPAN
+
+    def recent(self, limit: Optional[int] = None) -> List[Dict[str, object]]:
+        return []
+
+    def clear(self) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()

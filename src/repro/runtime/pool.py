@@ -22,9 +22,12 @@ from __future__ import annotations
 
 import os
 import pickle
+import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, List, Optional, TypeVar
+
+from repro.obs import NULL_OBS, Obs
 
 __all__ = ["WorkerPool", "parallel_map", "resolve_workers"]
 
@@ -84,6 +87,31 @@ class WorkerPool:
         self.workers = workers
         self.chunk_size = chunk_size
         self._executor: Optional[ProcessPoolExecutor] = None
+        self.attach_obs(NULL_OBS)
+
+    def attach_obs(self, obs: Obs) -> None:
+        """Bind this pool's dispatch metrics to an observability facade."""
+        obs.gauge(
+            "repro_pool_workers", "Configured worker processes."
+        ).set(self.workers)
+        self._m_queue_depth = obs.gauge(
+            "repro_pool_queue_depth", "Items queued in the in-flight map call."
+        )
+        self._m_map_items = obs.histogram(
+            "repro_pool_map_items",
+            "Batch size per map call.",
+            buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 1024.0),
+        )
+        self._m_map_seconds = obs.histogram(
+            "repro_pool_map_seconds",
+            "Wall time per map call (chunked dispatch incl. result gather).",
+            labelnames=("mode",),
+        )
+        self._m_fallbacks = obs.counter(
+            "repro_pool_fallbacks_total",
+            "Parallel map calls that degraded to the serial loop.",
+            labelnames=("reason",),
+        )
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -113,21 +141,44 @@ class WorkerPool:
         be shipped to workers; task exceptions propagate unchanged.
         """
         materialized = list(items)
+        self._m_map_items.observe(len(materialized))
+        t0 = time.perf_counter()
         if self.workers == 1 or len(materialized) <= 1:
-            return [fn(x) for x in materialized]
+            out = [fn(x) for x in materialized]
+            self._m_map_seconds.labels(mode="serial").observe(
+                time.perf_counter() - t0
+            )
+            return out
         if not (_is_picklable(fn) and _is_picklable(materialized[0])):
-            return [fn(x) for x in materialized]
+            self._m_fallbacks.labels(reason="unpicklable").inc()
+            out = [fn(x) for x in materialized]
+            self._m_map_seconds.labels(mode="serial").observe(
+                time.perf_counter() - t0
+            )
+            return out
         chunk = self.chunk_size or max(
             1, -(-len(materialized) // (self.workers * 4))
         )
+        self._m_queue_depth.set(len(materialized))
         try:
             executor = self._ensure_executor()
-            return list(executor.map(fn, materialized, chunksize=chunk))
+            out = list(executor.map(fn, materialized, chunksize=chunk))
+            self._m_map_seconds.labels(mode="parallel").observe(
+                time.perf_counter() - t0
+            )
+            return out
         except (BrokenProcessPool, pickle.PicklingError, OSError):
             # infrastructure died (or a result refused to pickle); the
             # work itself is still valid, so redo it in-process
             self.close()
-            return [fn(x) for x in materialized]
+            self._m_fallbacks.labels(reason="broken_pool").inc()
+            out = [fn(x) for x in materialized]
+            self._m_map_seconds.labels(mode="serial").observe(
+                time.perf_counter() - t0
+            )
+            return out
+        finally:
+            self._m_queue_depth.set(0)
 
 
 def parallel_map(

@@ -10,14 +10,40 @@ from __future__ import annotations
 
 import json
 import re
+import time
 from typing import Dict, Optional, Tuple
 
 from repro.core.system import AuthenticationError, VideoRetrievalSystem
 from repro.db.errors import DatabaseError
 from repro.imaging.image import ImageFormatError, decode_image
+from repro.obs import log
 from repro.video.codec import RvfError, RvfReader
 
 __all__ = ["CbvrApi", "ApiError"]
+
+#: Prometheus text exposition content type
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: exact paths + parameterized patterns for metric label normalization
+#: (labels must have bounded cardinality: ids are collapsed to {id})
+_EXACT_ROUTES = frozenset(
+    {"/", "/videos", "/ui", "/search", "/admin/videos", "/metrics", "/traces/recent"}
+)
+_PATTERN_ROUTES = (
+    ("/videos/{id}", re.compile(r"/videos/\d+")),
+    ("/frames/{id}", re.compile(r"/frames/\d+")),
+    ("/admin/videos/{id}", re.compile(r"/admin/videos/\d+")),
+)
+
+
+def _normalize_route(path: str) -> str:
+    """Collapse a request path to its route template for metric labels."""
+    if path in _EXACT_ROUTES:
+        return path
+    for label, pattern in _PATTERN_ROUTES:
+        if pattern.fullmatch(path):
+            return label
+    return "unmatched"
 
 
 class ApiError(Exception):
@@ -41,6 +67,17 @@ class CbvrApi:
 
     def __init__(self, system: VideoRetrievalSystem):
         self.system = system
+        self._log = log.get_logger(__name__)
+        self._m_requests = system.obs.counter(
+            "repro_web_requests_total",
+            "HTTP requests by route template, method, and status.",
+            labelnames=("route", "method", "status"),
+        )
+        self._m_request_seconds = system.obs.histogram(
+            "repro_web_request_seconds",
+            "Request handling wall time by route template.",
+            labelnames=("route",),
+        )
 
     # -- entry point -----------------------------------------------------------
 
@@ -54,14 +91,31 @@ class CbvrApi:
     ) -> Response:
         headers = {k.lower(): v for k, v in (headers or {}).items()}
         query = query or {}
+        method = method.upper()
+        path = path.rstrip("/") or "/"
+        t0 = time.perf_counter()
         try:
-            return self._route(method.upper(), path.rstrip("/") or "/", body, headers, query)
+            response = self._route(method, path, body, headers, query)
         except ApiError as exc:
-            return _json_response(exc.status, {"error": exc.message})
+            response = _json_response(exc.status, {"error": exc.message})
         except AuthenticationError as exc:
-            return _json_response(401, {"error": str(exc)})
+            response = _json_response(401, {"error": str(exc)})
         except (DatabaseError, RvfError, ImageFormatError, ValueError, KeyError) as exc:
-            return _json_response(400, {"error": str(exc)})
+            response = _json_response(400, {"error": str(exc)})
+        elapsed = time.perf_counter() - t0
+        route = _normalize_route(path)
+        self._m_requests.labels(
+            route=route, method=method, status=str(response[0])
+        ).inc()
+        self._m_request_seconds.labels(route=route).observe(elapsed)
+        self._log.debug(
+            "web.request",
+            method=method,
+            route=route,
+            status=response[0],
+            ms=round(elapsed * 1000.0, 2),
+        )
+        return response
 
     def _route(self, method, path, body, headers, query) -> Response:
         if method == "GET" and path == "/":
@@ -83,6 +137,10 @@ class CbvrApi:
             return self._get_frame(int(m.group(1)), query.get("format", "ppm"))
         if method == "GET" and path == "/ui":
             return self._browse_page()
+        if method == "GET" and path == "/metrics":
+            return self._metrics(query.get("format", "prometheus"))
+        if method == "GET" and path == "/traces/recent":
+            return self._recent_traces(query.get("limit"))
         if method == "POST" and path == "/search":
             return self._search(body, query)
         if method == "POST" and path == "/admin/videos":
@@ -162,6 +220,25 @@ class CbvrApi:
             )
         parts.append("</body></html>")
         return 200, "text/html; charset=utf-8", "".join(parts).encode("utf-8")
+
+    def _metrics(self, fmt: str) -> Response:
+        """The system's metrics registry: Prometheus text or JSON."""
+        registry = self.system.obs.registry
+        fmt = fmt.lower()
+        if fmt == "json":
+            return _json_response(200, registry.render_json())
+        if fmt == "prometheus":
+            return 200, PROMETHEUS_CONTENT_TYPE, registry.render_text().encode("utf-8")
+        raise ApiError(400, f"unsupported metrics format {fmt!r}")
+
+    def _recent_traces(self, limit: Optional[str]) -> Response:
+        """The most recent root traces, newest first."""
+        n = None
+        if limit is not None:
+            n = int(limit)
+            if n < 1:
+                raise ApiError(400, "limit must be >= 1")
+        return _json_response(200, {"traces": self.system.recent_traces(n)})
 
     def _search(self, body: bytes, query: Dict[str, str]) -> Response:
         if not body:

@@ -16,17 +16,22 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Tuple
 
 from repro.core.system import VideoRetrievalSystem
+from repro.obs import log
 from repro.web.api import CbvrApi
 
 __all__ = ["CbvrHttpServer", "make_server"]
+
+_log = log.get_logger(__name__)
 
 
 class _Handler(BaseHTTPRequestHandler):
     api: CbvrApi = None  # injected by make_server
 
-    # quiet the default stderr chatter
+    # http.server's default stderr chatter goes through structured logging
+    # instead (quiet unless REPRO_LOG_LEVEL/obs_log_level says DEBUG); the
+    # per-request metric is recorded by CbvrApi.handle
     def log_message(self, fmt, *args):  # pragma: no cover - logging
-        pass
+        _log.debug("http.request", client=self.address_string(), line=fmt % args)
 
     def _dispatch(self, method: str) -> None:
         parsed = urllib.parse.urlsplit(self.path)
@@ -79,8 +84,13 @@ def _demo(port: int = 8765) -> None:  # pragma: no cover - manual entry point
     for video in make_corpus(videos_per_category=2, seed=7, n_shots=2, frames_per_shot=6):
         admin.add_video(video)
     server, bound = make_server(system, port=port)
-    print(f"CBVR demo server on http://127.0.0.1:{bound} "
-          f"({system.n_videos()} videos, {system.n_key_frames()} key frames)")
+    log.set_level("INFO")
+    _log.info(
+        "server.start",
+        url=f"http://127.0.0.1:{bound}",
+        videos=system.n_videos(),
+        key_frames=system.n_key_frames(),
+    )
     server.serve_forever()
 
 

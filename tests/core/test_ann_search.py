@@ -64,7 +64,7 @@ class TestRecallAndExactness:
         results = narrow.query_frame(query, top_k=5, use_index=False)
         assert results.n_candidates < results.n_total
         stats = narrow.ann_stats()
-        assert stats is not None and stats["n_probes"] > 0
+        assert stats is not None and stats["probes"] > 0
 
     def test_missing_feature_falls_back_to_full_scan(self, ingested_system, brute, ann):
         # the IVF index spans every configured feature; a single-feature
@@ -99,7 +99,7 @@ class TestSystemLevelANN:
         fid = system._store.frame_ids()[0]
         results = system.search(system.get_key_frame(fid), top_k=1, use_index=False)
         assert results[0].frame_id == fid
-        n_before = system.ann_stats()["n_builds"]
+        n_before = system.ann_stats()["builds"]
         assert n_before >= 1
 
         # the index follows ingest: new frames are findable immediately

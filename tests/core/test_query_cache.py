@@ -44,6 +44,7 @@ class TestQueryCacheUnit:
             "hits": 1,
             "misses": 1,
             "invalidations": 0,
+            "evictions": 0,
         }
 
     def test_lru_evicts_least_recent(self):

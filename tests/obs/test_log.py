@@ -1,0 +1,83 @@
+"""Structured logging tests: kv formatting, logger tree, level gating."""
+
+import logging
+
+import pytest
+
+from repro.obs import log
+
+
+@pytest.fixture()
+def capture():
+    """A list-backed handler on the ``repro`` logger, cleaned up after."""
+    records = []
+
+    class _Capture(logging.Handler):
+        def emit(self, record):
+            records.append(record)
+
+    handler = _Capture()
+    root = logging.getLogger("repro")
+    old_level = root.level
+    root.addHandler(handler)
+    yield records
+    root.removeHandler(handler)
+    root.setLevel(old_level)
+
+
+class TestKvFormat:
+    def test_plain_fields(self):
+        line = log.kv_format("ingest.video", {"video_id": 3, "frames": 120})
+        assert line == "ingest.video video_id=3 frames=120"
+
+    def test_floats_are_compact(self):
+        assert log.kv_format("e", {"ms": 12.345678901}) == "e ms=12.3457"
+
+    def test_strings_with_spaces_are_quoted(self):
+        line = log.kv_format("e", {"name": "two words", "tag": "plain"})
+        assert line == "e name='two words' tag=plain"
+
+    def test_empty_string_is_quoted(self):
+        assert log.kv_format("e", {"name": ""}) == "e name=''"
+
+    def test_none_and_bool(self):
+        assert log.kv_format("e", {"a": None, "b": True}) == "e a=None b=True"
+
+
+class TestLoggerTree:
+    def test_loggers_are_cached_and_rooted(self):
+        a = log.get_logger("repro.core.ingest")
+        b = log.get_logger("repro.core.ingest")
+        assert a is b
+        assert a.stdlib.name == "repro.core.ingest"
+        outside = log.get_logger("someplace.else")
+        assert outside.stdlib.name == "repro.someplace.else"
+        assert log.get_logger().stdlib.name == "repro"
+
+    def test_set_level_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            log.set_level("LOUD")
+
+
+class TestEmission:
+    def test_info_respects_level(self, capture):
+        logger = log.get_logger("repro.test.emission")
+        log.set_level("WARNING")
+        logger.info("quiet.event", x=1)
+        assert capture == []
+        log.set_level("INFO")
+        logger.info("loud.event", x=1, name="two words")
+        assert len(capture) == 1
+        assert capture[0].getMessage() == "loud.event x=1 name='two words'"
+        assert capture[0].levelno == logging.INFO
+
+    def test_exception_attaches_traceback(self, capture):
+        logger = log.get_logger("repro.test.exc")
+        log.set_level("ERROR")
+        try:
+            raise ValueError("boom")
+        except ValueError:
+            logger.exception("failed.event", stage="demo")
+        assert len(capture) == 1
+        assert capture[0].exc_info is not None
+        assert "failed.event stage=demo" in capture[0].getMessage()

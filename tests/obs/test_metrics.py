@@ -1,0 +1,200 @@
+"""Metrics registry unit tests: primitives, families, renderers, threads."""
+
+import math
+import threading
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    NULL_METRIC,
+    NULL_REGISTRY,
+    MetricError,
+    MetricsRegistry,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram
+
+
+class TestPrimitives:
+    def test_counter_monotonic(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        with pytest.raises(MetricError):
+            c.inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        g = Gauge()
+        g.set(10)
+        g.inc(5)
+        g.dec(3)
+        assert g.value == 12.0
+
+    def test_histogram_bucket_edges_are_inclusive(self):
+        # Prometheus semantics: le is <=, so a value exactly on a bound
+        # lands in that bound's bucket, not the next one
+        h = Histogram(buckets=(1.0, 2.0, 5.0))
+        for v in (0.5, 1.0, 1.0000001, 2.0, 5.0, 6.0):
+            h.observe(v)
+        cum = dict(h.cumulative_counts())
+        assert cum[1.0] == 2  # 0.5 and exactly-1.0
+        assert cum[2.0] == 4  # + 1.0000001 and exactly-2.0
+        assert cum[5.0] == 5  # + exactly-5.0
+        assert cum[math.inf] == 6  # everything
+        assert h.count == 6
+        assert h.sum == pytest.approx(0.5 + 1.0 + 1.0000001 + 2.0 + 5.0 + 6.0)
+
+    def test_histogram_rejects_bad_buckets(self):
+        with pytest.raises(MetricError):
+            Histogram(buckets=())
+        with pytest.raises(MetricError):
+            Histogram(buckets=(1.0, 1.0))
+        with pytest.raises(MetricError):
+            Histogram(buckets=(2.0, 1.0))
+
+    def test_default_buckets_strictly_increase(self):
+        assert list(DEFAULT_BUCKETS) == sorted(set(DEFAULT_BUCKETS))
+
+
+class TestFamiliesAndRegistry:
+    def test_get_or_create_returns_same_family(self):
+        r = MetricsRegistry()
+        a = r.counter("x_total", "X.")
+        b = r.counter("x_total")
+        assert a is b
+
+    def test_kind_mismatch_rejected(self):
+        r = MetricsRegistry()
+        r.counter("x_total")
+        with pytest.raises(MetricError):
+            r.gauge("x_total")
+
+    def test_labelname_mismatch_rejected(self):
+        r = MetricsRegistry()
+        r.counter("x_total", labelnames=("kind",))
+        with pytest.raises(MetricError):
+            r.counter("x_total", labelnames=("other",))
+
+    def test_invalid_names_rejected(self):
+        r = MetricsRegistry()
+        with pytest.raises(MetricError):
+            r.counter("bad-name")
+        with pytest.raises(MetricError):
+            r.counter("ok_total", labelnames=("bad-label",))
+
+    def test_labeled_family_needs_labels(self):
+        r = MetricsRegistry()
+        fam = r.counter("x_total", labelnames=("kind",))
+        with pytest.raises(MetricError):
+            fam.inc()
+        with pytest.raises(MetricError):
+            fam.labels(wrong="frame")
+        fam.labels(kind="frame").inc()
+        fam.labels(kind="frame").inc()
+        fam.labels(kind="video").inc()
+        assert fam.labels(kind="frame").value == 2.0
+
+    def test_label_less_family_proxies_to_single_child(self):
+        r = MetricsRegistry()
+        fam = r.histogram("h_seconds", buckets=(1.0,))
+        fam.observe(0.5)
+        assert fam.labels().count == 1
+        assert fam.labels().sum == 0.5
+
+
+class TestRenderers:
+    def _loaded(self):
+        r = MetricsRegistry()
+        r.counter("q_total", "Queries.", labelnames=("kind",)).labels(
+            kind="frame"
+        ).inc(3)
+        r.gauge("depth", "Depth.").set(7)
+        h = r.histogram("lat_seconds", "Latency.", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.5)
+        h.observe(2.0)
+        return r
+
+    def test_prometheus_text(self):
+        text = self._loaded().render_text()
+        assert "# HELP q_total Queries.\n# TYPE q_total counter" in text
+        assert 'q_total{kind="frame"} 3' in text
+        assert "depth 7" in text
+        assert 'lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'lat_seconds_bucket{le="1"} 2' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 3' in text
+        assert "lat_seconds_sum 2.55" in text
+        assert "lat_seconds_count 3" in text
+        assert text.endswith("\n")
+
+    def test_zero_sample_families_still_render(self):
+        r = MetricsRegistry()
+        r.counter("never_total", "Never incremented.", labelnames=("kind",))
+        text = r.render_text()
+        assert "# TYPE never_total counter" in text
+
+    def test_label_value_escaping(self):
+        r = MetricsRegistry()
+        r.counter("e_total", labelnames=("p",)).labels(p='a"b\\c\nd').inc()
+        line = [l for l in r.render_text().splitlines() if l.startswith("e_total{")][0]
+        assert line == 'e_total{p="a\\"b\\\\c\\nd"} 1'
+
+    def test_json_rendering(self):
+        data = self._loaded().render_json()
+        assert data["q_total"]["type"] == "counter"
+        assert data["q_total"]["samples"] == [
+            {"labels": {"kind": "frame"}, "value": 3.0}
+        ]
+        hist = data["lat_seconds"]["samples"][0]
+        assert hist["count"] == 3
+        assert hist["buckets"][-1] == {"le": "+Inf", "count": 3}
+
+
+class TestThreadSafety:
+    def test_concurrent_counter_and_histogram(self):
+        r = MetricsRegistry()
+        fam = r.counter("c_total", labelnames=("worker",))
+        hist = r.histogram("h_seconds", buckets=(0.5,))
+
+        def work(i):
+            child = fam.labels(worker=str(i % 4))
+            for _ in range(1000):
+                child.inc()
+                hist.observe(0.25)
+
+        threads = [threading.Thread(target=work, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        total = sum(child.value for _v, child in fam.children())
+        assert total == 8000.0
+        assert hist.labels().count == 8000
+
+    def test_concurrent_registration_yields_one_family(self):
+        r = MetricsRegistry()
+        seen = []
+
+        def register():
+            seen.append(r.counter("same_total", "Same."))
+
+        threads = [threading.Thread(target=register) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(f is seen[0] for f in seen)
+
+
+class TestNullTwins:
+    def test_null_registry_hands_out_shared_null_metric(self):
+        assert NULL_REGISTRY.counter("a_total") is NULL_METRIC
+        assert NULL_REGISTRY.gauge("b") is NULL_METRIC
+        assert NULL_REGISTRY.histogram("c_seconds") is NULL_METRIC
+        assert NULL_METRIC.labels(kind="x") is NULL_METRIC
+        NULL_METRIC.inc()
+        NULL_METRIC.set(3)
+        NULL_METRIC.observe(0.1)
+        assert NULL_REGISTRY.render_text() == ""
+        assert NULL_REGISTRY.render_json() == {}

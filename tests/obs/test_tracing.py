@@ -1,0 +1,100 @@
+"""Tracer unit tests: nesting, exceptions, the ring buffer, null twins."""
+
+import pytest
+
+from repro.obs import NULL_SPAN, NULL_TRACER, Tracer
+
+
+class TestNesting:
+    def test_children_attach_to_parent(self):
+        tracer = Tracer(capacity=4)
+        with tracer.span("root", request=1) as root:
+            with tracer.span("child.a"):
+                with tracer.span("grandchild"):
+                    pass
+            with tracer.span("child.b"):
+                pass
+            root.annotate(hits=3)
+        (trace,) = tracer.recent()
+        assert trace["name"] == "root"
+        assert trace["attrs"] == {"request": 1, "hits": 3}
+        assert [c["name"] for c in trace["children"]] == ["child.a", "child.b"]
+        assert trace["children"][0]["children"][0]["name"] == "grandchild"
+        assert trace["status"] == "ok"
+        assert trace["duration_ms"] >= 0
+
+    def test_only_roots_enter_the_buffer(self):
+        tracer = Tracer(capacity=4)
+        with tracer.span("root"):
+            with tracer.span("inner"):
+                pass
+        assert [t["name"] for t in tracer.recent()] == ["root"]
+
+    def test_sibling_roots_are_separate_traces(self):
+        tracer = Tracer(capacity=4)
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [t["name"] for t in tracer.recent()] == ["second", "first"]
+
+
+class TestExceptions:
+    def test_error_status_and_propagation(self):
+        tracer = Tracer(capacity=4)
+        with pytest.raises(ValueError, match="boom"):
+            with tracer.span("root"):
+                with tracer.span("inner"):
+                    raise ValueError("boom")
+        (trace,) = tracer.recent()
+        assert trace["status"] == "error"
+        assert trace["error"] == "ValueError: boom"
+        inner = trace["children"][0]
+        assert inner["status"] == "error"
+        assert inner["duration_ms"] is not None
+
+    def test_nesting_recovers_after_exception(self):
+        tracer = Tracer(capacity=4)
+        with pytest.raises(RuntimeError):
+            with tracer.span("broken"):
+                raise RuntimeError("x")
+        with tracer.span("after"):
+            pass
+        names = [t["name"] for t in tracer.recent()]
+        assert names == ["after", "broken"]
+
+
+class TestRingBuffer:
+    def test_capacity_drops_oldest(self):
+        tracer = Tracer(capacity=3)
+        for i in range(5):
+            with tracer.span(f"t{i}"):
+                pass
+        assert [t["name"] for t in tracer.recent()] == ["t4", "t3", "t2"]
+
+    def test_limit_and_clear(self):
+        tracer = Tracer(capacity=8)
+        for i in range(4):
+            with tracer.span(f"t{i}"):
+                pass
+        assert len(tracer.recent(2)) == 2
+        tracer.clear()
+        assert tracer.recent() == []
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+
+class TestNullTwins:
+    def test_null_spans_are_one_shared_object(self):
+        assert NULL_TRACER.span("a") is NULL_SPAN
+        assert NULL_TRACER.span("b", attr=1) is NULL_SPAN
+        with NULL_TRACER.span("c") as sp:
+            assert sp.annotate(x=1) is NULL_SPAN
+        assert NULL_TRACER.recent() == []
+
+    def test_null_span_never_swallows(self):
+        with pytest.raises(KeyError):
+            with NULL_TRACER.span("x"):
+                raise KeyError("k")

@@ -136,3 +136,46 @@ class TestDeleteAndExport:
         assert rc == 0
         img = read_image(out)
         assert img.width > 0
+
+
+class TestStats:
+    def test_live_library_table(self, library, capsys):
+        rc = main(["stats", library])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "store    videos=5" in out
+        assert "ann      (disabled)" in out
+        assert "repro_ingest_videos_total" not in out  # fresh open: no ingest
+
+    def test_search_image_populates_query_metrics(self, library, tmp_path,
+                                                  capsys):
+        frame = str(tmp_path / "q.ppm")
+        main(["export-frame", library, "1", frame])
+        capsys.readouterr()
+        rc = main(["stats", library, "--search-image", frame])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "repro_search_queries_total" in out
+
+    def test_json_dump_roundtrip(self, library, tmp_path, capsys):
+        import json
+
+        rc = main(["stats", library, "--json"])
+        assert rc == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["store"]["videos"] == 5
+
+        dump = tmp_path / "metrics.json"
+        dump.write_text(json.dumps(snapshot), encoding="utf-8")
+        rc = main(["stats", "--dump", str(dump)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        # --json sorts keys, so field order differs from the live table
+        assert "videos=5" in out and out.startswith("store")
+
+    def test_requires_exactly_one_source(self, capsys, tmp_path):
+        assert main(["stats"]) == 2
+        assert "not both" in capsys.readouterr().err
+        dump = tmp_path / "d.json"
+        dump.write_text("{}", encoding="utf-8")
+        assert main(["stats", "lib.rdb", "--dump", str(dump)]) == 2
