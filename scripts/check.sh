@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# One-shot quality gate: reprolint + ruff + mypy + tier-1 pytest.
+# One-shot quality gate: reprolint + ruff + mypy + tier-1 pytest (with a
+# coverage floor when pytest-cov is installed).
 #
 # Usage: scripts/check.sh [--fast]
 #   --fast  skip the pytest suite (lint/type checks only)
@@ -64,11 +65,26 @@ else
 fi
 
 if [ "$fast" -eq 0 ]; then
+    # coverage rides on the tier-1 run when pytest-cov is installed (it is
+    # in the CI dev extra; the offline container may not have it) -- the
+    # suite is not run twice.  COV_FLOOR is the --cov-fail-under floor.
+    cov_args=""
+    if python -c "import pytest_cov" >/dev/null 2>&1; then
+        cov_floor="${COV_FLOOR:-70}"
+        cov_args="--cov=repro --cov-report=term --cov-report=html --cov-fail-under=$cov_floor"
+        echo "coverage: enabled (floor ${cov_floor}%)"
+    else
+        echo "coverage: pytest-cov not installed, floor skipped"
+    fi
+
     step "pytest (tier-1)"
-    if python -m pytest -x -q; then
+    # shellcheck disable=SC2086
+    if python -m pytest -x -q $cov_args; then
         record pytest ok
+        if [ -n "$cov_args" ]; then record coverage ok; else record coverage skip; fi
     else
         record pytest FAIL
+        if [ -n "$cov_args" ]; then record coverage FAIL; else record coverage skip; fi
     fi
 
     step "pytest (observability group)"
@@ -86,6 +102,7 @@ if [ "$fast" -eq 0 ]; then
     fi
 else
     record pytest skip
+    record coverage skip
     record obs_tests skip
     record obs_overhead skip
 fi

@@ -84,6 +84,8 @@ class LintConfig:
     sql_builders: frozenset = frozenset({"build_select", "build_insert", "build_delete"})
     #: modules whose stdout is their user contract (R12 allows print here)
     cli_modules: Tuple[str, ...] = ("repro.cli", "repro.analysis.runner")
+    #: the policy layer allowed to block in time.sleep (R13 scope)
+    sleep_allowlist: Tuple[str, ...] = ("repro.resilience",)
 
     def wants(self, rule_id: str) -> bool:
         if rule_id in self.ignore:

@@ -18,6 +18,7 @@ R9    db-error-hierarchy          db layer raises DatabaseError subclasses
 R10   extractor-module-imported   features/__init__ imports every extractor
 R11   seeded-randomness           numpy randomness uses explicitly seeded RNGs
 R12   no-print                    library code logs via repro.obs.log, not print
+R13   no-bare-sleep               blocking sleeps live in repro.resilience only
 ====  ==========================  ==============================================
 """
 
@@ -33,6 +34,7 @@ from repro.analysis.rules.hygiene import ExceptionHygieneRule, MutableDefaultRul
 from repro.analysis.rules.printing import NoPrintRule
 from repro.analysis.rules.purity import PurityRule
 from repro.analysis.rules.randomness import SeededRandomnessRule
+from repro.analysis.rules.sleeping import NoSleepRule
 from repro.analysis.rules.sql import SqlConstructionRule
 
 __all__ = [
@@ -48,4 +50,5 @@ __all__ = [
     "DbErrorHierarchyRule",
     "SeededRandomnessRule",
     "NoPrintRule",
+    "NoSleepRule",
 ]

@@ -1,0 +1,59 @@
+"""Rule R13: no bare ``time.sleep`` outside the resilience layer.
+
+An ad-hoc sleep is backpressure the policy layer cannot see: it isn't
+bounded by the retry budget, doesn't show up in the retry metrics, and
+can't be replaced by a fake clock in tests.  Blocking waits belong in
+``repro.resilience`` (``Retry.call`` is the one sanctioned sleeper);
+everything else either goes through a policy or doesn't wait at all.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Set
+
+from repro.analysis.engine import Finding, LintConfig, ModuleInfo, Rule, register_rule
+
+__all__ = ["NoSleepRule"]
+
+
+@register_rule
+class NoSleepRule(Rule):
+    """R13: blocking sleeps live in repro.resilience, nowhere else."""
+
+    rule_id = "R13"
+    title = "no-bare-sleep"
+    fix_hint = (
+        "route the wait through repro.resilience (Retry's backoff or a "
+        "breaker cooldown) instead of sleeping inline"
+    )
+
+    def applies_to(self, module: ModuleInfo, config: LintConfig) -> bool:
+        return not any(module.in_package(m) for m in config.sleep_allowlist)
+
+    def check(self, module: ModuleInfo, config: LintConfig) -> Iterable[Finding]:
+        # names the module has bound directly to time.sleep
+        # (``from time import sleep [as snooze]``)
+        direct: Set[str] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name == "sleep":
+                        direct.add(alias.asname or alias.name)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            is_sleep = (
+                isinstance(func, ast.Attribute)
+                and func.attr == "sleep"
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "time"
+            ) or (isinstance(func, ast.Name) and func.id in direct)
+            if is_sleep:
+                yield self.finding(
+                    module,
+                    node,
+                    "bare time.sleep hides backpressure from the resilience "
+                    "policies and their metrics",
+                )

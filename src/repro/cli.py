@@ -198,6 +198,10 @@ def _cmd_search(args: argparse.Namespace) -> int:
     )
     print(f"{len(results)} hits "
           f"(pruned {results.pruning_fraction:.0%} of {results.n_total} frames)")
+    if results.degraded:
+        skipped = ", ".join(results.degraded_features) or "reduced pipeline"
+        print(f"DEGRADED: skipped {skipped}; ranking uses the surviving "
+              f"features with renormalized fusion weights")
     for row in results.to_rows():
         print(f"  #{row['rank']:2d}  {row['video']:<24} "
               f"[{row['category']}]  frame {row['frame_id']}  d={row['distance']}")
@@ -310,12 +314,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     except (OSError, KeyError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
-    except Exception as exc:  # database / format errors carry messages
+    except Exception as exc:  # database / format / resilience errors carry messages
         from repro.db.errors import DatabaseError
         from repro.imaging.image import ImageFormatError
+        from repro.resilience import ResilienceError
         from repro.video.codec import RvfError
 
-        if isinstance(exc, (DatabaseError, RvfError, ImageFormatError)):
+        if isinstance(exc, (DatabaseError, RvfError, ImageFormatError, ResilienceError)):
             print(f"error: {exc}", file=sys.stderr)
             return 1
         raise

@@ -64,6 +64,29 @@ class SystemConfig:
     obs_trace_buffer: int = 64
     #: level for the ``repro`` logger tree (None = REPRO_LOG_LEVEL env / WARNING)
     obs_log_level: Optional[str] = None
+    # resilience (repro.resilience): retry/backoff, breakers, deadlines, faults
+    #: master gate; False swaps every policy hook for shared no-ops
+    resilience: bool = True
+    #: armed fault points, e.g. "extractor.gabor:every=1;db.execute:once"
+    #: (None = the REPRO_FAULTS environment variable)
+    fault_spec: Optional[str] = None
+    #: max attempts for retried calls (db statements, video decode)
+    retry_attempts: int = 3
+    #: first backoff delay in seconds (doubles per attempt, seeded jitter)
+    retry_base_delay: float = 0.01
+    #: total elapsed-time budget across one call's retries (None = unbounded)
+    retry_max_elapsed: Optional[float] = None
+    #: seed of the deterministic backoff jitter
+    retry_seed: int = 2012
+    #: sliding outcome window of the ANN / worker-pool circuit breakers
+    breaker_window: int = 16
+    #: failure fraction over the window that trips a breaker open
+    breaker_failure_threshold: float = 0.5
+    #: seconds an open breaker waits before its half-open probe
+    breaker_cooldown: float = 0.1
+    #: per-request wall-time budget checked at stage boundaries
+    #: (None = unbounded; the web layer maps overruns to HTTP 504)
+    request_deadline: Optional[float] = None
     # admin authentication (None = open access)
     admin_password: Optional[str] = None
 
@@ -100,6 +123,24 @@ class SystemConfig:
                 raise ValueError(
                     f"obs_log_level must be one of {allowed}, got {self.obs_log_level!r}"
                 )
+        if self.retry_attempts < 1:
+            raise ValueError("retry_attempts must be >= 1")
+        if self.retry_base_delay < 0:
+            raise ValueError("retry_base_delay must be non-negative")
+        if self.retry_max_elapsed is not None and self.retry_max_elapsed <= 0:
+            raise ValueError("retry_max_elapsed must be positive")
+        if self.breaker_window < 1:
+            raise ValueError("breaker_window must be >= 1")
+        if not 0.0 < self.breaker_failure_threshold <= 1.0:
+            raise ValueError("breaker_failure_threshold must lie in (0, 1]")
+        if self.breaker_cooldown < 0:
+            raise ValueError("breaker_cooldown must be non-negative")
+        if self.request_deadline is not None and self.request_deadline <= 0:
+            raise ValueError("request_deadline must be positive")
+        if self.fault_spec is not None:
+            from repro.resilience.faults import parse_fault_spec
+
+            parse_fault_spec(self.fault_spec)  # fail fast on malformed specs
 
     def weight_of(self, feature: str) -> float:
         return float(self.fusion_weights.get(feature, 1.0))

@@ -36,6 +36,7 @@ from repro.imaging.image import Image
 from repro.indexing.rangefinder import Bucket, RangeFinder
 from repro.indexing.tree import RangeIndex
 from repro.obs import NULL_OBS, Obs, log
+from repro.resilience import NULL_POLICIES, ResiliencePolicies
 from repro.runtime import WorkerPool, resolve_workers
 from repro.video.codec import encode_rvf_bytes
 from repro.video.generator import SyntheticVideo
@@ -122,6 +123,7 @@ class Ingestor:
         index: RangeIndex,
         pool: Optional[WorkerPool] = None,
         obs: Obs = NULL_OBS,
+        policies: ResiliencePolicies = NULL_POLICIES,
     ):
         self.db = db
         self.config = config
@@ -139,6 +141,7 @@ class Ingestor:
         self._regions = self.extractors.get("regions") or get_extractor("regions")
         self._pool = pool or WorkerPool(workers=resolve_workers(config.workers))
         self._obs = obs
+        self._policies = policies
         self._log = log.get_logger(__name__)
         self._m_videos = obs.counter(
             "repro_ingest_videos_total", "Videos ingested."
@@ -221,13 +224,15 @@ class Ingestor:
             raise ValueError("cannot ingest an empty video")
 
         t_video = time.perf_counter()
-        with self._obs.span(
+        with self._policies.request_scope(), self._obs.span(
             "ingest.add_video", name=name, frames=len(frames)
         ) as root:
             video_id = self._next_id("VIDEO_STORE", "V_ID")
             next_frame_id = self._next_id("KEY_FRAMES", "I_ID")
+            self._policies.check_stage("ingest.encode")
             with self._stage("encode"):
                 video_blob = encode_rvf_bytes(frames)
+            self._policies.check_stage("ingest.keyframes")
             with self._stage("keyframes"):
                 key_frames = self.keyframe_extractor.extract(frames)
             stored_on = stored_on or datetime.date(2012, 10, 1)
@@ -241,6 +246,7 @@ class Ingestor:
                 finder=self.index.finder,
                 fallback_regions=self._regions,
             )
+            self._policies.check_stage("ingest.features")
             with self._stage("features"):
                 payloads = self._pool.map(
                     compute, [frame for _index, frame in key_frames]
@@ -250,6 +256,7 @@ class Ingestor:
                     self._m_extract_seconds.labels(feature=feature).observe(seconds)
 
             new_records: List[FrameRecord] = []
+            self._policies.check_stage("ingest.db_txn")
             with self._stage("db_txn"):
                 with self.db.transaction():
                     self.db.execute(

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Sequence
 
 __all__ = ["RetrievalResult", "SearchResults"]
 
@@ -26,14 +26,31 @@ class RetrievalResult:
 
 
 class SearchResults:
-    """An ordered result list with convenience accessors."""
+    """An ordered result list with convenience accessors.
 
-    def __init__(self, hits: List[RetrievalResult], n_candidates: int, n_total: int):
+    ``degraded`` is True when the query completed by gracefully dropping
+    part of the pipeline (e.g. a faulting extractor was skipped and the
+    fusion weights renormalized over the survivors);
+    ``degraded_features`` names the skipped extractors.
+    """
+
+    def __init__(
+        self,
+        hits: List[RetrievalResult],
+        n_candidates: int,
+        n_total: int,
+        degraded: bool = False,
+        degraded_features: Optional[Sequence[str]] = None,
+    ):
         self.hits = list(hits)
         #: how many frames survived index pruning and were actually scored
         self.n_candidates = n_candidates
         #: corpus size at query time
         self.n_total = n_total
+        #: the answer is valid but computed with reduced fidelity
+        self.degraded = bool(degraded) or bool(degraded_features)
+        #: extractors skipped after repeated failure (fusion renormalized)
+        self.degraded_features = list(degraded_features or [])
 
     def __len__(self) -> int:
         return len(self.hits)

@@ -31,6 +31,12 @@ from repro.indexing import ann as ann_metrics
 from repro.indexing.ann import IVFIndex
 from repro.indexing.tree import RangeIndex
 from repro.obs import NULL_OBS, Obs, log
+from repro.resilience import (
+    NULL_POLICIES,
+    CircuitOpenError,
+    DeadlineExceeded,
+    ResiliencePolicies,
+)
 from repro.runtime import WorkerPool, resolve_workers
 from repro.similarity.dp import dtw_distance, sequence_similarity
 from repro.similarity.fusion import CombinedScorer, FeatureWeights, normalize_scores
@@ -109,10 +115,12 @@ class SearchEngine:
         index: RangeIndex,
         pool: Optional[WorkerPool] = None,
         obs: Obs = NULL_OBS,
+        policies: ResiliencePolicies = NULL_POLICIES,
     ):
         self.config = config
         self.store = store
         self.index = index
+        self._policies = policies
         self.extractors: Dict[str, FeatureExtractor] = {
             name: get_extractor(name) for name in config.features
         }
@@ -205,7 +213,11 @@ class SearchEngine:
         # cached entry through the returned object
         hits = [replace(h, per_feature=dict(h.per_feature)) for h in results.hits]
         return SearchResults(
-            hits, n_candidates=results.n_candidates, n_total=results.n_total
+            hits,
+            n_candidates=results.n_candidates,
+            n_total=results.n_total,
+            degraded=results.degraded,
+            degraded_features=list(results.degraded_features),
         )
 
     def _record_query(
@@ -242,12 +254,14 @@ class SearchEngine:
         names = self._resolve_features(features)
         use_index = self.config.use_index if use_index is None else use_index
         t0 = time.perf_counter()
-        with self._obs.span(
+        with self._policies.request_scope(), self._obs.span(
             "search.query_frame", features=",".join(names), top_k=top_k
         ) as span:
-            if not self._query_cache.enabled:  # don't pay the pixel digest
+            # with faults armed, a cached answer could outlive the chaos
+            # run (or hide it), so chaos queries bypass the result cache
+            if not self._query_cache.enabled or self._policies.faults.armed:
                 results = self._query_frame(image, names, top_k, use_index)
-            else:
+            else:  # don't pay the pixel digest when the cache is off
                 key = (
                     "frame", digest_array(image.pixels), tuple(names), top_k, use_index
                 )
@@ -261,6 +275,7 @@ class SearchEngine:
     def _query_frame(
         self, image: Image, names: List[str], top_k: int, use_index: bool
     ) -> SearchResults:
+        self._policies.check_stage("search.prune")
         if use_index:
             with self._obs.span("search.index.prune"):
                 candidate_ids: Optional[List[int]] = sorted(
@@ -271,18 +286,88 @@ class SearchEngine:
                 self._m_pruning.observe(1.0 - len(candidate_ids) / n_total)
         else:
             candidate_ids = None  # the whole store (or the ANN probe below)
+        self._policies.check_stage("search.extract")
         with self._obs.span("search.extract"):
-            query_vectors = {
-                name: self.extractors[name].extract(image) for name in names
-            }
+            query_vectors, degraded = self._extract_degradable(image, names)
         if self.ann is not None and candidate_ids is not None:
             # compose with the range index: a frame must survive both
             with self._obs.span("search.ann.probe"):
-                ann_ids = self.ann.probe(query_vectors, self.config.ann_nprobe)
+                ann_ids = self._ann_probe(query_vectors)
             if ann_ids is not None:
                 wanted = set(ann_ids)
                 candidate_ids = [fid for fid in candidate_ids if fid in wanted]
-        return self._vectors_entry(query_vectors, top_k, candidate_ids, None)
+        results = self._vectors_entry(query_vectors, top_k, candidate_ids, None)
+        if degraded:
+            results.degraded = True
+            results.degraded_features = degraded
+        return results
+
+    def _extract_degradable(
+        self, image: Image, names: List[str]
+    ) -> tuple:
+        """Query-feature extraction with per-extractor graceful degradation.
+
+        A failing (or fault-injected) extractor is skipped and recorded;
+        the survivors' fusion weights renormalize downstream, so the
+        degraded ranking is exactly the ranking the surviving feature
+        subset would produce on its own.  Only when *every* extractor
+        fails does the query error out.
+        """
+        query_vectors: Dict[str, FeatureVector] = {}
+        degraded: List[str] = []
+        last_error: Optional[Exception] = None
+        for name in names:
+            try:
+                self._policies.fire(f"extractor.{name}")
+                query_vectors[name] = self.extractors[name].extract(image)
+            except DeadlineExceeded:
+                raise
+            except Exception as exc:
+                last_error = exc
+                degraded.append(name)
+                self._policies.note_degraded(f"extractor.{name}")
+                self._log.warning(
+                    "search.extractor_degraded",
+                    feature=name,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+        if not query_vectors:
+            raise last_error  # nothing survived: degradation is impossible
+        return query_vectors, degraded
+
+    def _ann_probe(self, query_vectors: Dict[str, FeatureVector]):
+        """IVF probe through the ANN circuit breaker.
+
+        Returns the candidate ids, or None for the exact brute-force
+        fallback -- taken when the breaker is open or the probe fails
+        (the failure feeds the breaker's window).
+        """
+        if self.ann is None:
+            return None
+        if not self._policies.enabled:
+            return self.ann.probe(query_vectors, self.config.ann_nprobe)
+        breaker = self._policies.ann_breaker
+        try:
+            breaker.guard()
+            self._policies.fire("ann.probe")
+            ids = self.ann.probe(query_vectors, self.config.ann_nprobe)
+        except CircuitOpenError:
+            self._policies.note_fallback("ann_brute_force")
+            self._log.warning("search.ann_breaker_open", fallback="brute_force")
+            return None
+        except DeadlineExceeded:
+            raise
+        except Exception as exc:
+            breaker.record_failure()
+            self._policies.note_fallback("ann_brute_force")
+            self._log.warning(
+                "search.ann_probe_failed",
+                error=f"{type(exc).__name__}: {exc}",
+                fallback="brute_force",
+            )
+            return None
+        breaker.record_success()
+        return ids
 
     def query_with_vectors(
         self,
@@ -301,7 +386,9 @@ class SearchEngine:
         to bucket).
         """
         t0 = time.perf_counter()
-        with self._obs.span("search.query_vectors", top_k=top_k) as span:
+        with self._policies.request_scope(), self._obs.span(
+            "search.query_vectors", top_k=top_k
+        ) as span:
             results = self._vectors_entry(query_vectors, top_k, candidate_ids, weights)
             span.annotate(candidates=results.n_candidates)
         self._record_query("vectors", t0, results.n_candidates)
@@ -318,7 +405,9 @@ class SearchEngine:
         names = [n for n in query_vectors if n in self.extractors]
         if not names:
             raise ValueError("query_vectors holds no configured features")
-        if not self._query_cache.enabled:  # don't pay the vector digests
+        # armed faults bypass the cache: a cached answer could outlive
+        # (or hide) the chaos run
+        if not self._query_cache.enabled or self._policies.faults.armed:
             return self._query_with_vectors(
                 query_vectors, names, top_k, candidate_ids, weights
             )
@@ -349,10 +438,11 @@ class SearchEngine:
         candidate_ids: Optional[Sequence[int]],
         weights: Optional[Dict[str, float]],
     ) -> SearchResults:
+        self._policies.check_stage("search.score")
         full_store = False
         if candidate_ids is None:
             if self.ann is not None:
-                candidate_ids = self.ann.probe(query_vectors, self.config.ann_nprobe)
+                candidate_ids = self._ann_probe(query_vectors)
             if candidate_ids is None:
                 candidate_ids = self.store.frame_ids()
                 full_store = True
@@ -445,7 +535,9 @@ class SearchEngine:
         if not frames:
             raise ValueError("query video has no frames")
         t0 = time.perf_counter()
-        with self._obs.span("search.query_video", frames=len(frames), top_k=top_k):
+        with self._policies.request_scope(), self._obs.span(
+            "search.query_video", frames=len(frames), top_k=top_k
+        ):
             matches = self._query_video(frames, features, top_k)
         self._record_query("video", t0)
         return matches
@@ -457,13 +549,16 @@ class SearchEngine:
         top_k: int,
     ) -> List[VideoMatch]:
         names = self._resolve_features(features)
+        self._policies.check_stage("search.keyframes")
         key_frames = [f for _i, f in self.keyframe_extractor.extract(frames)]
         # per-key-frame extraction is the query-side CPU hot spot; fan it
         # out over the pool (order-preserving, so results are unchanged)
+        self._policies.check_stage("search.extract")
         extract = partial(
             _extract_query_features, extractors=self.extractors, names=names
         )
         query_seq = self._pool.map(extract, key_frames)
+        self._policies.check_stage("search.score")
 
         video_ids = self.store.video_ids()
         if not video_ids:

@@ -28,6 +28,7 @@ from repro.imaging.image import Image, decode_image
 from repro.indexing.rangefinder import RangeFinder
 from repro.indexing.tree import RangeIndex
 from repro.obs import Obs, log as obs_log
+from repro.resilience import NULL_POLICIES, ResiliencePolicies
 from repro.runtime import WorkerPool, resolve_workers
 from repro.video.generator import SyntheticVideo
 
@@ -71,8 +72,16 @@ class VideoRetrievalSystem:
         )
         if self.config.obs_log_level is not None:
             obs_log.set_level(self.config.obs_log_level)
+        #: per-system resilience policies (retry/breakers/deadline/faults);
+        #: disabled every hook is one early-out (see docs/resilience.md)
+        self.resilience = (
+            ResiliencePolicies.from_config(self.config, obs=self.obs)
+            if self.config.resilience
+            else NULL_POLICIES
+        )
         self.db = db or Database()
         self.db.attach_obs(self.obs)
+        self.db.attach_resilience(self.resilience)
         bootstrap(self.db)
         self._store = FeatureStore()
         finder = RangeFinder(
@@ -85,12 +94,14 @@ class VideoRetrievalSystem:
         # never spawn processes)
         self._pool = WorkerPool(workers=resolve_workers(self.config.workers))
         self._pool.attach_obs(self.obs)
+        self._pool.attach_resilience(self.resilience)
         self._ingestor = Ingestor(
             self.db, self.config, self._store, self._index, pool=self._pool,
-            obs=self.obs,
+            obs=self.obs, policies=self.resilience,
         )
         self._engine = SearchEngine(
-            self.config, self._store, self._index, pool=self._pool, obs=self.obs
+            self.config, self._store, self._index, pool=self._pool, obs=self.obs,
+            policies=self.resilience,
         )
         self._reload_from_db()
 
@@ -172,7 +183,9 @@ class VideoRetrievalSystem:
         ).rows
         if not rows or rows[0]["VIDEO"] is None:
             raise KeyError(f"no stored video with id {video_id}")
-        return list(ORD_VIDEO.decode(rows[0]["VIDEO"]))
+        blob = rows[0]["VIDEO"]
+        frames = self.resilience.run("codec.decode", lambda: ORD_VIDEO.decode(blob))
+        return list(frames)
 
     def get_key_frame(self, frame_id: int) -> Image:
         """Decode one stored key-frame image."""
@@ -220,8 +233,22 @@ class VideoRetrievalSystem:
             },
             "ann": self._engine.ann_stats(),
             "cache": self._engine.cache_stats(),
+            "resilience": self._resilience_summary(),
             "registry": self.obs.registry.render_json(),
         }
+
+    def _resilience_summary(self) -> Dict[str, Any]:
+        """Flat resilience snapshot for :meth:`metrics` / ``repro stats``."""
+        stats = self.resilience.stats()
+        flat: Dict[str, Any] = {
+            "enabled": stats["enabled"],
+            "armed_points": len(stats["faults"]),
+            "faults_fired": sum(s["fired"] for s in stats["faults"].values()),
+        }
+        for name, breaker in stats["breakers"].items():
+            flat[f"{name}_breaker_state"] = breaker["state"]
+            flat[f"{name}_breaker_trips"] = breaker["trips"]
+        return flat
 
     def recent_traces(self, limit: Optional[int] = None) -> List[dict]:
         """The most recent root traces, newest first (empty when disabled)."""

@@ -174,6 +174,8 @@ class Database:
         # observability is opt-in (attach_obs); None keeps execute() lean
         self._m_statements = None
         self._m_seconds = None
+        # resilience is opt-in (attach_resilience); None keeps execute() lean
+        self._policies = None
 
     def attach_obs(self, obs) -> None:
         """Record per-statement counts and durations into ``obs``'s registry.
@@ -195,6 +197,17 @@ class Database:
             "Statement execution time (parse + dispatch).",
             labelnames=("kind",),
         )
+
+    def attach_resilience(self, policies) -> None:
+        """Run statements under ``policies``' retry (and its ``db.execute``
+        fault point).
+
+        Takes a :class:`repro.resilience.ResiliencePolicies`; attaching a
+        disabled bundle keeps the unwrapped fast path.  Only injected
+        faults are retried -- a malformed statement fails identically on
+        every attempt and propagates immediately.
+        """
+        self._policies = policies if policies.enabled else None
 
     # -- persistence -----------------------------------------------------------
 
@@ -275,6 +288,13 @@ class Database:
 
     def execute(self, text: str, params: Sequence = ()) -> ResultSet:
         """Parse and run one statement with optional ``?`` bind parameters."""
+        if self._policies is not None:
+            return self._policies.run(
+                "db.execute", lambda: self._execute(text, params)
+            )
+        return self._execute(text, params)
+
+    def _execute(self, text: str, params: Sequence = ()) -> ResultSet:
         t0 = time.perf_counter() if self._m_statements is not None else 0.0
         stmt, n_params = ast.parse(text)
         if len(params) != n_params:

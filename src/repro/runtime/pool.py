@@ -28,6 +28,12 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, List, Optional, TypeVar
 
 from repro.obs import NULL_OBS, Obs
+from repro.resilience import (
+    NULL_POLICIES,
+    CircuitOpenError,
+    FaultInjected,
+    ResiliencePolicies,
+)
 
 __all__ = ["WorkerPool", "parallel_map", "resolve_workers"]
 
@@ -87,6 +93,7 @@ class WorkerPool:
         self.workers = workers
         self.chunk_size = chunk_size
         self._executor: Optional[ProcessPoolExecutor] = None
+        self._policies = NULL_POLICIES
         self.attach_obs(NULL_OBS)
 
     def attach_obs(self, obs: Obs) -> None:
@@ -112,6 +119,16 @@ class WorkerPool:
             "Parallel map calls that degraded to the serial loop.",
             labelnames=("reason",),
         )
+
+    def attach_resilience(self, policies: ResiliencePolicies) -> None:
+        """Route parallel dispatch through ``policies``' pool breaker.
+
+        While the breaker is open every map call takes the serial loop
+        directly (reason ``breaker_open``) instead of re-touching broken
+        pool infrastructure; the half-open probe lets one call test it.
+        The ``pool.map`` fault point fires only in the parallel path.
+        """
+        self._policies = policies
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -156,20 +173,39 @@ class WorkerPool:
                 time.perf_counter() - t0
             )
             return out
+        breaker = self._policies.pool_breaker if self._policies.enabled else None
+        if breaker is not None:
+            try:
+                breaker.guard()
+            except CircuitOpenError:
+                # open breaker: don't re-touch known-broken infrastructure
+                self._m_fallbacks.labels(reason="breaker_open").inc()
+                self._policies.note_fallback("pool_serial")
+                out = [fn(x) for x in materialized]
+                self._m_map_seconds.labels(mode="serial").observe(
+                    time.perf_counter() - t0
+                )
+                return out
         chunk = self.chunk_size or max(
             1, -(-len(materialized) // (self.workers * 4))
         )
         self._m_queue_depth.set(len(materialized))
         try:
+            self._policies.fire("pool.map")
             executor = self._ensure_executor()
             out = list(executor.map(fn, materialized, chunksize=chunk))
+            if breaker is not None:
+                breaker.record_success()
             self._m_map_seconds.labels(mode="parallel").observe(
                 time.perf_counter() - t0
             )
             return out
-        except (BrokenProcessPool, pickle.PicklingError, OSError):
+        except (BrokenProcessPool, pickle.PicklingError, OSError, FaultInjected):
             # infrastructure died (or a result refused to pickle); the
             # work itself is still valid, so redo it in-process
+            if breaker is not None:
+                breaker.record_failure()
+                self._policies.note_fallback("pool_serial")
             self.close()
             self._m_fallbacks.labels(reason="broken_pool").inc()
             out = [fn(x) for x in materialized]

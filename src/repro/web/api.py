@@ -9,6 +9,7 @@ drive this layer directly -- no sockets needed.
 from __future__ import annotations
 
 import json
+import math
 import re
 import time
 from typing import Dict, Optional, Tuple
@@ -17,6 +18,7 @@ from repro.core.system import AuthenticationError, VideoRetrievalSystem
 from repro.db.errors import DatabaseError
 from repro.imaging.image import ImageFormatError, decode_image
 from repro.obs import log
+from repro.resilience import CircuitOpenError, DeadlineExceeded, RetryExhausted
 from repro.video.codec import RvfError, RvfReader
 
 __all__ = ["CbvrApi", "ApiError"]
@@ -56,10 +58,23 @@ class ApiError(Exception):
 
 
 Response = Tuple[int, str, bytes]  # (status, content_type, body)
+#: like Response plus extra headers (e.g. Retry-After on a 503)
+FullResponse = Tuple[int, str, bytes, Dict[str, str]]
 
 
 def _json_response(status: int, payload) -> Response:
     return status, "application/json", json.dumps(payload).encode("utf-8")
+
+
+def _error_response(status: int, message: str, error_type: str, **extra) -> Response:
+    """The JSON error envelope every failure path shares.
+
+    ``error`` stays a plain message string (the documented/tested shape);
+    ``error_type`` is a machine-matchable discriminator.
+    """
+    payload = {"error": message, "error_type": error_type}
+    payload.update(extra)
+    return _json_response(status, payload)
 
 
 class CbvrApi:
@@ -89,19 +104,52 @@ class CbvrApi:
         headers: Optional[Dict[str, str]] = None,
         query: Optional[Dict[str, str]] = None,
     ) -> Response:
+        """:meth:`handle_full` without the extra headers (test-friendly)."""
+        status, content_type, payload, _headers = self.handle_full(
+            method, path, body=body, headers=headers, query=query
+        )
+        return status, content_type, payload
+
+    def handle_full(
+        self,
+        method: str,
+        path: str,
+        body: bytes = b"",
+        headers: Optional[Dict[str, str]] = None,
+        query: Optional[Dict[str, str]] = None,
+    ) -> FullResponse:
         headers = {k.lower(): v for k, v in (headers or {}).items()}
         query = query or {}
         method = method.upper()
         path = path.rstrip("/") or "/"
         t0 = time.perf_counter()
+        extra_headers: Dict[str, str] = {}
         try:
-            response = self._route(method, path, body, headers, query)
+            with self.system.resilience.request_scope():
+                response = self._route(method, path, body, headers, query)
         except ApiError as exc:
-            response = _json_response(exc.status, {"error": exc.message})
+            response = _error_response(exc.status, exc.message, "api_error")
         except AuthenticationError as exc:
-            response = _json_response(401, {"error": str(exc)})
+            response = _error_response(401, str(exc), "authentication")
+        except DeadlineExceeded as exc:
+            response = _error_response(504, str(exc), "deadline_exceeded")
+        except CircuitOpenError as exc:
+            retry_after = max(1, math.ceil(exc.retry_after))
+            response = _error_response(
+                503, str(exc), "circuit_open", retry_after=retry_after
+            )
+            extra_headers["Retry-After"] = str(retry_after)
+        except RetryExhausted as exc:
+            response = _error_response(503, str(exc), "retry_exhausted")
         except (DatabaseError, RvfError, ImageFormatError, ValueError, KeyError) as exc:
-            response = _json_response(400, {"error": str(exc)})
+            response = _error_response(400, str(exc), "bad_request")
+        except Exception as exc:  # noqa: BLE001 -- last-resort envelope, never a bare 500
+            self._log.error(
+                "web.unhandled", path=path, error=f"{type(exc).__name__}: {exc}"
+            )
+            response = _error_response(
+                500, f"internal error: {type(exc).__name__}: {exc}", "internal"
+            )
         elapsed = time.perf_counter() - t0
         route = _normalize_route(path)
         self._m_requests.labels(
@@ -115,7 +163,7 @@ class CbvrApi:
             status=response[0],
             ms=round(elapsed * 1000.0, 2),
         )
-        return response
+        return response + (extra_headers,)
 
     def _route(self, method, path, body, headers, query) -> Response:
         if method == "GET" and path == "/":
@@ -252,6 +300,8 @@ class CbvrApi:
             200,
             {
                 "n_candidates": results.n_candidates,
+                "degraded": results.degraded,
+                "degraded_features": results.degraded_features,
                 "results": results.to_rows(),
             },
         )

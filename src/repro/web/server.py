@@ -38,12 +38,14 @@ class _Handler(BaseHTTPRequestHandler):
         query = dict(urllib.parse.parse_qsl(parsed.query))
         length = int(self.headers.get("Content-Length", 0) or 0)
         body = self.rfile.read(length) if length else b""
-        status, content_type, payload = self.api.handle(
+        status, content_type, payload, extra_headers = self.api.handle_full(
             method, parsed.path, body=body, headers=dict(self.headers), query=query
         )
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(payload)))
+        for name, value in extra_headers.items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(payload)
 

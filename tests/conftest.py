@@ -17,6 +17,13 @@ from repro.imaging.image import Image
 from repro.video.generator import VideoSpec, generate_video, make_corpus
 
 
+@pytest.fixture(autouse=True)
+def _no_ambient_faults(monkeypatch):
+    """An ambient REPRO_FAULTS would arm chaos in every system a test
+    builds; tests opt in explicitly (monkeypatch.setenv) instead."""
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+
+
 @pytest.fixture(scope="session")
 def rng():
     return np.random.default_rng(12345)

@@ -1,0 +1,86 @@
+"""The end-to-end armed chaos scenario the CI ``chaos`` job runs.
+
+Arms ``REPRO_FAULTS`` the way an operator would (environment, not
+config), drives the system through ingest + search, and asserts the
+acceptance contract: the query completes, is flagged degraded, and its
+ranking matches the explicit no-gabor reference exactly.  The CLI leg
+checks the DEGRADED line a terminal user sees.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.core.system import VideoRetrievalSystem
+from repro.web.api import CbvrApi
+
+
+def test_env_armed_search_degrades_and_matches_reference(
+    monkeypatch, small_corpus
+):
+    monkeypatch.setenv("REPRO_FAULTS", "extractor.gabor:every=1")
+    system = VideoRetrievalSystem.in_memory()
+    assert system.resilience.faults.armed_points() == ["extractor.gabor"]
+    admin = system.login_admin()
+    for video in small_corpus[:4]:
+        admin.add_video(video)
+    query = system.any_key_frame()
+    results = system.search(query, top_k=8)
+    assert results.degraded and results.degraded_features == ["gabor"]
+
+    monkeypatch.delenv("REPRO_FAULTS")
+    clean = VideoRetrievalSystem.in_memory()
+    clean_admin = clean.login_admin()
+    for video in small_corpus[:4]:
+        clean_admin.add_video(video)
+    survivors = [f for f in clean.config.features if f != "gabor"]
+    reference = clean.search(query, features=survivors, top_k=8)
+    assert [h.frame_id for h in results] == [h.frame_id for h in reference]
+
+
+def test_env_armed_metrics_scrape_shows_chaos(monkeypatch, small_corpus):
+    monkeypatch.setenv("REPRO_FAULTS", "extractor.gabor:every=1")
+    system = VideoRetrievalSystem.in_memory()
+    admin = system.login_admin()
+    admin.add_video(small_corpus[0])
+    api = CbvrApi(system)
+    import json
+
+    status, _, body = api.handle(
+        "POST", "/search", body=system.any_key_frame().encode("ppm")
+    )
+    assert status == 200
+    payload = json.loads(body)
+    assert payload["degraded"] is True
+    assert payload["degraded_features"] == ["gabor"]
+
+    status, ctype, scrape = api.handle("GET", "/metrics")
+    assert status == 200
+    text = scrape.decode("utf-8")
+    assert 'repro_resilience_faults_injected_total{point="extractor.gabor"} 1' in text
+    assert 'repro_resilience_degraded_total{reason="extractor.gabor"} 1' in text
+
+
+def test_cli_search_prints_degraded_line(monkeypatch, tmp_path, capsys):
+    corpus = str(tmp_path / "corpus")
+    assert main(["demo-corpus", corpus, "--per-category", "1",
+                 "--shots", "2", "--frames-per-shot", "4", "--seed", "3"]) == 0
+    lib = str(tmp_path / "lib.rdb")
+    videos = sorted(os.path.join(corpus, f) for f in os.listdir(corpus))
+    assert main(["ingest", lib] + videos[:2]) == 0
+    frame = str(tmp_path / "q.ppm")
+    assert main(["export-frame", lib, "1", frame]) == 0
+    capsys.readouterr()
+
+    monkeypatch.setenv("REPRO_FAULTS", "extractor.gabor:every=1")
+    assert main(["search", lib, frame, "--top-k", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "DEGRADED: skipped gabor" in out
+    assert "# 1" in out  # the ranking still printed
+
+    monkeypatch.delenv("REPRO_FAULTS")
+    assert main(["search", lib, frame, "--top-k", "3"]) == 0
+    assert "DEGRADED" not in capsys.readouterr().out

@@ -1,0 +1,75 @@
+"""Deadline propagation: contextvars scopes and stage-boundary checks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience import (
+    Deadline,
+    DeadlineExceeded,
+    check_deadline,
+    current_deadline,
+    deadline_scope,
+)
+
+
+class _Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def test_no_scope_means_noop_check():
+    assert current_deadline() is None
+    assert check_deadline("stage") is None
+
+
+def test_none_budget_is_passthrough_scope():
+    with deadline_scope(None):
+        assert current_deadline() is None
+        assert check_deadline("stage") is None
+
+
+def test_scope_arms_and_disarms():
+    clock = _Clock()
+    with deadline_scope(5.0, clock=clock) as deadline:
+        assert current_deadline() is deadline
+        assert check_deadline("stage") == pytest.approx(5.0)
+        clock.now = 2.0
+        assert check_deadline("stage") == pytest.approx(3.0)
+    assert current_deadline() is None
+
+
+def test_expiry_raises_with_stage_name():
+    clock = _Clock()
+    with deadline_scope(1.0, clock=clock):
+        clock.now = 1.5
+        with pytest.raises(DeadlineExceeded) as info:
+            check_deadline("search.score")
+        assert info.value.stage == "search.score"
+        assert info.value.budget == pytest.approx(1.0)
+        assert info.value.elapsed == pytest.approx(1.5)
+    assert current_deadline() is None  # scope unwinds even after the raise
+
+
+def test_nested_scope_shadows_and_restores():
+    outer_clock, inner_clock = _Clock(), _Clock()
+    with deadline_scope(10.0, clock=outer_clock) as outer:
+        with deadline_scope(1.0, clock=inner_clock) as inner:
+            assert current_deadline() is inner
+        assert current_deadline() is outer
+
+
+def test_deadline_object_accessors():
+    clock = _Clock()
+    d = Deadline(2.0, clock=clock)
+    clock.now = 0.5
+    assert d.elapsed() == pytest.approx(0.5)
+    assert d.remaining() == pytest.approx(1.5)
+    assert not d.expired()
+    clock.now = 2.5
+    assert d.expired()
+    with pytest.raises(ValueError):
+        Deadline(0.0)

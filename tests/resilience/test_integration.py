@@ -1,0 +1,207 @@
+"""Resilience wired through the stack: ANN breaker, pool breaker,
+db retry, request deadlines, and two-run chaos determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.system import VideoRetrievalSystem
+from repro.resilience import DeadlineExceeded
+
+
+def _build(small_corpus, n_videos=4, **config_kwargs):
+    system = VideoRetrievalSystem.in_memory(SystemConfig(**config_kwargs))
+    admin = system.login_admin()
+    for video in small_corpus[:n_videos]:
+        admin.add_video(video)
+    return system
+
+
+# -- ANN breaker: brute-force fallback -----------------------------------------
+
+
+def test_ann_fault_falls_back_to_exact_results(small_corpus):
+    faulted = _build(
+        small_corpus, ann=True, ann_cells=4, ann_nprobe=2,
+        fault_spec="ann.probe:every=1",
+    )
+    exact = _build(small_corpus)  # no ANN at all: the exact reference
+    query = faulted.any_key_frame()
+    got = faulted.search(query, top_k=8)
+    want = exact.search(query, top_k=8)
+    # brute force is *better* than an IVF probe, so no degraded tag...
+    assert not got.degraded
+    # ...and the ranking is the exact one
+    assert [h.frame_id for h in got] == [h.frame_id for h in want]
+    fam = faulted.obs.registry.render_json()["repro_resilience_fallbacks_total"]
+    samples = {s["labels"]["kind"]: s["value"] for s in fam["samples"]}
+    assert samples["ann_brute_force"] >= 1
+
+
+def test_ann_breaker_trips_after_repeated_faults(small_corpus):
+    system = _build(
+        small_corpus, ann=True, ann_cells=4, ann_nprobe=2,
+        fault_spec="ann.probe:every=1", breaker_window=4,
+        breaker_cooldown=3600.0,  # stays open for the whole test
+    )
+    query = system.any_key_frame()
+    for _ in range(8):
+        results = system.search(query, top_k=5)
+        assert len(results) >= 1  # every query still answers
+    breaker = system.resilience.ann_breaker
+    assert breaker.trip_count >= 1
+    assert breaker.state == "open"
+    # once open, queries skip the probe entirely: fired stops growing
+    fired = system.resilience.faults.stats()["ann.probe"]["fired"]
+    system.search(query, top_k=5)
+    assert system.resilience.faults.stats()["ann.probe"]["fired"] == fired
+
+
+# -- pool breaker: serial fallback ---------------------------------------------
+
+
+def test_pool_fault_degrades_to_serial_ingest(small_corpus):
+    system = VideoRetrievalSystem.in_memory(
+        SystemConfig(workers=2, fault_spec="pool.map:every=1")
+    )
+    admin = system.login_admin()
+    report = admin.add_video(small_corpus[0])  # parallel path faults -> serial redo
+    assert report.n_keyframes >= 1
+    reg = system.obs.registry.render_json()
+    pool_falls = {
+        s["labels"]["reason"]: s["value"]
+        for s in reg["repro_pool_fallbacks_total"]["samples"]
+    }
+    assert pool_falls.get("broken_pool", 0) >= 1
+    assert system.resilience.pool_breaker.stats()["window_failures"] >= 1
+    system.close()
+
+
+def test_open_pool_breaker_short_circuits_to_serial(small_corpus):
+    system = VideoRetrievalSystem.in_memory(
+        SystemConfig(
+            workers=2, fault_spec="pool.map:every=1",
+            breaker_window=4, breaker_cooldown=3600.0,
+        )
+    )
+    admin = system.login_admin()
+    for video in small_corpus[:4]:
+        admin.add_video(video)
+    assert system.resilience.pool_breaker.state == "open"
+    fired_before = system.resilience.faults.stats()["pool.map"]["fired"]
+    admin.add_video(small_corpus[4])  # breaker open: parallel path never tried
+    assert system.resilience.faults.stats()["pool.map"]["fired"] == fired_before
+    reg = system.obs.registry.render_json()
+    pool_falls = {
+        s["labels"]["reason"]: s["value"]
+        for s in reg["repro_pool_fallbacks_total"]["samples"]
+    }
+    assert pool_falls.get("breaker_open", 0) >= 1
+    system.close()
+
+
+# -- db retry ------------------------------------------------------------------
+
+
+def test_db_execute_transient_fault_is_retried(small_corpus):
+    system = _build(small_corpus, n_videos=1, fault_spec="db.execute:once")
+    # the very first statement of construction faulted once and was
+    # retried; the system came up and works end-to-end
+    assert system.n_videos() == 1
+    fam = system.obs.registry.render_json()["repro_resilience_retries_total"]
+    samples = {s["labels"]["point"]: s["value"] for s in fam["samples"]}
+    assert samples["db.execute"] == 1
+
+
+# -- request deadlines ---------------------------------------------------------
+
+
+def test_expired_deadline_fails_search(small_corpus):
+    # ingest with no deadline, then arm an impossible one for the query
+    system = _build(small_corpus)
+    query_image = system.any_key_frame()
+    system.resilience.request_deadline = 1e-9
+    with pytest.raises(DeadlineExceeded) as info:
+        system.search(query_image, top_k=5)
+    assert info.value.stage.startswith("search.")
+
+
+def test_generous_deadline_does_not_interfere(small_corpus):
+    system = _build(small_corpus, request_deadline=3600.0)
+    results = system.search(system.any_key_frame(), top_k=5)
+    assert len(results) >= 1
+    assert not results.degraded
+
+
+def test_expired_deadline_fails_ingest(small_corpus):
+    system = VideoRetrievalSystem.in_memory(SystemConfig(request_deadline=1e-9))
+    with pytest.raises(DeadlineExceeded) as info:
+        system.login_admin().add_video(small_corpus[0])
+    assert info.value.stage.startswith("ingest.")
+
+
+# -- determinism ---------------------------------------------------------------
+
+
+def _chaos_run(small_corpus):
+    """One seeded chaos run; returns every counter the policies kept."""
+    system = _build(
+        small_corpus, n_videos=3,
+        fault_spec="extractor.gabor:every=2;db.execute:p=0.002,seed=5",
+    )
+    query = system.any_key_frame()
+    for k in range(4):
+        system.search(query, top_k=4 + k)
+    reg = system.obs.registry.render_json()
+    counters = {}
+    for family in (
+        "repro_resilience_retries_total",
+        "repro_resilience_faults_injected_total",
+        "repro_resilience_degraded_total",
+        "repro_resilience_breaker_trips_total",
+    ):
+        for sample in reg.get(family, {}).get("samples", []):
+            key = family + str(sorted(sample["labels"].items()))
+            counters[key] = sample["value"]
+    return counters, system.resilience.faults.stats()
+
+
+def test_seeded_chaos_counters_reproduce_exactly(small_corpus):
+    counters_a, faults_a = _chaos_run(small_corpus)
+    counters_b, faults_b = _chaos_run(small_corpus)
+    assert counters_a == counters_b
+    assert faults_a == faults_b
+    assert faults_a["extractor.gabor"]["fired"] >= 1
+
+
+# -- surfaces ------------------------------------------------------------------
+
+
+def test_metrics_snapshot_has_resilience_section(small_corpus):
+    system = _build(small_corpus, n_videos=1, fault_spec="extractor.gabor:once")
+    system.search(system.any_key_frame(), top_k=3)
+    section = system.metrics()["resilience"]
+    assert section["enabled"] is True
+    assert section["armed_points"] == 1
+    assert section["faults_fired"] == 1
+    assert section["ann_breaker_state"] == "closed"
+
+
+def test_stats_renders_resilience_line(small_corpus):
+    from repro.obs import format_stats
+
+    system = _build(small_corpus, n_videos=1)
+    text = format_stats(system.metrics())
+    assert "resilience" in text
+
+
+def test_disabled_resilience_uses_null_policies(small_corpus):
+    from repro.resilience import NULL_POLICIES
+
+    system = VideoRetrievalSystem.in_memory(SystemConfig(resilience=False))
+    assert system.resilience is NULL_POLICIES
+    admin = system.login_admin()
+    admin.add_video(small_corpus[0])
+    results = system.search(system.any_key_frame(), top_k=3)
+    assert len(results) >= 1

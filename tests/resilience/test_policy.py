@@ -1,0 +1,163 @@
+"""Backoff and Retry: schedule properties and retry semantics.
+
+The backoff schedule is a pure function of ``(seed, attempt)`` -- the
+hypothesis properties pin the bounds (each delay lies in
+``[(1 - jitter) * bound_k, bound_k]`` with monotone un-jittered bounds)
+and the determinism (same seed -> identical schedule, different seed ->
+different draws).  Retry is tested against fake clocks/sleeps so no test
+actually blocks.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import Obs
+from repro.resilience import Backoff, FaultInjected, Retry, RetryExhausted
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+jitters = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+attempts = st.integers(min_value=0, max_value=12)
+
+
+@given(seed=seeds, jitter=jitters, attempt=attempts)
+@settings(max_examples=60)
+def test_delay_lies_within_jitter_band(seed, jitter, attempt):
+    b = Backoff(base=0.01, factor=2.0, cap=1.0, jitter=jitter, seed=seed)
+    bound = b.bound(attempt)
+    delay = b.delay(attempt)
+    assert (1.0 - jitter) * bound - 1e-12 <= delay <= bound + 1e-12
+
+
+@given(seed=seeds)
+@settings(max_examples=40)
+def test_unjittered_bounds_are_monotone_then_capped(seed):
+    b = Backoff(base=0.01, factor=2.0, cap=1.0, jitter=0.5, seed=seed)
+    bounds = [b.bound(k) for k in range(16)]
+    assert all(a <= c for a, c in zip(bounds, bounds[1:]))
+    assert bounds[-1] == b.cap  # 0.01 * 2**15 >> cap
+
+
+@given(seed=seeds, n=st.integers(min_value=1, max_value=8))
+@settings(max_examples=40)
+def test_schedule_is_deterministic_under_fixed_seed(seed, n):
+    a = Backoff(seed=seed).schedule(n)
+    b = Backoff(seed=seed).schedule(n)
+    assert a == b  # bit-identical, not approximately
+    assert len(a) == n - 1
+
+
+def test_different_seeds_draw_different_jitter():
+    schedules = {tuple(Backoff(seed=s).schedule(4)) for s in range(8)}
+    assert len(schedules) > 1
+
+
+def test_backoff_rejects_bad_knobs():
+    with pytest.raises(ValueError):
+        Backoff(base=-1.0)
+    with pytest.raises(ValueError):
+        Backoff(factor=0.5)
+    with pytest.raises(ValueError):
+        Backoff(jitter=1.5)
+    with pytest.raises(ValueError):
+        Backoff().bound(-1)
+
+
+# -- Retry ---------------------------------------------------------------------
+
+
+class _Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def _retry(attempts=3, **kwargs):
+    kwargs.setdefault("backoff", Backoff(base=0.01, seed=1))
+    kwargs.setdefault("clock", _Clock())
+    kwargs.setdefault("sleep", lambda s: None)
+    return Retry(attempts=attempts, **kwargs)
+
+
+def test_retry_returns_first_success():
+    calls = []
+    result = _retry().call("p", lambda: calls.append(1) or "ok")
+    assert result == "ok"
+    assert len(calls) == 1
+
+
+def test_retry_retries_then_succeeds_with_recorded_sleeps():
+    slept = []
+    attempts_seen = []
+
+    def flaky():
+        attempts_seen.append(1)
+        if len(attempts_seen) < 3:
+            raise FaultInjected("p", len(attempts_seen))
+        return "ok"
+
+    retry = _retry(attempts=3, sleep=slept.append)
+    assert retry.call("p", flaky) == "ok"
+    assert len(attempts_seen) == 3
+    # the sleeps are exactly the deterministic backoff schedule prefix
+    assert slept == retry.backoff.schedule(3)
+
+
+def test_retry_exhausted_chains_last_error():
+    def always():
+        raise FaultInjected("p", 1)
+
+    with pytest.raises(RetryExhausted) as info:
+        _retry(attempts=2).call("p", always)
+    assert info.value.attempts == 2
+    assert isinstance(info.value.last_error, FaultInjected)
+    assert isinstance(info.value.__cause__, FaultInjected)
+
+
+def test_retry_on_filters_exception_types():
+    def boom():
+        raise ValueError("semantic, not infrastructural")
+
+    retry = _retry(retry_on=(FaultInjected,))
+    with pytest.raises(ValueError):
+        retry.call("p", boom)
+
+
+def test_retry_respects_elapsed_budget():
+    clock = _Clock()
+
+    def failing():
+        clock.now += 10.0  # each attempt burns 10s
+        raise FaultInjected("p", 1)
+
+    retry = _retry(attempts=5, max_elapsed=15.0, clock=clock)
+    with pytest.raises(RetryExhausted) as info:
+        retry.call("p", failing)
+    assert info.value.attempts < 5  # budget, not attempts, ended it
+
+
+def test_retry_counts_retries_in_obs():
+    obs = Obs(enabled=True)
+    retry = Retry(
+        attempts=3,
+        backoff=Backoff(seed=1),
+        retry_on=(FaultInjected,),
+        sleep=lambda s: None,
+        obs=obs,
+    )
+    state = {"n": 0}
+
+    def flaky():
+        state["n"] += 1
+        if state["n"] < 3:
+            raise FaultInjected("p", state["n"])
+        return "ok"
+
+    retry.call("db.execute", flaky)
+    fam = obs.registry.render_json()["repro_resilience_retries_total"]
+    samples = {tuple(s["labels"].items()): s["value"] for s in fam["samples"]}
+    assert samples[(("point", "db.execute"),)] == 2
