@@ -40,6 +40,26 @@ else
     record reprolint FAIL
 fi
 
+# SARIF report for code-scanning upload; emission failure fails the gate
+# (a missing report would silently drop CI annotations)
+step "reprolint SARIF report"
+if python -m repro.analysis --format sarif --output reprolint.sarif src/repro || [ -s reprolint.sarif ]; then
+    echo "wrote reprolint.sarif"
+    record sarif ok
+else
+    record sarif FAIL
+fi
+
+# autofixer dry run: fails when `repro lint --fix` would change anything,
+# so mechanical debt (mutable defaults, stale __all__, unused imports)
+# never lands -- run `repro lint --fix src/repro` locally to clear it
+step "reprolint autofix dry run (repro lint --diff src/repro)"
+if python -m repro.analysis --diff src/repro; then
+    record autofix ok
+else
+    record autofix FAIL
+fi
+
 step "ruff"
 if command -v ruff >/dev/null 2>&1; then
     if ruff check src/repro; then

@@ -17,9 +17,12 @@ See ``docs/static_analysis.md`` for the rule catalogue and how to add a
 rule.
 """
 
+from repro.analysis.baseline import Baseline, partition_findings
+from repro.analysis.dataflow import CFG, Definition, build_cfg, reaching_definitions
 from repro.analysis.engine import (
     LintConfig,
     LintEngine,
+    ModelRule,
     ModuleInfo,
     ProjectRule,
     Rule,
@@ -30,7 +33,10 @@ from repro.analysis.engine import (
     register_rule,
 )
 from repro.analysis.findings import Finding, Report, Severity
+from repro.analysis.fixes import FixResult, fix_module
+from repro.analysis.project import FunctionInfo, ModuleSymbols, ProjectModel
 from repro.analysis.runner import main
+from repro.analysis.sarif import report_to_sarif
 
 __all__ = [
     "Finding",
@@ -41,10 +47,23 @@ __all__ = [
     "ModuleInfo",
     "Rule",
     "ProjectRule",
+    "ModelRule",
     "register_rule",
     "all_rules",
     "lint_paths",
     "lint_source",
     "module_name_for",
     "main",
+    "ProjectModel",
+    "ModuleSymbols",
+    "FunctionInfo",
+    "CFG",
+    "Definition",
+    "build_cfg",
+    "reaching_definitions",
+    "Baseline",
+    "partition_findings",
+    "FixResult",
+    "fix_module",
+    "report_to_sarif",
 ]

@@ -1,0 +1,85 @@
+"""Finding baselines: adopt a linter without a big-bang cleanup.
+
+A baseline file records the findings a codebase has *today* so the gate
+can demand "no new findings" immediately and the backlog can be burned
+down separately.  It is also a ratchet: entries that no longer match
+anything are reported as stale, so the file only ever shrinks.
+
+Fingerprints are deliberately line-free -- ``(rule, path, message)`` with
+a count -- so unrelated edits above a known finding do not break the
+match.  Counts matter: two identical findings baseline as two, and a
+third new one still fails the gate.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import List, Tuple, Union
+
+from repro.analysis.findings import Finding, Report
+
+__all__ = ["Baseline", "partition_findings"]
+
+_Key = Tuple[str, str, str]
+
+
+def _fingerprint(finding: Finding) -> _Key:
+    return (finding.rule_id, Path(finding.path).as_posix(), finding.message)
+
+
+class Baseline:
+    """A multiset of accepted finding fingerprints."""
+
+    def __init__(self, entries: Counter = None):
+        self.entries: Counter = Counter() if entries is None else entries
+
+    def __len__(self) -> int:
+        return sum(self.entries.values())
+
+    # -- persistence -----------------------------------------------------------
+
+    @classmethod
+    def from_report(cls, report: Report) -> "Baseline":
+        return cls(Counter(_fingerprint(f) for f in report.findings))
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Baseline":
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        entries: Counter = Counter()
+        for item in payload.get("findings", []):
+            key = (item["rule"], item["path"], item["message"])
+            entries[key] += int(item.get("count", 1))
+        return cls(entries)
+
+    def dump(self, path: Union[str, Path]) -> None:
+        findings = [
+            {"rule": rule, "path": fpath, "message": message, "count": count}
+            for (rule, fpath, message), count in sorted(self.entries.items())
+        ]
+        payload = {"version": 1, "tool": "reprolint", "findings": findings}
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def partition_findings(
+    report: Report, baseline: Baseline
+) -> Tuple[List[Finding], int, List[_Key]]:
+    """``(new findings, n suppressed, stale fingerprints)``.
+
+    A finding matching a baseline entry consumes one unit of its count;
+    findings beyond the recorded count are *new*.  Entries with unspent
+    count are stale -- the finding was fixed and the ratchet should drop it.
+    """
+    budget = Counter(baseline.entries)
+    new: List[Finding] = []
+    suppressed = 0
+    for finding in report.findings:
+        key = _fingerprint(finding)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            suppressed += 1
+        else:
+            new.append(finding)
+    stale = sorted(key for key, count in budget.items() if count > 0)
+    return new, suppressed, stale

@@ -29,6 +29,7 @@ __all__ = [
     "LintConfig",
     "Rule",
     "ProjectRule",
+    "ModelRule",
     "LintEngine",
     "register_rule",
     "all_rules",
@@ -86,6 +87,25 @@ class LintConfig:
     cli_modules: Tuple[str, ...] = ("repro.cli", "repro.analysis.runner")
     #: the policy layer allowed to block in time.sleep (R13 scope)
     sleep_allowlist: Tuple[str, ...] = ("repro.resilience",)
+    #: the architecture DAG, bottom layer first; a module may only import
+    #: modules in strictly lower layers (or its own package).  Packages
+    #: not named here are unconstrained (R14 scope)
+    layers: Tuple[Tuple[str, ...], ...] = (
+        ("repro.obs", "repro.imaging", "repro.similarity"),
+        ("repro.video", "repro.resilience"),
+        ("repro.features", "repro.db", "repro.runtime"),
+        ("repro.indexing",),
+        ("repro.core",),
+        ("repro.web", "repro.eval", "repro.analysis"),
+        ("repro.cli",),
+        ("repro.__main__",),
+    )
+    #: packages whose public functions run on server threads (R15 roots)
+    threaded_packages: Tuple[str, ...] = ("repro.web",)
+    #: modules whose public entry points must reach instrumentation (R17)
+    obs_entry_modules: Tuple[str, ...] = ("repro.core.system", "repro.web")
+    #: modules sanctioned to hold resources outside ``with`` (R18)
+    resource_allowlist: frozenset = frozenset({"repro.imaging.image"})
 
     def wants(self, rule_id: str) -> bool:
         if rule_id in self.ignore:
@@ -158,6 +178,48 @@ class ProjectRule(Rule):
         raise NotImplementedError
 
 
+class ModelRule(ProjectRule):
+    """A rule over the :class:`~repro.analysis.project.ProjectModel`.
+
+    The engine builds the model once per run (module graph, symbol
+    tables, call graph) and shares it across every model rule, so adding
+    a rule costs one traversal, not one re-parse.
+    """
+
+    def check_project(
+        self, modules: Sequence[ModuleInfo], config: LintConfig
+    ) -> Iterable[Finding]:
+        from repro.analysis.project import ProjectModel
+
+        return self.check_model(ProjectModel(modules), config)
+
+    def check_model(self, model, config: LintConfig) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finding_at(
+        self,
+        path: str,
+        node: Union[ast.AST, int],
+        message: str,
+        fix_hint: Optional[str] = None,
+    ) -> Finding:
+        """A finding in an arbitrary module (model rules roam the project)."""
+        if isinstance(node, ast.AST):
+            line = getattr(node, "lineno", 1)
+            col = getattr(node, "col_offset", 0) + 1
+        else:
+            line, col = int(node), 1
+        return Finding(
+            rule_id=self.rule_id,
+            severity=self.severity,
+            path=path,
+            line=line,
+            col=col,
+            message=message,
+            fix_hint=self.fix_hint if fix_hint is None else fix_hint,
+        )
+
+
 _RULES: Dict[str, Type[Rule]] = {}
 
 
@@ -201,8 +263,9 @@ class _Suppressions:
         return False
 
 
-def _scan_pragmas(lines: Sequence[str]) -> _Suppressions:
+def _scan_pragmas(lines: Sequence[str], tree: Optional[ast.Module] = None) -> _Suppressions:
     sup = _Suppressions()
+    line_pragmas: List[Tuple[int, Set[str]]] = []
     for lineno, line in enumerate(lines, start=1):
         m = _PRAGMA_RE.search(line)
         if not m:
@@ -212,6 +275,23 @@ def _scan_pragmas(lines: Sequence[str]) -> _Suppressions:
             sup.file_level |= rules
         else:
             sup.by_line.setdefault(lineno, set()).update(rules)
+            line_pragmas.append((lineno, rules))
+    if tree is not None and line_pragmas:
+        # a pragma on *any* physical line of a multi-line simple statement
+        # covers the whole statement (findings anchor to its first line)
+        spans = [
+            (node.lineno, node.end_lineno)
+            for node in ast.walk(tree)
+            if isinstance(node, ast.stmt)
+            and not hasattr(node, "body")  # simple statements only
+            and node.end_lineno is not None
+            and node.end_lineno > node.lineno
+        ]
+        for lineno, rules in line_pragmas:
+            for start, end in spans:
+                if start <= lineno <= end:
+                    for covered in range(start, end + 1):
+                        sup.by_line.setdefault(covered, set()).update(rules)
     return sup
 
 
@@ -259,14 +339,21 @@ class LintEngine:
 
     def lint_modules(self, modules: Sequence[ModuleInfo]) -> Report:
         findings: List[Finding] = []
+        model = None
         for rule in self.rules:
-            if isinstance(rule, ProjectRule):
+            if isinstance(rule, ModelRule):
+                if model is None:
+                    from repro.analysis.project import ProjectModel
+
+                    model = ProjectModel(modules)
+                findings.extend(rule.check_model(model, self.config))
+            elif isinstance(rule, ProjectRule):
                 findings.extend(rule.check_project(modules, self.config))
             else:
                 for module in modules:
                     if rule.applies_to(module, self.config):
                         findings.extend(rule.check(module, self.config))
-        by_path = {m.path: _scan_pragmas(m.lines) for m in modules}
+        by_path = {m.path: _scan_pragmas(m.lines, m.tree) for m in modules}
         kept = [
             f
             for f in findings

@@ -39,8 +39,10 @@ class Finding:
     fix_hint: str = ""
 
     @property
-    def sort_key(self) -> Tuple[str, int, int, str]:
-        return (self.path, self.line, self.col, self.rule_id)
+    def sort_key(self) -> Tuple[str, int, int, str, str]:
+        # message is the final tie-break so two findings of one rule at one
+        # location (e.g. two stale __all__ names) order deterministically
+        return (self.path, self.line, self.col, self.rule_id, self.message)
 
     def render(self, show_hint: bool = True) -> str:
         text = f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.severity}: {self.message}"

@@ -1,0 +1,254 @@
+"""Mechanical autofixes: ``repro lint --fix`` / ``--diff``.
+
+Only rules whose remedy is unambiguous get an autofix; everything else
+stays human work.  Three qualify today:
+
+- **R7 no-mutable-defaults** -- the default becomes ``None`` and the
+  function body gains ``if arg is None: arg = <original>`` right after
+  the docstring;
+- **R8 explicit-exports** -- stale names are dropped from a literal
+  ``__all__``;
+- **R19 unused-import** -- the unused alias is removed (or the whole
+  import statement, when nothing it binds is used).
+
+Fixes are computed from the AST and applied to the raw source as
+bottom-up span edits, so earlier edits never invalidate later
+coordinates.  Pragma-suppressed findings are skipped -- a ``# reprolint:
+disable`` means the human decided, and ``--fix`` must not overrule them.
+The result is idempotent: running the fixer on its own output yields no
+further edits (the tests assert this).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis.engine import (
+    LintConfig,
+    ModuleInfo,
+    _scan_pragmas,
+)
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.rules.exports import _bound_names, _find_all_assign, _literal_names
+from repro.analysis.rules.hygiene import MutableDefaultRule
+from repro.analysis.rules.imports_unused import unused_import_bindings
+
+__all__ = ["FixResult", "fix_module", "FIXABLE_RULES"]
+
+FIXABLE_RULES = ("R7", "R8", "R19")
+
+
+@dataclass
+class FixResult:
+    """The outcome of fixing one module."""
+
+    source: str
+    applied: List[str] = field(default_factory=list)  # human-readable edits
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.applied)
+
+
+#: one span replacement: (start_line, start_col, end_line, end_col, text)
+_Edit = Tuple[int, int, int, int, str]
+
+
+def fix_module(module: ModuleInfo, config: Optional[LintConfig] = None) -> FixResult:
+    """Apply every mechanical fix to one parsed module."""
+    config = config or LintConfig()
+    sup = _scan_pragmas(module.lines, module.tree)
+
+    def suppressed(rule_id: str, line: int) -> bool:
+        probe = Finding(
+            rule_id=rule_id,
+            severity=Severity.ERROR,
+            path=module.path,
+            line=line,
+            col=1,
+            message="",
+        )
+        return sup.hides(probe)
+
+    edits: List[_Edit] = []
+    removals: List[int] = []  # whole lines to delete (1-based)
+    applied: List[str] = []
+
+    if config.wants("R19"):
+        _fix_unused_imports(module, suppressed, edits, removals, applied)
+    if config.wants("R8"):
+        _fix_stale_all(module, suppressed, edits, applied)
+    if config.wants("R7"):
+        _fix_mutable_defaults(module, config, suppressed, edits, applied)
+
+    if not applied:
+        return FixResult(source=module.source)
+    return FixResult(source=_apply(module.source, edits, removals), applied=applied)
+
+
+# -- R19: unused imports -------------------------------------------------------
+
+
+def _fix_unused_imports(
+    module: ModuleInfo,
+    suppressed,
+    edits: List[_Edit],
+    removals: List[int],
+    applied: List[str],
+) -> None:
+    unused = unused_import_bindings(module)
+    by_stmt: dict = {}
+    for stmt, alias, name in unused:
+        if suppressed("R19", stmt.lineno):
+            continue
+        by_stmt.setdefault(id(stmt), (stmt, []))[1].append((alias, name))
+    for stmt, dead in by_stmt.values():
+        keep = [a for a in stmt.names if all(a is not d for d, _ in dead)]
+        start, end = stmt.lineno, stmt.end_lineno or stmt.lineno
+        if not keep:
+            removals.extend(range(start, end + 1))
+            applied.append(f"R19 {module.path}:{start}: removed unused import")
+            continue
+        indent = " " * stmt.col_offset
+        rendered = ", ".join(
+            a.name if a.asname is None else f"{a.name} as {a.asname}" for a in keep
+        )
+        if isinstance(stmt, ast.ImportFrom):
+            dots = "." * stmt.level
+            text = f"{indent}from {dots}{stmt.module or ''} import {rendered}"
+        else:
+            text = f"{indent}import {rendered}"
+        edits.append((start, 0, end, len(module.lines[end - 1]), text))
+        names = ", ".join(name for _, name in dead)
+        applied.append(f"R19 {module.path}:{start}: dropped unused {names}")
+
+
+# -- R8: stale __all__ entries -------------------------------------------------
+
+
+def _fix_stale_all(
+    module: ModuleInfo, suppressed, edits: List[_Edit], applied: List[str]
+) -> None:
+    assign = _find_all_assign(module.tree)
+    if assign is None or suppressed("R8", assign.lineno):
+        return
+    names = _literal_names(assign.value)
+    if names is None:
+        return
+    bound = _bound_names(module.tree)
+    if bound is None or "__getattr__" in bound:
+        return
+    stale = [n for n in names if n not in bound]
+    if not stale:
+        return
+    kept = [n for n in names if n in bound]
+    open_ch, close_ch = ("[", "]") if isinstance(assign.value, ast.List) else ("(", ")")
+    start, end = assign.value.lineno, assign.value.end_lineno or assign.value.lineno
+    if start == end:
+        body = ", ".join(repr(n) for n in kept)
+        if isinstance(assign.value, ast.Tuple) and len(kept) == 1:
+            body += ","
+        text_value = f"{open_ch}{body}{close_ch}"
+    else:
+        indent = " " * assign.col_offset
+        entries = "".join(f"{indent}    {n!r},\n" for n in kept)
+        text_value = f"{open_ch}\n{entries}{indent}{close_ch}"
+    edits.append(
+        (start, assign.value.col_offset, end, assign.value.end_col_offset, text_value)
+    )
+    applied.append(
+        f"R8 {module.path}:{assign.lineno}: dropped stale __all__ entries "
+        + ", ".join(repr(n) for n in stale)
+    )
+
+
+# -- R7: mutable default arguments ---------------------------------------------
+
+
+def _fix_mutable_defaults(
+    module: ModuleInfo,
+    config: LintConfig,
+    suppressed,
+    edits: List[_Edit],
+    applied: List[str],
+) -> None:
+    rule = MutableDefaultRule()
+    for node in ast.walk(module.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue  # lambdas have no body to patch: left to the human
+        args = node.args
+        pos = args.posonlyargs + args.args
+        pairs: List[Tuple[ast.arg, ast.expr]] = list(
+            zip(pos[len(pos) - len(args.defaults):], args.defaults)
+        )
+        pairs += [
+            (a, d)
+            for a, d in zip(args.kwonlyargs, args.kw_defaults)
+            if d is not None
+        ]
+        rewrites: List[Tuple[ast.arg, ast.expr, str]] = []
+        for arg, default in pairs:
+            if not rule._is_mutable(default):
+                continue
+            if suppressed("R7", default.lineno):
+                continue
+            original = ast.get_source_segment(module.source, default)
+            if original is None or "\n" in original:
+                continue  # multi-line default: not mechanically safe
+            rewrites.append((arg, default, original))
+        if not rewrites:
+            continue
+        body = node.body
+        insert_at = body[0].lineno  # insert before the first real statement
+        if (
+            isinstance(body[0], ast.Expr)
+            and isinstance(body[0].value, ast.Constant)
+            and isinstance(body[0].value.value, str)
+        ):
+            insert_at = (body[0].end_lineno or body[0].lineno) + 1
+            indent = " " * body[0].col_offset
+            if len(body) > 1:
+                insert_at = body[1].lineno
+                indent = " " * body[1].col_offset
+        else:
+            indent = " " * body[0].col_offset
+        guard_lines = [
+            f"{indent}if {arg.arg} is None:\n{indent}    {arg.arg} = {original}\n"
+            for arg, _, original in rewrites
+        ]
+        # insertion rides on a zero-width edit at the target line's column 0
+        edits.append((insert_at, 0, insert_at, 0, "".join(guard_lines)))
+        for arg, default, original in rewrites:
+            edits.append(
+                (
+                    default.lineno,
+                    default.col_offset,
+                    default.end_lineno or default.lineno,
+                    default.end_col_offset,
+                    "None",
+                )
+            )
+            applied.append(
+                f"R7 {module.path}:{default.lineno}: {node.name}({arg.arg}="
+                f"{original}) defaults to None with an in-body guard"
+            )
+
+
+# -- span application ----------------------------------------------------------
+
+
+def _apply(source: str, edits: Sequence[_Edit], removals: Sequence[int]) -> str:
+    lines = source.splitlines(keepends=True)
+    # bottom-up so earlier coordinates stay valid
+    for start, s_col, end, e_col, text in sorted(
+        edits, key=lambda e: (e[0], e[1]), reverse=True
+    ):
+        head = lines[start - 1][:s_col]
+        tail = lines[end - 1][e_col:]
+        replacement = head + text + tail
+        lines[start - 1 : end] = replacement.splitlines(keepends=True) or [""]
+    for lineno in sorted(set(removals), reverse=True):
+        del lines[lineno - 1]
+    return "".join(lines)

@@ -19,9 +19,16 @@ R10   extractor-module-imported   features/__init__ imports every extractor
 R11   seeded-randomness           numpy randomness uses explicitly seeded RNGs
 R12   no-print                    library code logs via repro.obs.log, not print
 R13   no-bare-sleep               blocking sleeps live in repro.resilience only
+R14   layer-dag                   imports follow the layer DAG, no import cycles
+R15   fork-thread-safety          concurrent paths lock shared module state
+R16   sql-dataflow                dynamic SQL cannot flow into execute() sites
+R17   obs-coverage                public entry points reach a span or metric
+R18   resource-hygiene            open()/connect() handles have a visible owner
+R19   unused-import               module-level imports bind names that are used
 ====  ==========================  ==============================================
 """
 
+from repro.analysis.rules.concurrency import ConcurrencySafetyRule
 from repro.analysis.rules.errors import DbErrorHierarchyRule
 from repro.analysis.rules.exports import ExportsRule
 from repro.analysis.rules.extractors import (
@@ -31,11 +38,16 @@ from repro.analysis.rules.extractors import (
     RegistryUniquenessRule,
 )
 from repro.analysis.rules.hygiene import ExceptionHygieneRule, MutableDefaultRule
+from repro.analysis.rules.imports_unused import UnusedImportRule
+from repro.analysis.rules.layering import LayerDagRule
+from repro.analysis.rules.obscoverage import ObsCoverageRule
 from repro.analysis.rules.printing import NoPrintRule
 from repro.analysis.rules.purity import PurityRule
 from repro.analysis.rules.randomness import SeededRandomnessRule
+from repro.analysis.rules.resources import ResourceHygieneRule
 from repro.analysis.rules.sleeping import NoSleepRule
 from repro.analysis.rules.sql import SqlConstructionRule
+from repro.analysis.rules.sqlflow import SqlDataflowRule
 
 __all__ = [
     "ExtractorRegistrationRule",
@@ -51,4 +63,10 @@ __all__ = [
     "SeededRandomnessRule",
     "NoPrintRule",
     "NoSleepRule",
+    "LayerDagRule",
+    "ConcurrencySafetyRule",
+    "SqlDataflowRule",
+    "ObsCoverageRule",
+    "ResourceHygieneRule",
+    "UnusedImportRule",
 ]

@@ -1,0 +1,135 @@
+"""Rule R19: module-level imports are used.
+
+An unused import is dead weight with teeth: it creates layer edges R14
+then has to police, drags import-time cost into every process that
+loads the module, and misleads readers about what the module depends
+on.  R19 flags module-level imports whose bound name is never
+referenced.  It is deliberately conservative -- a name counts as used if
+it appears anywhere in the AST, in ``__all__``, or textually anywhere
+else in the source (which covers string annotations and docstring
+references) -- and package ``__init__`` modules are exempt because
+their imports *are* their API (R10 owns that contract).
+
+R19 findings are mechanical, so the autofixer (``repro lint --fix``)
+can remove them.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, List, Set, Tuple
+
+from repro.analysis.engine import Finding, LintConfig, ModuleInfo, Rule, register_rule
+
+__all__ = ["UnusedImportRule"]
+
+
+def module_level_imports(tree: ast.Module) -> List[Tuple[ast.stmt, ast.alias, str]]:
+    """``(stmt, alias, bound name)`` for every top-level import binding.
+
+    ``TYPE_CHECKING`` blocks count as module level -- their imports bind
+    names used in annotations and are subject to the same hygiene.
+    """
+    out: List[Tuple[ast.stmt, ast.alias, str]] = []
+
+    def visit(stmts: Iterable[ast.stmt]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    out.append((stmt, alias, alias.asname or alias.name.split(".")[0]))
+            elif isinstance(stmt, ast.ImportFrom):
+                if stmt.module == "__future__":
+                    continue
+                for alias in stmt.names:
+                    if alias.name == "*":
+                        continue
+                    out.append((stmt, alias, alias.asname or alias.name))
+            elif isinstance(stmt, ast.If):
+                visit(stmt.body)
+                visit(stmt.orelse)
+            elif isinstance(stmt, ast.Try):
+                visit(stmt.body)
+                for handler in stmt.handlers:
+                    visit(handler.body)
+                visit(stmt.orelse)
+                visit(stmt.finalbody)
+
+    visit(tree.body)
+    return out
+
+
+def unused_import_bindings(module: ModuleInfo) -> List[Tuple[ast.stmt, ast.alias, str]]:
+    """The subset of module-level import bindings nothing references."""
+    if module.path.endswith("__init__.py"):
+        return []
+    imports = module_level_imports(module.tree)
+    if not imports:
+        return []
+    import_stmts = {id(stmt) for stmt, _, _ in imports}
+    used: Set[str] = set()
+    for node in ast.walk(module.tree):
+        if isinstance(node, (ast.Import, ast.ImportFrom)) and id(node) in import_stmts:
+            continue
+        if isinstance(node, ast.Name):
+            used.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            head = node
+            while isinstance(head, ast.Attribute):
+                head = head.value
+            if isinstance(head, ast.Name):
+                used.add(head.id)
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == "__all__":
+                    for elt in ast.walk(node.value):
+                        if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                            used.add(elt.value)
+    out: List[Tuple[ast.stmt, ast.alias, str]] = []
+    for stmt, alias, name in imports:
+        if name in used:
+            continue
+        if _marked_deliberate(module, stmt):
+            continue
+        if _textually_used(module, stmt, name):
+            continue
+        out.append((stmt, alias, name))
+    return out
+
+
+def _marked_deliberate(module: ModuleInfo, stmt: ast.stmt) -> bool:
+    """``# noqa`` on the import line marks a side-effect/probe import."""
+    line = module.lines[stmt.lineno - 1] if stmt.lineno <= len(module.lines) else ""
+    return "# noqa" in line
+
+
+def _textually_used(module: ModuleInfo, stmt: ast.stmt, name: str) -> bool:
+    """Word-boundary fallback covering string annotations and doc prose."""
+    pattern = re.compile(rf"\b{re.escape(name)}\b")
+    span = range(stmt.lineno, (stmt.end_lineno or stmt.lineno) + 1)
+    for lineno, line in enumerate(module.lines, start=1):
+        if lineno in span:
+            continue
+        if pattern.search(line):
+            return True
+    return False
+
+
+@register_rule
+class UnusedImportRule(Rule):
+    """R19: no module-level import binds a name nothing uses."""
+
+    rule_id = "R19"
+    title = "unused-import"
+    fix_hint = "delete the import (repro lint --fix removes it mechanically)"
+
+    def check(self, module: ModuleInfo, config: LintConfig) -> Iterable[Finding]:
+        for stmt, alias, name in unused_import_bindings(module):
+            shown = alias.name if alias.asname is None else f"{alias.name} as {alias.asname}"
+            yield self.finding(
+                module,
+                stmt,
+                f"import {shown!r} binds {name!r} which is never used in "
+                "this module",
+            )

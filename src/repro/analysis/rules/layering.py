@@ -1,0 +1,115 @@
+"""Rule R14: the whole-program architecture DAG.
+
+R5 keeps the numeric substrate pure; R14 generalizes that contract to
+every layer.  ``LintConfig.layers`` names the architecture bottom-up
+(substrate -> format/policy -> storage/compute -> index -> core ->
+interfaces); a module may import its own package and strictly *lower*
+layers, never a peer or anything above it.  On top of the layer check,
+the module-level import graph must stay acyclic -- a cycle means no
+start order exists in which both modules are importable, which is
+exactly what the scatter-gather refactor (ROADMAP items 1-3) cannot
+tolerate in shard workers that import a subset of the tree.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.engine import Finding, LintConfig, ModelRule, register_rule
+from repro.analysis.project import ProjectModel
+
+__all__ = ["LayerDagRule"]
+
+
+def _rank_of(module: str, layers: Tuple[Tuple[str, ...], ...]) -> Optional[Tuple[int, str]]:
+    """``(rank, matched prefix)`` of a module, or None when unconstrained."""
+    best: Optional[Tuple[int, str]] = None
+    for rank, packages in enumerate(layers):
+        for prefix in packages:
+            if module == prefix or module.startswith(prefix + "."):
+                if best is None or len(prefix) > len(best[1]):
+                    best = (rank, prefix)
+    return best
+
+
+@register_rule
+class LayerDagRule(ModelRule):
+    """R14: imports respect the layer DAG and the module graph is acyclic."""
+
+    rule_id = "R14"
+    title = "layer-dag"
+    fix_hint = (
+        "depend downward only: move the shared code into a lower layer, or "
+        "invert the dependency (callback/registry) instead of importing up "
+        "or sideways; see the layer table in docs/static_analysis.md"
+    )
+
+    def check_model(self, model: ProjectModel, config: LintConfig) -> Iterable[Finding]:
+        yield from self._check_layers(model, config)
+        yield from self._check_cycles(model)
+
+    # -- layered imports -------------------------------------------------------
+
+    def _check_layers(
+        self, model: ProjectModel, config: LintConfig
+    ) -> Iterable[Finding]:
+        for mod_name in sorted(model.all_import_edges):
+            info = model.modules[mod_name]
+            src = _rank_of(mod_name, config.layers)
+            if src is None:
+                continue  # unconstrained module (e.g. the root package)
+            src_rank, src_prefix = src
+            for target in sorted(model.all_import_edges[mod_name]):
+                if target == src_prefix or target.startswith(src_prefix + "."):
+                    continue  # own package
+                dst = _rank_of(target, config.layers)
+                if dst is None:
+                    continue
+                dst_rank, dst_prefix = dst
+                if dst_rank < src_rank:
+                    continue  # downward: allowed
+                direction = "its own layer" if dst_rank == src_rank else "a higher layer"
+                yield self.finding_at(
+                    info.path,
+                    self._import_line(info.tree, target) or 1,
+                    f"{mod_name} (layer {src_rank}: {src_prefix}) imports "
+                    f"{target} (layer {dst_rank}: {dst_prefix}), which is in "
+                    f"{direction}; the architecture DAG only allows downward "
+                    "imports",
+                )
+
+    @staticmethod
+    def _import_line(tree: ast.Module, target: str) -> Optional[int]:
+        """Line of the first import statement mentioning ``target``."""
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == target or alias.name.startswith(target + "."):
+                        return node.lineno
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                if node.module == target or node.module.startswith(target + "."):
+                    return node.lineno
+        return None
+
+    # -- cycles ----------------------------------------------------------------
+
+    def _check_cycles(self, model: ProjectModel) -> Iterable[Finding]:
+        for cycle in model.import_cycles():
+            anchor = cycle[0]
+            info = model.modules[anchor]
+            chain = " -> ".join(cycle + [cycle[0]])
+            # one finding per cycle, anchored at its alphabetically first
+            # member, so a cycle does not explode into N duplicate findings
+            edges: Dict[str, List[str]] = {
+                m: sorted(t for t in model.import_edges[m] if t in cycle)
+                for m in cycle
+            }
+            detail = "; ".join(f"{m} imports {', '.join(ts)}" for m, ts in edges.items() if ts)
+            yield self.finding_at(
+                info.path,
+                1,
+                f"module-level import cycle: {chain} ({detail}); break it "
+                "with a function-level import or by extracting the shared "
+                "piece downward",
+            )

@@ -1,0 +1,79 @@
+"""Rule R17: public entry points are observable.
+
+PR 4 built the metrics/tracing substrate and PR 5's resilience layer
+leans on it; an entry point that never reaches a span or a metric is
+invisible in exactly the incident where observability pays for itself.
+R17 walks the call graph from every public function of the configured
+entry packages (``LintConfig.obs_entry_modules`` -- the core facade and
+the web layer) and reports the ones from which no span/metric call is
+reachable.  Trivial accessors (a couple of statements, no loops) are
+exempt: wrapping a one-line getter in a span is noise, not coverage.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.engine import Finding, LintConfig, ModelRule, register_rule
+from repro.analysis.project import FunctionInfo, ProjectModel
+
+__all__ = ["ObsCoverageRule"]
+
+#: dotted-call tails that constitute "touching observability"
+_OBS_TAILS = frozenset(
+    {
+        "span", "start_span", "labels", "inc", "dec", "observe",
+        "counter", "gauge", "histogram", "time_block",
+    }
+)
+
+#: statements (after the docstring) below which a function is too small to trace
+_TRIVIAL_STMTS = 2
+
+
+@register_rule
+class ObsCoverageRule(ModelRule):
+    """R17: every non-trivial public entry point reaches a span or metric."""
+
+    rule_id = "R17"
+    title = "obs-coverage"
+    fix_hint = (
+        "open a span (with span(...):) or bump a metric in the entry point, "
+        "or route it through an instrumented helper; see repro/obs"
+    )
+
+    def check_model(self, model: ProjectModel, config: LintConfig) -> Iterable[Finding]:
+        touches = {
+            qual
+            for qual, info in model.functions.items()
+            if any(c.rsplit(".", 1)[-1] in _OBS_TAILS for c in info.calls)
+        }
+        for info in model.public_functions(config.obs_entry_modules):
+            if self._is_trivial(info):
+                continue
+            closure = model.reachable_from([info.qualname])
+            if closure & touches:
+                continue
+            where = f"{info.cls}.{info.name}" if info.cls else info.name
+            yield self.finding_at(
+                model.modules[info.module].path,
+                info.node,
+                f"public entry point {where}() in {info.module} never reaches "
+                "a span or metric; an incident on this path leaves no trace",
+            )
+
+    @staticmethod
+    def _is_trivial(info: FunctionInfo) -> bool:
+        body = list(getattr(info.node, "body", []))
+        if body and isinstance(body[0], ast.Expr) and isinstance(
+            body[0].value, ast.Constant
+        ) and isinstance(body[0].value.value, str):
+            body = body[1:]  # drop the docstring
+        if len(body) > _TRIVIAL_STMTS:
+            return False
+        return not any(
+            isinstance(n, (ast.For, ast.AsyncFor, ast.While))
+            for stmt in body
+            for n in ast.walk(stmt)
+        )

@@ -1,0 +1,189 @@
+"""Rule R18: file handles and connections have a visible owner.
+
+A bare ``open()`` (or ``*.connect()``) whose handle is never closed is a
+slow leak: invisible in tests, fatal in a long-running retrieval daemon
+that ingests thousands of videos.  The healthy shapes are
+
+- ``with open(p) as f:`` -- scope-bound;
+- ``self._fh = open(p)`` plus a ``self._fh.close()`` somewhere in the
+  same class -- lifetime-bound to the object (how ``db.storage`` runs
+  its WAL file);
+- ``fh = open(p)`` with a later ``fh.close()`` in the same scope, or
+  ``return``/``yield`` of the handle (a factory: the caller owns it).
+
+Everything else -- a handle passed inline into another call, assigned
+and forgotten -- is flagged.  Modules in
+``LintConfig.resource_allowlist`` are exempt wholesale (the imaging
+codecs open-and-slurp in tight helpers where ``with`` is already the
+idiom and short-lived probing handles are deliberate).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Optional
+
+from repro.analysis.engine import Finding, LintConfig, ModuleInfo, Rule, register_rule
+from repro.analysis.rules.util import dotted_name
+
+__all__ = ["ResourceHygieneRule"]
+
+_ACQUIRE_TAILS = frozenset({"connect"})
+
+
+@register_rule
+class ResourceHygieneRule(Rule):
+    """R18: acquired handles are with-scoped, class-owned, or returned."""
+
+    rule_id = "R18"
+    title = "resource-hygiene"
+    fix_hint = (
+        "wrap the acquisition in a with statement, or store the handle where "
+        "a matching .close() owns it (same scope or same class)"
+    )
+
+    def check(self, module: ModuleInfo, config: LintConfig) -> Iterable[Finding]:
+        if module.module in config.resource_allowlist:
+            return
+        parents = self._parent_map(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call) or not self._is_acquisition(node):
+                continue
+            verdict = self._owner_of(node, parents)
+            if verdict is None:
+                continue
+            yield self.finding(
+                module,
+                node,
+                f"{self._describe(node)} {verdict}; the handle has no owner "
+                "and leaks when this scope unwinds",
+            )
+
+    # -- classification --------------------------------------------------------
+
+    @staticmethod
+    def _is_acquisition(call: ast.Call) -> bool:
+        if isinstance(call.func, ast.Name):
+            return call.func.id == "open"
+        if isinstance(call.func, ast.Attribute):
+            return call.func.attr in _ACQUIRE_TAILS
+        return False
+
+    @staticmethod
+    def _describe(call: ast.Call) -> str:
+        name = dotted_name(call.func) or "the acquisition"
+        return f"{name}(...)"
+
+    def _owner_of(
+        self, call: ast.Call, parents: Dict[ast.AST, ast.AST]
+    ) -> Optional[str]:
+        """None when owned; otherwise a short description of the leak."""
+        # climb to the enclosing statement, noting with-item membership
+        node: ast.AST = call
+        while True:
+            parent = parents.get(node)
+            if parent is None:
+                return None  # detached (should not happen)
+            if isinstance(parent, ast.withitem) and parent.context_expr is node:
+                return None  # with open(...) as f  /  with closing(open(...))
+            if isinstance(node, ast.stmt):
+                break
+            node = parent
+        stmt = node
+        value = getattr(stmt, "value", None)
+        if isinstance(value, (ast.Yield, ast.YieldFrom)):
+            value = value.value
+        if isinstance(stmt, (ast.Return, ast.Expr)) and value is call:
+            # the handle itself is returned/yielded: the caller owns it
+            return None
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+            if isinstance(target, ast.Name):
+                scope = self._enclosing_scope(stmt, parents)
+                if self._name_released(target.id, scope):
+                    return None
+                return (
+                    f"is assigned to {target.id!r} but {target.id}.close() "
+                    "never runs in this scope and the handle is not returned"
+                )
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                cls = self._enclosing_class(stmt, parents)
+                if cls is not None and self._attr_closed(target.attr, cls):
+                    return None
+                return (
+                    f"is stored on self.{target.attr} but no method of the "
+                    f"class calls self.{target.attr}.close()"
+                )
+        return "is used without a with statement"
+
+    # -- ownership evidence ----------------------------------------------------
+
+    @staticmethod
+    def _name_released(name: str, scope: ast.AST) -> bool:
+        for node in ast.walk(scope):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "close"
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == name
+            ):
+                return True
+            if isinstance(node, (ast.Return, ast.Yield)) and isinstance(
+                node.value, ast.Name
+            ) and node.value.id == name:
+                return True
+            if isinstance(node, ast.withitem) and isinstance(
+                node.context_expr, ast.Name
+            ) and node.context_expr.id == name:
+                return True
+        return False
+
+    @staticmethod
+    def _attr_closed(attr: str, cls: ast.ClassDef) -> bool:
+        for node in ast.walk(cls):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "close"
+                and isinstance(node.func.value, ast.Attribute)
+                and node.func.value.attr == attr
+                and isinstance(node.func.value.value, ast.Name)
+                and node.func.value.value.id == "self"
+            ):
+                return True
+        return False
+
+    # -- tree plumbing ---------------------------------------------------------
+
+    @staticmethod
+    def _parent_map(tree: ast.AST) -> Dict[ast.AST, ast.AST]:
+        parents: Dict[ast.AST, ast.AST] = {}
+        for node in ast.walk(tree):
+            for child in ast.iter_child_nodes(node):
+                parents[child] = node
+        return parents
+
+    @staticmethod
+    def _enclosing_scope(stmt: ast.stmt, parents: Dict[ast.AST, ast.AST]) -> ast.AST:
+        node: ast.AST = stmt
+        while node in parents:
+            node = parents[node]
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Module)):
+                return node
+        return node
+
+    @staticmethod
+    def _enclosing_class(
+        stmt: ast.stmt, parents: Dict[ast.AST, ast.AST]
+    ) -> Optional[ast.ClassDef]:
+        node: ast.AST = stmt
+        while node in parents:
+            node = parents[node]
+            if isinstance(node, ast.ClassDef):
+                return node
+        return None

@@ -15,9 +15,34 @@ from typing import Iterable, Optional
 from repro.analysis.engine import Finding, LintConfig, ModuleInfo, Rule, register_rule
 from repro.analysis.rules.util import dotted_name
 
-__all__ = ["SqlConstructionRule"]
+__all__ = ["SqlConstructionRule", "classify_dynamic_sql", "EXECUTE_METHODS"]
 
-_EXECUTE_METHODS = ("execute", "executemany", "executescript")
+EXECUTE_METHODS = ("execute", "executemany", "executescript")
+_EXECUTE_METHODS = EXECUTE_METHODS
+
+
+def classify_dynamic_sql(arg: ast.expr, config: LintConfig) -> Optional[str]:
+    """Reason the expression is a dynamically-assembled SQL string.
+
+    Shared by R4 (literal checks at the execute site) and R16 (the same
+    check applied to every definition that *reaches* the execute site).
+    """
+    if isinstance(arg, ast.JoinedStr):
+        return "an f-string"
+    if isinstance(arg, ast.BinOp) and isinstance(arg.op, (ast.Add, ast.Mod)):
+        op = "+" if isinstance(arg.op, ast.Add) else "%"
+        return f"built with the {op!r} operator"
+    if isinstance(arg, ast.Call):
+        name = dotted_name(arg.func)
+        tail = name.rsplit(".", 1)[-1]
+        if tail == "format":
+            return "a .format() call"
+        if tail == "join":
+            return "a str.join() call"
+        if tail in config.sql_builders:
+            return None  # approved builder
+        return None  # unknown helper call: give it the benefit of the doubt
+    return None
 
 
 @register_rule
@@ -32,23 +57,7 @@ class SqlConstructionRule(Rule):
     )
 
     def _classify(self, arg: ast.expr, config: LintConfig) -> Optional[str]:
-        """Reason the expression is a dynamically-assembled SQL string."""
-        if isinstance(arg, ast.JoinedStr):
-            return "an f-string"
-        if isinstance(arg, ast.BinOp) and isinstance(arg.op, (ast.Add, ast.Mod)):
-            op = "+" if isinstance(arg.op, ast.Add) else "%"
-            return f"built with the {op!r} operator"
-        if isinstance(arg, ast.Call):
-            name = dotted_name(arg.func)
-            tail = name.rsplit(".", 1)[-1]
-            if tail == "format":
-                return "a .format() call"
-            if tail == "join":
-                return "a str.join() call"
-            if tail in config.sql_builders:
-                return None  # approved builder
-            return None  # unknown helper call: give it the benefit of the doubt
-        return None
+        return classify_dynamic_sql(arg, config)
 
     def check(self, module: ModuleInfo, config: LintConfig) -> Iterable[Finding]:
         for node in ast.walk(module.tree):

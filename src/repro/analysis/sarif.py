@@ -1,0 +1,109 @@
+"""SARIF 2.1.0 serialization of a lint :class:`Report`.
+
+SARIF (Static Analysis Results Interchange Format) is what code-scanning
+UIs ingest; emitting it lets CI surface reprolint findings as inline
+annotations instead of a log to scroll.  The subset produced here is the
+conventional one: a single run, the rule catalogue under
+``tool.driver.rules``, one ``result`` per finding with a physical
+location.  Paths are emitted relative to the repository root when they
+fall under it, as SARIF consumers expect.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.engine import all_rules
+from repro.analysis.findings import Finding, Report, Severity
+
+__all__ = ["SARIF_VERSION", "SARIF_SCHEMA", "report_to_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _level(severity: Severity) -> str:
+    return "error" if severity is Severity.ERROR else "warning"
+
+
+def _rule_descriptors() -> List[dict]:
+    rules = []
+    for cls in all_rules():
+        doc = (cls.__doc__ or cls.title).strip().splitlines()[0]
+        rules.append(
+            {
+                "id": cls.rule_id,
+                "name": cls.title,
+                "shortDescription": {"text": doc},
+                "helpUri": "docs/static_analysis.md",
+                "defaultConfiguration": {"level": _level(cls.severity)},
+            }
+        )
+    return rules
+
+
+def _artifact_uri(path: str, root: Optional[Path]) -> str:
+    p = Path(path)
+    if root is not None:
+        try:
+            p = p.resolve().relative_to(root.resolve())
+        except ValueError:
+            pass
+    return p.as_posix()
+
+
+def _result(finding: Finding, rule_index: dict, root: Optional[Path]) -> dict:
+    return {
+        "ruleId": finding.rule_id,
+        "ruleIndex": rule_index.get(finding.rule_id, -1),
+        "level": _level(finding.severity),
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": _artifact_uri(finding.path, root),
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": max(finding.col, 1),
+                    },
+                }
+            }
+        ],
+    }
+
+
+def report_to_sarif(report: Report, root: Optional[Path] = None, indent: int = 2) -> str:
+    """The report as a SARIF 2.1.0 JSON document."""
+    descriptors = _rule_descriptors()
+    rule_index = {d["id"]: i for i, d in enumerate(descriptors)}
+    payload = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "informationUri": "docs/static_analysis.md",
+                        "rules": descriptors,
+                    }
+                },
+                "originalUriBaseIds": {
+                    "SRCROOT": {"uri": (root or Path.cwd()).resolve().as_uri() + "/"}
+                },
+                "results": [
+                    _result(f, rule_index, root)
+                    for f in report.findings
+                ],
+            }
+        ],
+    }
+    return json.dumps(payload, indent=indent)

@@ -21,6 +21,8 @@ are histogrammed by color with one ``bincount``.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from repro.features.base import FeatureExtractor, FeatureVector, register_extractor
@@ -76,6 +78,7 @@ def correlogram_counts(quantized: np.ndarray, n_colors: int, max_distance: int) 
 
 
 _RING_INDEX_CACHE: dict = {}
+_RING_INDEX_LOCK = threading.Lock()  # web threads and pool workers share the cache
 
 
 def _ring_indices(max_distance: int):
@@ -88,7 +91,8 @@ def _ring_indices(max_distance: int):
         for d in range(1, d_max + 1):
             offsets = np.asarray(ring_offsets(d))
             rings.append((d_max + offsets[:, 1], d_max + offsets[:, 0]))
-        _RING_INDEX_CACHE[max_distance] = rings
+        with _RING_INDEX_LOCK:
+            _RING_INDEX_CACHE[max_distance] = rings
     return rings
 
 

@@ -15,6 +15,7 @@ local texture energy envelope; per-image-size transfer stacks are cached.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Tuple
 
 import numpy as np
@@ -67,6 +68,7 @@ def gabor_filter_bank(
 
 
 _BANK_CACHE: Dict[Tuple, np.ndarray] = {}
+_BANK_LOCK = threading.Lock()  # web threads and pool workers share the cache
 
 
 def _cached_bank(shape, scales, orientations, ul, uh) -> np.ndarray:
@@ -74,10 +76,11 @@ def _cached_bank(shape, scales, orientations, ul, uh) -> np.ndarray:
     bank = _BANK_CACHE.get(key)
     if bank is None:
         bank = gabor_filter_bank(shape, scales, orientations, ul, uh)
-        # keep the cache from growing without bound across many image sizes
-        if len(_BANK_CACHE) > 8:
-            _BANK_CACHE.clear()
-        _BANK_CACHE[key] = bank
+        with _BANK_LOCK:
+            # keep the cache from growing without bound across many image sizes
+            if len(_BANK_CACHE) > 8:
+                _BANK_CACHE.clear()
+            _BANK_CACHE[key] = bank
     return bank
 
 

@@ -21,6 +21,7 @@ tiny 2.27e-4 value, while the default computes the textbook correlation in
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Tuple
 
 import numpy as np
@@ -78,6 +79,7 @@ def glcm_matrix(gray: np.ndarray, step: int = 1, levels: int = 256) -> np.ndarra
 
 
 _GRID_CACHE: Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+_GRID_LOCK = threading.Lock()  # web threads and pool workers share the cache
 
 
 def _cached_grids(n: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -86,10 +88,11 @@ def _cached_grids(n: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     if grids is None:
         levels = np.arange(n, dtype=np.float64)
         d2 = (levels[:, np.newaxis] - levels[np.newaxis, :]) ** 2
-        if len(_GRID_CACHE) > 4:
-            _GRID_CACHE.clear()
         grids = (levels, d2, 1.0 / (1.0 + d2))
-        _GRID_CACHE[n] = grids
+        with _GRID_LOCK:
+            if len(_GRID_CACHE) > 4:
+                _GRID_CACHE.clear()
+            _GRID_CACHE[n] = grids
     return grids
 
 

@@ -1,0 +1,126 @@
+"""Dataflow core: CFG construction and reaching definitions."""
+
+import ast
+import textwrap
+
+from repro.analysis import build_cfg, reaching_definitions
+
+
+def cfg_for(source):
+    tree = ast.parse(textwrap.dedent(source))
+    func = tree.body[0]
+    return build_cfg(func.body)
+
+
+def defs_reaching(source, stmt_type):
+    """Reaching (name, def-line) pairs at the first statement of ``stmt_type``."""
+    cfg = cfg_for(source)
+    reaching = reaching_definitions(cfg)
+    for sid, stmt in cfg.stmts.items():
+        if isinstance(stmt, stmt_type):
+            return {
+                (d.name, cfg.stmts[d.stmt_id].lineno) for d in reaching[sid]
+            }
+    raise AssertionError("no statement matched")
+
+
+class TestCfg:
+    def test_straight_line(self):
+        cfg = cfg_for("def f():\n    a = 1\n    b = a\n    return b\n")
+        assert len(cfg.nodes) == 3
+        assert cfg.nodes[0].succ == {1}
+        assert cfg.nodes[1].succ == {2}
+
+    def test_if_branches_merge(self):
+        cfg = cfg_for(
+            """
+            def f(c):
+                if c:
+                    x = 1
+                else:
+                    x = 2
+                return x
+            """
+        )
+        # if-header, both assignments, return
+        ret = max(cfg.nodes)
+        preds = {sid for sid, n in cfg.nodes.items() if ret in n.succ}
+        assert len(preds) == 2  # both branches flow into the return
+
+    def test_loop_has_back_edge(self):
+        cfg = cfg_for(
+            """
+            def f(xs):
+                total = 0
+                for x in xs:
+                    total = total + x
+                return total
+            """
+        )
+        for_id = next(
+            sid for sid, n in cfg.nodes.items() if isinstance(n.stmt, ast.For)
+        )
+        body_id = next(
+            sid
+            for sid, n in cfg.nodes.items()
+            if isinstance(n.stmt, ast.Assign) and n.stmt.lineno == 5
+        )
+        assert for_id in cfg.nodes[body_id].succ  # back edge
+
+
+class TestReachingDefinitions:
+    def test_rebinding_kills_older_definition(self):
+        defs = defs_reaching(
+            """
+            def f():
+                q = 1
+                q = 2
+                return q
+            """,
+            ast.Return,
+        )
+        assert defs == {("q", 4)}
+
+    def test_both_branches_reach_the_join(self):
+        defs = defs_reaching(
+            """
+            def f(c):
+                if c:
+                    q = 1
+                else:
+                    q = 2
+                return q
+            """,
+            ast.Return,
+        )
+        assert defs == {("q", 4), ("q", 6)}
+
+    def test_loop_definition_reaches_its_own_header(self):
+        defs = defs_reaching(
+            """
+            def f(xs):
+                q = 0
+                for x in xs:
+                    q = q + 1
+                return q
+            """,
+            ast.Return,
+        )
+        assert {d for d in defs if d[0] == "q"} == {("q", 3), ("q", 5)}
+        assert ("x", 4) in defs  # the loop target is a definition too
+
+    def test_try_body_defs_reach_the_handler(self):
+        defs = defs_reaching(
+            """
+            def f():
+                q = 1
+                try:
+                    q = 2
+                except ValueError:
+                    use(q)
+                return q
+            """,
+            ast.Expr,
+        )
+        # the handler can run before OR after the try-body assignment
+        assert defs == {("q", 3), ("q", 5)}

@@ -1,0 +1,50 @@
+"""Doc-drift guard: the rule catalogue in docs matches the registry."""
+
+import re
+from pathlib import Path
+
+from repro.analysis import all_rules
+
+DOC = Path(__file__).resolve().parents[2] / "docs" / "static_analysis.md"
+
+
+def catalogue_rows():
+    """``{rule id: name}`` parsed from the markdown catalogue table."""
+    rows = {}
+    for line in DOC.read_text(encoding="utf-8").splitlines():
+        m = re.match(r"\|\s*(R\d+)\s*\|\s*([a-z0-9-]+)\s*\|", line)
+        if m:
+            rows[m.group(1)] = m.group(2)
+    return rows
+
+
+def test_every_registered_rule_is_documented():
+    rows = catalogue_rows()
+    for cls in all_rules():
+        assert cls.rule_id in rows, (
+            f"{cls.rule_id} ({cls.title}) is registered but missing from the "
+            f"catalogue table in {DOC}"
+        )
+        assert rows[cls.rule_id] == cls.title, (
+            f"{cls.rule_id} is documented as {rows[cls.rule_id]!r} but the "
+            f"rule's title is {cls.title!r}"
+        )
+
+
+def test_no_phantom_rules_in_docs():
+    documented = set(catalogue_rows())
+    registered = {cls.rule_id for cls in all_rules()}
+    assert documented <= registered, (
+        f"docs describe unregistered rules: {sorted(documented - registered)}"
+    )
+
+
+def test_rules_package_docstring_table_is_complete():
+    import repro.analysis.rules as rules_pkg
+
+    doc = rules_pkg.__doc__ or ""
+    for cls in all_rules():
+        assert re.search(rf"^{cls.rule_id}\s ", doc, re.MULTILINE), (
+            f"{cls.rule_id} missing from repro/analysis/rules/__init__.py "
+            "docstring table"
+        )

@@ -43,6 +43,49 @@ class TestPragmas:
         src = BARE_EXCEPT.replace("except:", "except:  # reprolint: disable=all")
         assert not lint_source(src, config=LintConfig(select=frozenset({"R6"}))).findings
 
+    def test_file_pragma_on_last_line(self):
+        src = BARE_EXCEPT + "\n# reprolint: disable-file=R6\n"
+        assert not lint_source(src, config=LintConfig(select=frozenset({"R6"}))).findings
+
+    def test_multiple_rule_ids_in_one_pragma(self):
+        src = (
+            "def f(x=[]):  # reprolint: disable=R6, R7\n"
+            "    try:\n"
+            "        return x\n"
+            "    except:\n"
+            "        return None\n"
+        )
+        report = lint_source(src, config=LintConfig(select=frozenset({"R6", "R7"})))
+        # R7 (line 1) is suppressed; R6 fires on line 4, untouched by the pragma
+        assert [f.rule_id for f in report.findings] == ["R6"]
+
+    def test_pragma_on_continuation_line_of_multiline_statement(self):
+        # the finding anchors on line 3 (the f-string); the pragma sits on the
+        # closing line of the same statement and must still cover it
+        src = (
+            "def f(db, t):\n"
+            "    db.execute(\n"
+            '        f"DELETE FROM {t}",\n'
+            "    )  # reprolint: disable=R4\n"
+        )
+        assert not lint_source(src, config=LintConfig(select=frozenset({"R4"}))).findings
+
+    def test_pragma_on_one_statement_does_not_leak_to_neighbours(self):
+        src = (
+            "def f(db, t):\n"
+            "    db.execute(\n"
+            '        f"DELETE FROM {t}",\n'
+            "    )  # reprolint: disable=R4\n"
+            '    db.execute(f"DROP TABLE {t}")\n'
+        )
+        report = lint_source(src, config=LintConfig(select=frozenset({"R4"})))
+        assert [f.line for f in report.findings] == [5]
+
+    def test_unknown_rule_id_in_pragma_disables_nothing_else(self):
+        src = BARE_EXCEPT.replace("except:", "except:  # reprolint: disable=R999")
+        report = lint_source(src, config=LintConfig(select=frozenset({"R6"})))
+        assert [f.rule_id for f in report.findings] == ["R6"]
+
 
 class TestConfig:
     def test_ignore_beats_select(self):
@@ -50,7 +93,7 @@ class TestConfig:
         assert not LintEngine(config).rules
 
     def test_default_runs_all_rules(self):
-        assert len(LintEngine().rules) == len(all_rules()) == 13
+        assert len(LintEngine().rules) == len(all_rules()) == 19
 
     def test_with_rules_builds_new_config(self):
         config = LintConfig().with_rules(select=["R1", "R4"])
@@ -122,6 +165,48 @@ class TestReportModel:
         assert payload["n_errors"] == 1
         assert payload["findings"][0]["rule"] == "R6"
 
+    def test_ordering_is_total(self):
+        """path, line, col, rule id, then message -- no unordered ties."""
+        findings = [
+            self.finding(path="b.py"),
+            self.finding(path="a.py", line=5),
+            self.finding(path="a.py", line=2, col=9),
+            self.finding(path="a.py", line=2, col=1, rule_id="R9"),
+            self.finding(path="a.py", line=2, col=1, rule_id="R6", message="zz"),
+            self.finding(path="a.py", line=2, col=1, rule_id="R6", message="aa"),
+        ]
+        expected = [
+            ("a.py", 2, 1, "R6", "aa"),
+            ("a.py", 2, 1, "R6", "zz"),
+            ("a.py", 2, 1, "R9", "boom"),
+            ("a.py", 2, 9, "R6", "boom"),
+            ("a.py", 5, 1, "R6", "boom"),
+            ("b.py", 3, 1, "R6", "boom"),
+        ]
+        for perm in (findings, findings[::-1], findings[3:] + findings[:3]):
+            report = Report(findings=list(perm))
+            got = [
+                (f.path, f.line, f.col, f.rule_id, f.message) for f in report.findings
+            ]
+            assert got == expected
+
+    def test_report_independent_of_module_walk_order(self):
+        sources = [
+            ("mod_a", "def f(x=[]):\n    return x\n"),
+            ("mod_b", "def g(y={}):\n    return y\n"),
+        ]
+        config = LintConfig(select=frozenset({"R7"}))
+        engine = LintEngine(config)
+
+        def render(order):
+            modules = [
+                engine.load_source(src, path=f"{name}.py", module=name)
+                for name, src in order
+            ]
+            return engine.lint_modules(modules).to_text()
+
+        assert render(sources) == render(sources[::-1])
+
 
 class TestRunner:
     def test_clean_file_exits_zero(self, tmp_path, capsys):
@@ -152,8 +237,22 @@ class TestRunner:
     def test_list_rules(self, capsys):
         assert lint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("R1", "R4", "R10"):
+        for rule_id in ("R1", "R4", "R10", "R14", "R19"):
             assert rule_id in out
+
+    def test_list_rules_survives_missing_docstring(self, capsys, monkeypatch):
+        """A rule without a docstring lists by title instead of crashing."""
+        from repro.analysis import Rule
+        from repro.analysis import runner as runner_mod
+
+        class Bare(Rule):
+            rule_id = "R98"
+            title = "bare-rule"
+
+        Bare.__doc__ = None
+        monkeypatch.setattr(runner_mod, "all_rules", lambda: [Bare])
+        assert lint_main(["--list-rules"]) == 0
+        assert "bare-rule" in capsys.readouterr().out
 
     def test_cli_lint_subcommand(self, tmp_path, capsys):
         from repro.cli import main as repro_main

@@ -1,0 +1,184 @@
+"""Autofixer: mechanical fixes for R7/R8/R19, previewed or applied."""
+
+import textwrap
+
+from repro.analysis import LintConfig, LintEngine, fix_module, lint_source
+from repro.analysis.runner import main as lint_main
+
+
+def fix(source, module="fixture", path="fixture.py", config=None):
+    engine = LintEngine(config or LintConfig())
+    mod = engine.load_source(textwrap.dedent(source), path=path, module=module)
+    return fix_module(mod, engine.config)
+
+
+def assert_clean(source, rule_id):
+    report = lint_source(source, config=LintConfig(select=frozenset({rule_id})))
+    assert not report.findings, report.to_text()
+
+
+class TestMutableDefaultFix:
+    def test_default_becomes_none_with_guard(self):
+        result = fix(
+            """
+            def merge(items=[], seen={}):
+                for item in items:
+                    seen[item] = True
+                return seen
+            """
+        )
+        assert result.changed
+        src = result.source
+        assert "def merge(items=None, seen=None):" in src
+        assert "if items is None:\n        items = []" in src
+        assert "if seen is None:\n        seen = {}" in src
+        assert_clean(src, "R7")
+
+    def test_docstring_stays_first(self):
+        result = fix(
+            '''
+            def merge(items=[]):
+                """Collect items."""
+                return list(items)
+            '''
+        )
+        lines = result.source.splitlines()
+        assert lines[2].strip() == '"""Collect items."""'
+        assert lines[3].strip() == "if items is None:"
+        assert_clean(result.source, "R7")
+
+    def test_keyword_only_defaults_fixed(self):
+        result = fix(
+            """
+            def merge(*, seen={}):
+                return seen
+            """
+        )
+        assert "def merge(*, seen=None):" in result.source
+        assert_clean(result.source, "R7")
+
+    def test_pragma_suppressed_default_is_left_alone(self):
+        src = "def merge(items=[]):  # reprolint: disable=R7\n    return items\n"
+        result = fix(src)
+        assert not result.changed
+
+
+class TestStaleAllFix:
+    def test_stale_entries_dropped(self):
+        result = fix(
+            """
+            __all__ = ["keep", "gone", "also_gone"]
+
+            def keep():
+                return 1
+            """
+        )
+        assert result.changed
+        assert "'keep'" in result.source
+        assert "gone" not in result.source
+        assert_clean(result.source, "R8")
+
+    def test_multiline_all_keeps_shape(self):
+        result = fix(
+            """
+            __all__ = [
+                "keep",
+                "gone",
+            ]
+
+            def keep():
+                return 1
+            """
+        )
+        assert result.changed
+        lines = result.source.splitlines()
+        assert lines[1] == "__all__ = ["
+        assert lines[2].strip() == "'keep',"
+        assert lines[3] == "]"
+        assert_clean(result.source, "R8")
+
+
+class TestUnusedImportFix:
+    def test_whole_statement_removed(self):
+        result = fix(
+            """
+            import os
+            import json
+
+            __all__ = ["load"]
+
+            def load(s):
+                return json.loads(s)
+            """
+        )
+        assert result.changed
+        assert "import os\n" not in result.source
+        assert "import json" in result.source
+        assert_clean(result.source, "R19")
+
+    def test_single_alias_dropped_from_from_import(self):
+        result = fix(
+            """
+            from collections import OrderedDict, deque
+
+            __all__ = ["q"]
+
+            q = deque()
+            """
+        )
+        assert "from collections import deque" in result.source
+        assert "OrderedDict" not in result.source
+        assert_clean(result.source, "R19")
+
+
+class TestFixerContract:
+    COMBINED = """
+    import os
+    import json
+
+    __all__ = ["merge", "gone"]
+
+    def merge(items=[]):
+        return json.dumps(items)
+    """
+
+    def test_fix_is_idempotent(self):
+        first = fix(self.COMBINED)
+        assert first.changed
+        engine = LintEngine()
+        again = fix_module(
+            engine.load_source(first.source, path="fixture.py", module="fixture"),
+            engine.config,
+        )
+        assert not again.changed
+        assert again.source == first.source
+
+    def test_fixed_source_still_parses_and_is_clean(self):
+        result = fix(self.COMBINED)
+        for rule_id in ("R7", "R8", "R19"):
+            assert_clean(result.source, rule_id)
+
+    def test_cli_diff_previews_without_writing(self, tmp_path, capsys):
+        target = tmp_path / "bad.py"
+        original = "def f(x=[]):\n    return x\n"
+        target.write_text(original)
+        assert lint_main(["--diff", "--select", "R7", str(target)]) == 1
+        out = capsys.readouterr().out
+        assert "-def f(x=[]):" in out and "+def f(x=None):" in out
+        assert target.read_text() == original  # preview never writes
+
+    def test_cli_diff_exits_zero_when_nothing_pending(self, tmp_path, capsys):
+        target = tmp_path / "ok.py"
+        target.write_text("def f(x=None):\n    return x\n")
+        assert lint_main(["--diff", "--select", "R7", str(target)]) == 0
+        assert "no fixes pending" in capsys.readouterr().out
+
+    def test_cli_fix_rewrites_and_relints(self, tmp_path, capsys):
+        target = tmp_path / "bad.py"
+        target.write_text("def f(x=[]):\n    return x\n")
+        assert lint_main(["--fix", "--select", "R7", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "rewrote 1 file(s)" in out
+        assert "def f(x=None):" in target.read_text()
+        # second run is a no-op
+        assert lint_main(["--diff", "--select", "R7", str(target)]) == 0

@@ -1,0 +1,143 @@
+"""SARIF serialization and baseline/ratchet mechanics."""
+
+import json
+from pathlib import Path
+
+from repro.analysis import (
+    Baseline,
+    Finding,
+    Report,
+    Severity,
+    all_rules,
+    partition_findings,
+    report_to_sarif,
+)
+from repro.analysis.runner import main as lint_main
+
+
+def finding(**kw):
+    base = dict(
+        rule_id="R7",
+        severity=Severity.ERROR,
+        path="src/x.py",
+        line=4,
+        col=2,
+        message="mutable default",
+        fix_hint="use None",
+    )
+    base.update(kw)
+    return Finding(**base)
+
+
+class TestSarif:
+    def test_document_is_valid_sarif_2_1_0(self):
+        report = Report(findings=[finding()], n_files=1, n_rules=19)
+        payload = json.loads(report_to_sarif(report))
+        # the structural requirements of the SARIF 2.1.0 schema
+        assert payload["version"] == "2.1.0"
+        assert payload["$schema"].endswith("sarif-schema-2.1.0.json")
+        assert len(payload["runs"]) == 1
+        run = payload["runs"][0]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "reprolint"
+        rule_ids = [r["id"] for r in driver["rules"]]
+        assert rule_ids == [cls.rule_id for cls in all_rules()]
+        for rule in driver["rules"]:
+            assert rule["shortDescription"]["text"]
+            assert rule["defaultConfiguration"]["level"] in ("error", "warning")
+
+    def test_results_reference_the_rule_catalogue(self):
+        report = Report(
+            findings=[finding(), finding(rule_id="R19", severity=Severity.ERROR)],
+            n_files=1,
+            n_rules=19,
+        )
+        payload = json.loads(report_to_sarif(report))
+        results = payload["runs"][0]["results"]
+        assert len(results) == 2
+        driver_rules = payload["runs"][0]["tool"]["driver"]["rules"]
+        for result in results:
+            assert result["ruleId"] in {r["id"] for r in driver_rules}
+            assert driver_rules[result["ruleIndex"]]["id"] == result["ruleId"]
+            region = result["locations"][0]["physicalLocation"]["region"]
+            assert region["startLine"] == 4 and region["startColumn"] == 2
+            assert result["level"] == "error"
+            assert result["message"]["text"]
+
+    def test_paths_relativized_under_root(self):
+        report = Report(findings=[finding(path="/repo/src/x.py")])
+        payload = json.loads(report_to_sarif(report, root=Path("/repo")))
+        loc = payload["runs"][0]["results"][0]["locations"][0]
+        assert loc["physicalLocation"]["artifactLocation"]["uri"] == "src/x.py"
+
+    def test_cli_sarif_output_parses(self, tmp_path, capsys):
+        target = tmp_path / "bad.py"
+        target.write_text("def f(x=[]):\n    return x\n")
+        assert lint_main(["--format", "sarif", "--select", "R7", str(target)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["runs"][0]["results"][0]["ruleId"] == "R7"
+
+
+class TestBaseline:
+    def test_round_trip(self, tmp_path):
+        report = Report(findings=[finding(), finding(line=9)])
+        path = tmp_path / "baseline.json"
+        Baseline.from_report(report).dump(path)
+        loaded = Baseline.load(path)
+        assert len(loaded) == 2
+
+    def test_counts_are_a_multiset(self):
+        # two identical fingerprints baseline as two; a third is new
+        baseline = Baseline.from_report(Report(findings=[finding(), finding(line=9)]))
+        report = Report(findings=[finding(), finding(line=9), finding(line=30)])
+        new, suppressed, stale = partition_findings(report, baseline)
+        assert suppressed == 2 and len(new) == 1 and not stale
+
+    def test_fixed_findings_become_stale(self):
+        baseline = Baseline.from_report(Report(findings=[finding()]))
+        new, suppressed, stale = partition_findings(Report(findings=[]), baseline)
+        assert not new and suppressed == 0
+        assert stale == [("R7", "src/x.py", "mutable default")]
+
+    def test_line_moves_do_not_break_the_match(self):
+        baseline = Baseline.from_report(Report(findings=[finding(line=4)]))
+        new, suppressed, _ = partition_findings(
+            Report(findings=[finding(line=40)]), baseline
+        )
+        assert suppressed == 1 and not new
+
+    def test_cli_baseline_gates_only_new_findings(self, tmp_path, capsys):
+        target = tmp_path / "bad.py"
+        target.write_text("def f(x=[]):\n    return x\n")
+        bl = tmp_path / "baseline.json"
+        assert (
+            lint_main(
+                ["--select", "R7", "--baseline", str(bl), "--write-baseline", str(target)]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        # the recorded finding no longer fails the gate
+        assert lint_main(["--select", "R7", "--baseline", str(bl), str(target)]) == 0
+        assert "1 baselined finding(s) suppressed" in capsys.readouterr().out
+        # a new finding still fails it
+        target.write_text("def f(x=[]):\n    return x\n\ndef g(y={}):\n    return y\n")
+        assert lint_main(["--select", "R7", "--baseline", str(bl), str(target)]) == 1
+
+    def test_cli_stale_entries_warn(self, tmp_path, capsys):
+        target = tmp_path / "bad.py"
+        target.write_text("def f(x=[]):\n    return x\n")
+        bl = tmp_path / "baseline.json"
+        lint_main(["--select", "R7", "--baseline", str(bl), "--write-baseline", str(target)])
+        target.write_text("def f(x=None):\n    return x\n")
+        capsys.readouterr()
+        assert lint_main(["--select", "R7", "--baseline", str(bl), str(target)]) == 0
+        assert "stale baseline entry" in capsys.readouterr().err
+
+    def test_write_baseline_requires_target(self, tmp_path):
+        assert lint_main(["--write-baseline", str(tmp_path)]) == 2
+
+    def test_missing_baseline_file_is_usage_error(self, tmp_path):
+        assert (
+            lint_main(["--baseline", str(tmp_path / "nope.json"), str(tmp_path)]) == 2
+        )

@@ -1,0 +1,169 @@
+"""Project model: module graph, symbol tables, call graph, cycles."""
+
+import textwrap
+
+from repro.analysis import LintEngine, ProjectModel
+from repro.analysis.project import (
+    KIND_CONSTANT,
+    KIND_CONTEXTVAR,
+    KIND_LOCK,
+    KIND_MUTABLE,
+)
+
+
+def build_model(named_sources):
+    engine = LintEngine()
+    modules = [
+        engine.load_source(textwrap.dedent(src), path=_path_for(name), module=name)
+        for name, src in named_sources
+    ]
+    return ProjectModel(modules)
+
+
+def _path_for(name):
+    return name.replace(".", "/") + ".py"
+
+
+class TestImportGraph:
+    def test_module_level_vs_nested_imports(self):
+        model = build_model(
+            [
+                ("pkg.a", "import pkg.b\n\ndef f():\n    import pkg.c\n"),
+                ("pkg.b", ""),
+                ("pkg.c", ""),
+            ]
+        )
+        assert model.import_edges["pkg.a"] == {"pkg.b"}
+        assert model.all_import_edges["pkg.a"] == {"pkg.b", "pkg.c"}
+
+    def test_type_checking_imports_are_not_module_level(self):
+        model = build_model(
+            [
+                (
+                    "pkg.a",
+                    """
+                    from typing import TYPE_CHECKING
+
+                    if TYPE_CHECKING:
+                        import pkg.b
+                    """,
+                ),
+                ("pkg.b", ""),
+            ]
+        )
+        assert model.import_edges["pkg.a"] == set()
+
+    def test_from_import_resolves_to_module(self):
+        model = build_model(
+            [
+                ("pkg.a", "from pkg.b import helper\n"),
+                ("pkg.b", "def helper():\n    return 1\n"),
+            ]
+        )
+        assert model.import_edges["pkg.a"] == {"pkg.b"}
+
+    def test_cycle_detection(self):
+        model = build_model(
+            [
+                ("pkg.a", "import pkg.b\n"),
+                ("pkg.b", "import pkg.c\n"),
+                ("pkg.c", "import pkg.a\n"),
+                ("pkg.d", "import pkg.a\n"),
+            ]
+        )
+        assert model.import_cycles() == [["pkg.a", "pkg.b", "pkg.c"]]
+
+    def test_init_reexport_of_own_children_is_not_a_cycle(self):
+        engine = LintEngine()
+        modules = [
+            engine.load_source(
+                "from pkg.sub import thing\n", path="pkg/__init__.py", module="pkg"
+            ),
+            engine.load_source(
+                "import pkg\n\nthing = 1\n", path="pkg/sub.py", module="pkg.sub"
+            ),
+        ]
+        assert ProjectModel(modules).import_cycles() == []
+
+
+class TestSymbols:
+    def test_binding_kinds(self):
+        model = build_model(
+            [
+                (
+                    "m",
+                    """
+                    import threading
+                    import contextvars
+
+                    CACHE = {}
+                    LIMIT = 10
+                    _LOCK = threading.Lock()
+                    _VAR = contextvars.ContextVar("v")
+                    """,
+                )
+            ]
+        )
+        kinds = model.symbols["m"].kinds
+        assert kinds["CACHE"] == KIND_MUTABLE
+        assert kinds["LIMIT"] == KIND_CONSTANT
+        assert kinds["_LOCK"] == KIND_LOCK
+        assert kinds["_VAR"] == KIND_CONTEXTVAR
+
+
+class TestCallGraph:
+    SOURCES = [
+        (
+            "pkg.core",
+            """
+            from pkg.util import leaf
+
+            def entry():
+                middle()
+
+            def middle():
+                leaf()
+
+            class Engine:
+                def run(self):
+                    self.step()
+
+                def step(self):
+                    return entry()
+            """,
+        ),
+        ("pkg.util", "def leaf():\n    return 1\n"),
+    ]
+
+    def test_reachability_follows_calls_across_modules(self):
+        model = build_model(self.SOURCES)
+        closure = model.reachable_from(["pkg.core:entry"])
+        assert {"pkg.core:entry", "pkg.core:middle", "pkg.util:leaf"} <= closure
+
+    def test_self_calls_resolve_by_name_bucket(self):
+        model = build_model(self.SOURCES)
+        closure = model.reachable_from(["pkg.core:Engine.run"])
+        assert "pkg.core:Engine.step" in closure
+        assert "pkg.util:leaf" in closure  # run -> step -> entry -> ... -> leaf
+
+    def test_public_functions_skips_private(self):
+        model = build_model(
+            [
+                (
+                    "pkg.api",
+                    """
+                    def visible():
+                        return 1
+
+                    def _hidden():
+                        return 2
+
+                    class _Private:
+                        def method(self):
+                            return 3
+                    """,
+                )
+            ]
+        )
+        names = [f.qualname for f in model.public_functions(["pkg.api"])]
+        assert names == ["pkg.api:visible"]
