@@ -15,6 +15,9 @@ layer optimizes (ingest fan-out, batched distance scoring), and writes
 - **cache_hit** -- repeated identical query served from the LRU result cache
 - **obs_overhead** -- the same frame search with full observability
   (metrics + tracing) vs the ``obs_enabled=false`` null-object fast path
+- **cold_start** -- open-a-durable-library-and-answer-one-query, the mmap
+  snapshot path (``snapshot=require``) vs the SQL rebuild path
+  (``snapshot=off``); the CI cold-start lane gates on the same ratio
 
 Usage::
 
@@ -33,7 +36,9 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+import tempfile
 import time
 from typing import Callable, Dict, List, Optional
 
@@ -55,6 +60,7 @@ _TRACKED = [
     ("ann_query_frame", "ann", "ops_per_sec"),
     ("cache_hit", "hit", "ops_per_sec"),
     ("obs_overhead", "disabled", "ops_per_sec"),
+    ("cold_start", "mmap", "ops_per_sec"),
 ]
 
 
@@ -307,6 +313,47 @@ def run_benchmarks(
         f"obs_overhead  disabled p50 {disabled['latency_ms']['p50']:8.1f}ms   "
         f"enabled p50 {enabled['latency_ms']['p50']:8.1f}ms   "
         f"overhead {overhead_pct:+.1f}%"
+    )
+
+    # -- cold start: mmap snapshot open vs SQL rebuild ------------------------
+    # A fresh process serving its first query either maps the snapshot
+    # (snapshot=require: no feature parsing, no SQL scan) or rebuilds the
+    # store from KEY_FRAMES (snapshot=off, the pre-snapshot path).  Both
+    # open the same durable library and answer the same query.
+    with tempfile.TemporaryDirectory() as tmp:
+        library = os.path.join(tmp, "bench.rdb")
+        cold_corpus = corpus[: min(len(corpus), 8)]
+        durable = VideoRetrievalSystem.open(library, SystemConfig(workers=1))
+        for video in cold_corpus:
+            durable.admin.add_video(video)
+        durable.admin.checkpoint()  # folds the DB WAL and writes the snapshot
+        durable.close()
+
+        def cold_open(mode: str) -> Callable[[], None]:
+            config = SystemConfig(snapshot=mode, query_cache_size=0)
+
+            def run() -> None:
+                cold = VideoRetrievalSystem.open(library, config)
+                cold.search(query_image, top_k=20, use_index=False)
+                cold.close()
+
+            return run
+
+        rebuild = _timed(cold_open("off"), repeats)
+        mmap_open = _timed(cold_open("require"), repeats)
+    cold_speedup = round(
+        rebuild["latency_ms"]["p50"] / max(1e-9, mmap_open["latency_ms"]["p50"]), 2
+    )
+    result["cold_start"] = {
+        "videos": len(cold_corpus),
+        "rebuild": rebuild,
+        "mmap": mmap_open,
+        "speedup_vs_rebuild": cold_speedup,
+    }
+    print(
+        f"cold_start    rebuild p50 {rebuild['latency_ms']['p50']:8.1f}ms   "
+        f"mmap p50 {mmap_open['latency_ms']['p50']:8.1f}ms   "
+        f"speedup {cold_speedup:.2f}x"
     )
 
     result["ingest"] = ingest

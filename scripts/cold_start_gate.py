@@ -1,0 +1,184 @@
+#!/usr/bin/env python
+"""CI cold-start gate: mmap snapshot readiness must beat SQL rebuild.
+
+Builds a synthetic durable library, checkpoints it (which writes the
+``.snap`` mmap snapshot), then measures *fresh-process* time-to-first-query
+two ways:
+
+- **rebuild** -- ``snapshot=off``: ``Database.open`` loads every row and the
+  store re-parses every feature string (the pre-snapshot cold start).
+- **mmap** -- a read replica (``in_memory`` + ``snapshot_path`` +
+  ``snapshot=require``): the process maps the snapshot and serves without
+  touching SQL at all.
+
+Each mode runs in its own subprocess (no page cache of Python objects, no
+shared interpreter state).  The gate compares the best-of-``--runs``
+**time to open** -- process start to ready-to-serve -- and fails unless
+mmap is at least ``--min-speedup`` times faster; the first query is then
+served by both processes and must rank identically (it is the same work
+on both sides, so it validates correctness rather than diluting the
+ratio; both timings land in the report).  The snapshot must pass ``repro
+snapshot verify``, and ``repro snapshot info --json`` output lands in
+``--artifact-dir`` for upload.
+
+Usage (CI)::
+
+    PYTHONPATH=src python scripts/cold_start_gate.py --artifact-dir cold-start
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+
+#: child process: open one way, answer one query, report timings + ranking
+_CHILD = r"""
+import json, sys, time
+from repro.core.config import SystemConfig
+from repro.core.system import VideoRetrievalSystem
+from repro.imaging.image import read_image
+
+mode, library, snap, image_path = sys.argv[1:5]
+query = read_image(image_path)
+t0 = time.perf_counter()
+if mode == "mmap":
+    config = SystemConfig(snapshot="require", snapshot_path=snap,
+                          query_cache_size=0)
+    system = VideoRetrievalSystem.in_memory(config)
+else:
+    config = SystemConfig(snapshot="off", query_cache_size=0)
+    system = VideoRetrievalSystem.open(library, config)
+open_seconds = time.perf_counter() - t0
+results = system.search(query, top_k=10)
+ready_seconds = time.perf_counter() - t0
+print(json.dumps({
+    "mode": mode,
+    "served_from": system.snapshots.served_from,
+    "open_seconds": open_seconds,
+    "ready_seconds": ready_seconds,
+    "ranking": [[h.frame_id, h.distance] for h in results],
+}))
+system.close()
+"""
+
+
+def _build_library(library: str, videos_per_category: int, n_shots: int) -> str:
+    from repro.core.config import SystemConfig
+    from repro.core.system import VideoRetrievalSystem
+    from repro.video.generator import make_corpus
+
+    corpus = make_corpus(
+        videos_per_category=videos_per_category,
+        seed=2012,
+        width=64,
+        height=48,
+        n_shots=n_shots,
+        frames_per_shot=3,
+    )
+    system = VideoRetrievalSystem.open(library, SystemConfig(workers=0))
+    for video in corpus:
+        system.admin.add_video(video)
+    system.admin.checkpoint()  # folds the DB WAL and writes the snapshot
+    query_path = library + ".query.ppm"
+    system.any_key_frame().save(query_path)
+    n_frames = system.n_key_frames()
+    system.close()
+    print(f"library: {len(corpus)} videos, {n_frames} key frames")
+    return query_path
+
+
+def _cold_run(mode: str, library: str, snap: str, image: str) -> dict:
+    out = subprocess.run(
+        [sys.executable, "-c", _CHILD, mode, library, snap, image],
+        capture_output=True,
+        text=True,
+        check=True,
+        env=os.environ,
+    )
+    return json.loads(out.stdout.strip().splitlines()[-1])
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--videos-per-category", type=int, default=8,
+                        help="library size knob (5 categories)")
+    parser.add_argument("--shots", type=int, default=25,
+                        help="shots per video (~1 key frame each)")
+    parser.add_argument("--runs", type=int, default=3,
+                        help="cold processes per mode; best time wins")
+    parser.add_argument("--min-speedup", type=float, default=10.0,
+                        help="required mmap-vs-rebuild readiness ratio")
+    parser.add_argument("--artifact-dir", default="cold-start",
+                        help="where the snapshot + info JSON + report land")
+    args = parser.parse_args(argv)
+
+    os.makedirs(args.artifact_dir, exist_ok=True)
+    tmp = tempfile.mkdtemp(prefix="cold-start-")
+    library = os.path.join(tmp, "library.rdb")
+    query_image = _build_library(library, args.videos_per_category, args.shots)
+    snap = library + ".snap"
+
+    # the snapshot must be verifiably intact before we time anything
+    repro = [sys.executable, "-m", "repro"]
+    subprocess.run(repro + ["snapshot", "verify", snap], check=True)
+    info = subprocess.run(
+        repro + ["snapshot", "info", snap, "--json"],
+        capture_output=True, text=True, check=True,
+    ).stdout
+    info_path = os.path.join(args.artifact_dir, "snapshot-info.json")
+    with open(info_path, "w", encoding="utf-8") as fh:
+        fh.write(info)
+
+    runs = {"mmap": [], "rebuild": []}
+    for i in range(args.runs):
+        for mode in ("rebuild", "mmap"):
+            runs[mode].append(_cold_run(mode, library, snap, query_image))
+    for mode, expect in (("mmap", "mmap"), ("rebuild", "rebuild")):
+        served = {r["served_from"] for r in runs[mode]}
+        if served != {expect}:
+            print(f"FAIL: {mode} runs served from {served}, expected {expect}")
+            return 1
+    rankings = {json.dumps(r["ranking"]) for rs in runs.values() for r in rs}
+    if len(rankings) != 1:
+        print("FAIL: mmap and rebuild processes returned different rankings")
+        return 1
+
+    best_mmap = min(r["open_seconds"] for r in runs["mmap"])
+    best_rebuild = min(r["open_seconds"] for r in runs["rebuild"])
+    speedup = best_rebuild / max(1e-9, best_mmap)
+    report = {
+        "schema": "repro-cold-start/1",
+        "videos_per_category": args.videos_per_category,
+        "shots": args.shots,
+        "runs": runs,
+        "best_open_seconds": {"mmap": best_mmap, "rebuild": best_rebuild},
+        "best_ready_seconds": {
+            "mmap": min(r["ready_seconds"] for r in runs["mmap"]),
+            "rebuild": min(r["ready_seconds"] for r in runs["rebuild"]),
+        },
+        "speedup": round(speedup, 2),
+        "min_speedup": args.min_speedup,
+    }
+    report_path = os.path.join(args.artifact_dir, "cold-start-report.json")
+    with open(report_path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    shutil.copy2(snap, os.path.join(args.artifact_dir, "library.rdb.snap"))
+
+    print(f"cold start (open): rebuild {best_rebuild * 1000:.0f}ms  "
+          f"mmap {best_mmap * 1000:.0f}ms  speedup {speedup:.1f}x  "
+          f"(required >= {args.min_speedup:.0f}x)")
+    if speedup < args.min_speedup:
+        print("FAIL: mmap cold start is not fast enough")
+        return 1
+    print("cold-start gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -91,7 +91,7 @@ class LintConfig:
     #: modules in strictly lower layers (or its own package).  Packages
     #: not named here are unconstrained (R14 scope)
     layers: Tuple[Tuple[str, ...], ...] = (
-        ("repro.obs", "repro.imaging", "repro.similarity"),
+        ("repro.obs", "repro.imaging", "repro.similarity", "repro.snapshot"),
         ("repro.video", "repro.resilience"),
         ("repro.features", "repro.db", "repro.runtime"),
         ("repro.indexing",),

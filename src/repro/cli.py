@@ -10,6 +10,7 @@ writing Python:
 - ``delete``       -- remove a video
 - ``export-frame`` -- write a stored key frame to an image file
 - ``serve``        -- start the HTTP facade on a library
+- ``snapshot``     -- manage a library's mmap snapshot (write/info/verify)
 - ``table1``       -- run the paper's Table 1 experiment
 - ``lint``         -- run the reprolint static analyzer over source paths
 
@@ -84,6 +85,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("library")
     p.add_argument("--port", type=int, default=8765)
     p.add_argument("--admin-password", default=None)
+
+    p = sub.add_parser(
+        "snapshot", help="manage a library's mmap snapshot (see docs/snapshot.md)"
+    )
+    ssub = p.add_subparsers(dest="snapshot_command", required=True)
+    sp = ssub.add_parser(
+        "write", help="fold the WAL and rewrite the library's snapshot now"
+    )
+    sp.add_argument("library", help="library database path (.rdb)")
+    sp.add_argument("--path", default=None,
+                    help="snapshot file (default: LIBRARY.snap)")
+    sp = ssub.add_parser("info", help="print a snapshot file's header summary")
+    sp.add_argument("snapshot", help="snapshot file path (.snap)")
+    sp.add_argument("--json", action="store_true",
+                    help="emit the summary as JSON")
+    sp = ssub.add_parser(
+        "verify", help="recompute every section checksum (reads the whole file)"
+    )
+    sp.add_argument("snapshot", help="snapshot file path (.snap)")
 
     p = sub.add_parser("stats", help="show library counters and live metrics")
     p.add_argument("library", nargs="?", default=None,
@@ -283,6 +303,59 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.snapshot import CorruptSnapshotError, Snapshot, wal_depth
+
+    if args.snapshot_command == "write":
+        from repro.core.config import SystemConfig
+        from repro.core.system import VideoRetrievalSystem
+
+        config = SystemConfig(snapshot="auto", snapshot_path=args.path)
+        system = VideoRetrievalSystem.open(args.library, config)
+        try:
+            path = system.write_snapshot()
+        finally:
+            system.close()
+        print(f"wrote {path} ({os.path.getsize(path)} bytes, "
+              f"{system.n_key_frames()} key frames)")
+        return 0
+
+    snap = Snapshot.open(args.snapshot)
+    try:
+        if args.snapshot_command == "info":
+            summary = snap.info()
+            meta = summary["meta"]
+            summary["wal_depth"] = wal_depth(
+                args.snapshot,
+                (int(meta.get("generation", 0)),
+                 int(meta.get("structure_generation", 0))),
+            )
+            if args.json:
+                print(json.dumps(summary, indent=2, sort_keys=True))
+            else:
+                print(f"{summary['path']}: v{summary['version']}, "
+                      f"{summary['file_size']} bytes, "
+                      f"generation {meta.get('generation')}, "
+                      f"wal_depth {summary['wal_depth']}")
+                for s in summary["sections"]:
+                    shape = "x".join(str(d) for d in s["shape"])
+                    print(f"  {s['name']:<24} {s['dtype']:<8} {shape:>12} "
+                          f"{s['nbytes']} bytes")
+            return 0
+        failures = snap.verify()
+        if failures:
+            raise CorruptSnapshotError(
+                f"{args.snapshot}: checksum mismatch in "
+                + ", ".join(failures)
+            )
+        print(f"{args.snapshot}: OK ({len(snap.section_names())} sections)")
+        return 0
+    finally:
+        snap.close()
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis.runner import main as lint_main
 
@@ -298,6 +371,7 @@ _COMMANDS = {
     "delete": _cmd_delete,
     "export-frame": _cmd_export_frame,
     "stats": _cmd_stats,
+    "snapshot": _cmd_snapshot,
     "serve": _cmd_serve,
     "table1": _cmd_table1,
 }
@@ -318,9 +392,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.db.errors import DatabaseError
         from repro.imaging.image import ImageFormatError
         from repro.resilience import ResilienceError
+        from repro.snapshot import SnapshotError
         from repro.video.codec import RvfError
 
-        if isinstance(exc, (DatabaseError, RvfError, ImageFormatError, ResilienceError)):
+        if isinstance(
+            exc,
+            (DatabaseError, RvfError, ImageFormatError, ResilienceError, SnapshotError),
+        ):
             print(f"error: {exc}", file=sys.stderr)
             return 1
         raise

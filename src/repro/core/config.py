@@ -46,6 +46,16 @@ class SystemConfig:
     #: LRU query-result cache entries (0 disables caching); invalidated
     #: automatically on any store mutation
     query_cache_size: int = 256
+    # mmap snapshot serving (repro.snapshot): "auto" opens a valid snapshot
+    # and falls back to the SQL rebuild otherwise; "off" always rebuilds;
+    # "require" refuses to start without a valid snapshot (read replicas)
+    snapshot: str = "auto"
+    #: snapshot file location (None = "<db path>.snap" for durable systems;
+    #: in-memory systems skip snapshots unless a path is given)
+    snapshot_path: Optional[str] = None
+    #: WAL entries that trigger an automatic compaction (0 = only explicit
+    #: ``checkpoint()`` / ``repro snapshot write`` compactions)
+    snapshot_compact_every: int = 64
     # video-to-video similarity
     sequence_method: str = "dtw"  # 'dtw' or 'align'
     sequence_gap_penalty: float = 0.5
@@ -115,6 +125,10 @@ class SystemConfig:
             raise ValueError("ann_nprobe must not exceed ann_cells")
         if self.query_cache_size < 0:
             raise ValueError("query_cache_size must be >= 0")
+        if self.snapshot not in ("auto", "off", "require"):
+            raise ValueError("snapshot must be 'auto', 'off', or 'require'")
+        if self.snapshot_compact_every < 0:
+            raise ValueError("snapshot_compact_every must be >= 0 (0 = manual only)")
         if self.obs_trace_buffer < 1:
             raise ValueError("obs_trace_buffer must be >= 1")
         if self.obs_log_level is not None:

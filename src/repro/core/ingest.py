@@ -142,6 +142,9 @@ class Ingestor:
         self._pool = pool or WorkerPool(workers=resolve_workers(config.workers))
         self._obs = obs
         self._policies = policies
+        # optional SnapshotManager (attach_snapshots); mutations are logged
+        # to its WAL after the DB commit + store mirror
+        self._snapshots = None
         self._log = log.get_logger(__name__)
         self._m_videos = obs.counter(
             "repro_ingest_videos_total", "Videos ingested."
@@ -175,6 +178,10 @@ class Ingestor:
     def close(self) -> None:
         """Tear down the worker pool (no-op for serial configurations)."""
         self._pool.close()
+
+    def attach_snapshots(self, snapshots) -> None:
+        """Log committed mutations to ``snapshots``' WAL (see core.snapshots)."""
+        self._snapshots = snapshots
 
     @staticmethod
     def _motion_descriptor(frames: Sequence[Image]) -> FeatureVector:
@@ -277,6 +284,10 @@ class Ingestor:
                     self.store.add(record)
                     self.index.insert_bucket(record.frame_id, record.bucket)
                 self.store.set_video_motion(video_id, motion)
+            if self._snapshots is not None:
+                self._snapshots.record_add_video(
+                    video_id, name, category, motion, new_records
+                )
 
             root.annotate(video_id=video_id, keyframes=len(new_records))
             elapsed = time.perf_counter() - t_video
@@ -356,6 +367,8 @@ class Ingestor:
         for fid in frame_ids:
             if fid in self.index:
                 self.index.remove(fid)
+        if self._snapshots is not None:
+            self._snapshots.record_delete(video_id)
         self._m_deletes.inc()
         self._log.info(
             "ingest.delete", video_id=video_id, frames=len(frame_ids)
@@ -370,5 +383,7 @@ class Ingestor:
         if count == 0:
             raise DatabaseError(f"no video with id {video_id}")
         self.store.rename_video(video_id, new_name)
+        if self._snapshots is not None:
+            self._snapshots.record_rename(video_id, new_name)
         self._m_renames.inc()
         self._log.info("ingest.rename", video_id=video_id, name=new_name)

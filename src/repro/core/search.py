@@ -170,23 +170,15 @@ class SearchEngine:
             "repro_search_fusion_seconds",
             "Weighted multi-feature fusion time per ranked query.",
         )
-        # feature name -> (structure generation, prepared full-store matrix);
-        # lets batch scoring skip per-query matrix preprocessing (see
-        # FeatureExtractor.prepare_matrix)
-        self._prepared: Dict[str, tuple] = {}
-
     def _prepared_matrix(self, name: str) -> np.ndarray:
-        """The feature's prepared full stack, rebuilt when frames change."""
-        generation = self.store.structure_generation
-        entry = self._prepared.get(name)
-        if entry is None or entry[0] != generation:
-            prepared = self.extractors[name].prepare_matrix(
-                self.store.feature_matrix(name)
-            )
-            prepared.setflags(write=False)
-            entry = (generation, prepared)
-            self._prepared[name] = entry
-        return entry[1]
+        """The feature's prepared full stack, rebuilt when frames change.
+
+        Delegates to :meth:`FeatureStore.prepared_matrix`: the store owns
+        the one ``structure_generation``-keyed copy, so engines sharing a
+        store share the stack and invalidation can't skew between the
+        query cache, the ANN sync, and this cache.
+        """
+        return self.store.prepared_matrix(name, self.extractors[name])
 
     def close(self) -> None:
         """Tear down the worker pool (no-op for serial configurations)."""

@@ -9,14 +9,14 @@ and the DB together, and on open it is rebuilt from the table.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.catalog import FEATURE_COLUMNS
 from repro.db.engine import Database
 from repro.imaging import accel
-from repro.features.base import FeatureVector
+from repro.features.base import FeatureExtractor, FeatureVector
 from repro.indexing.rangefinder import Bucket
 
 __all__ = ["FrameRecord", "FeatureStore"]
@@ -32,7 +32,9 @@ class FrameRecord:
     frame_name: str
     category: Optional[str]
     bucket: Bucket
-    features: Dict[str, FeatureVector] = field(default_factory=dict)
+    # usually a plain dict; snapshot-backed records use a lazy Mapping that
+    # materializes FeatureVectors from mmap rows on first access
+    features: Mapping[str, FeatureVector] = field(default_factory=dict)
 
 
 class FeatureStore:
@@ -53,7 +55,12 @@ class FeatureStore:
         self._video_motion: Dict[int, FeatureVector] = {}
         # feature name -> (stacked matrix over all frames, frame_id -> row);
         # built lazily by feature_matrix, revalidated by generation
-        self._matrix_cache: Dict[str, Tuple[np.ndarray, Dict[int, int], np.ndarray]] = {}
+        self._matrix_cache: Dict[str, Tuple[np.ndarray, Dict[int, int]]] = {}
+        # feature name -> extractor-prepared full stack; the single source
+        # of truth every SearchEngine sharing this store draws from, so
+        # snapshot generation, cache generation, and ANN retrain key off
+        # the same structure_generation (they can't skew)
+        self._prepared_cache: Dict[str, np.ndarray] = {}
         self._generation = 0
         self._structure_generation = 0
         # structure generation the matrix/id caches were built at
@@ -79,6 +86,7 @@ class FeatureStore:
     def _sync_caches(self) -> None:
         if self._cache_generation != self._structure_generation:
             self._matrix_cache.clear()
+            self._prepared_cache.clear()
             self._ids_cache = tuple(sorted(self._frames))
             self._ids_arr = np.asarray(self._ids_cache, dtype=np.int64)
             self._cache_generation = self._structure_generation
@@ -142,6 +150,7 @@ class FeatureStore:
         self._by_video.clear()
         self._video_motion.clear()
         self._matrix_cache.clear()
+        self._prepared_cache.clear()
         self._mutated(structural=True)
 
     # -- stacked feature matrices ------------------------------------------------
@@ -185,6 +194,25 @@ class FeatureStore:
                 pass  # unknown id: the dict path below raises it by value
         return base[[row_of[fid] for fid in frame_ids]]
 
+    def prepared_matrix(self, name: str, extractor: FeatureExtractor) -> np.ndarray:
+        """The feature's extractor-prepared full stack, cached per structure.
+
+        This is the one ``structure_generation``-keyed prepared-matrix
+        cache in the system: search engines delegate here instead of
+        keeping tuple-keyed copies, so every consumer of the stack
+        invalidates on exactly the same counter as :meth:`feature_matrix`
+        and the ANN retrain.  Row ``i`` describes frame ``frame_ids()[i]``
+        (preparation commutes with row gathers, see
+        ``FeatureExtractor.prepare_matrix``).
+        """
+        self._sync_caches()
+        prepared = self._prepared_cache.get(name)
+        if prepared is None:
+            prepared = extractor.prepare_matrix(self.feature_matrix(name))
+            prepared.setflags(write=False)
+            self._prepared_cache[name] = prepared
+        return prepared
+
     def matrix_rows(self, frame_ids: Sequence[int]) -> np.ndarray:
         """Row positions of ``frame_ids`` in the id-ordered stacked matrices.
 
@@ -215,6 +243,56 @@ class FeatureStore:
 
     def video_motion(self, video_id: int) -> Optional[FeatureVector]:
         return self._video_motion.get(video_id)
+
+    # -- snapshot loading --------------------------------------------------------
+
+    def load_snapshot_state(
+        self,
+        records: Iterable[FrameRecord],
+        video_motion: Mapping[int, FeatureVector],
+        generation: int,
+        structure_generation: int,
+    ) -> None:
+        """Adopt a snapshot's frame population and its recorded counters.
+
+        Unlike :meth:`rebuild_from_db` + :meth:`add` loops, this restores
+        :attr:`generation` / :attr:`structure_generation` to the values
+        the snapshot was written at, so query-cache keys and ANN sync
+        state computed before the process restarted stay byte-correct
+        relative to the WAL entries replayed on top.
+        """
+        self._frames = {r.frame_id: r for r in records}
+        self._by_video = {}
+        for fid in sorted(self._frames):
+            record = self._frames[fid]
+            self._by_video.setdefault(record.video_id, []).append(fid)
+        self._video_motion = dict(video_motion)
+        self._matrix_cache.clear()
+        self._prepared_cache.clear()
+        self._generation = generation
+        self._structure_generation = structure_generation
+        self._ids_cache = tuple(sorted(self._frames))
+        self._ids_arr = np.asarray(self._ids_cache, dtype=np.int64)
+        self._cache_generation = structure_generation
+
+    def seed_matrix(self, name: str, matrix: np.ndarray) -> None:
+        """Install a prebuilt id-ordered full stack (e.g. an mmap view).
+
+        ``matrix`` row ``i`` must hold ``frame_ids()[i]``'s vector -- the
+        exact layout :meth:`feature_matrix` would build.  Seeding an mmap
+        view means queries serve straight off the page cache; the seed
+        is discarded like any cache entry once the structure mutates.
+        """
+        self._sync_caches()
+        if matrix.shape[0] != len(self._ids_cache):
+            raise ValueError(
+                f"seed matrix for {name!r} has {matrix.shape[0]} rows, "
+                f"store has {len(self._ids_cache)} frames"
+            )
+        if matrix.flags.writeable:  # np.memmap mode="r" views already aren't
+            matrix.setflags(write=False)
+        row_of = {fid: i for i, fid in enumerate(self._ids_cache)}
+        self._matrix_cache[name] = (matrix, row_of)
 
     # -- rebuild -----------------------------------------------------------------
 

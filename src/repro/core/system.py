@@ -21,6 +21,7 @@ from repro.core.config import SystemConfig
 from repro.core.ingest import Ingestor, IngestReport
 from repro.core.results import SearchResults
 from repro.core.search import SearchEngine, VideoMatch
+from repro.core.snapshots import SnapshotManager, init_worker_snapshot
 from repro.core.store import FeatureStore
 from repro.db.engine import Database
 from repro.db.types import ORD_VIDEO
@@ -55,8 +56,10 @@ class AdminSession:
         self._system._ingestor.rename_video(video_id, new_name)
 
     def checkpoint(self) -> None:
-        """Fold the WAL into a snapshot (durable systems only)."""
+        """Fold the WALs into snapshots: the database's and the store's."""
         self._system.db.checkpoint()
+        if self._system.snapshots.active:
+            self._system.snapshots.write()
 
 
 class VideoRetrievalSystem:
@@ -103,7 +106,24 @@ class VideoRetrievalSystem:
             self.config, self._store, self._index, pool=self._pool, obs=self.obs,
             policies=self.resilience,
         )
-        self._reload_from_db()
+        #: mmap snapshot serving: open the on-disk index image when one is
+        #: valid, rebuild from SQL otherwise (see docs/snapshot.md)
+        self.snapshots = SnapshotManager(
+            self.config, self.db, self._store, obs=self.obs,
+            policies=self.resilience,
+        )
+        self.snapshots.attach_engine(self._engine)
+        self._ingestor.attach_snapshots(self.snapshots)
+        if self.snapshots.try_open():
+            # the store came off the mmap; only the range index needs
+            # rebuilding (cheap: two ints per frame, no feature parsing)
+            for fid in self._store.frame_ids():
+                self._index.insert_bucket(fid, self._store.get(fid).bucket)
+            self._pool.set_initializer(
+                init_worker_snapshot, (self.snapshots.path,)
+            )
+        else:
+            self._reload_from_db()
 
     # -- constructors ----------------------------------------------------------
 
@@ -233,6 +253,7 @@ class VideoRetrievalSystem:
             },
             "ann": self._engine.ann_stats(),
             "cache": self._engine.cache_stats(),
+            "snapshot": self.snapshots.stats(),
             "resilience": self._resilience_summary(),
             "registry": self.obs.registry.render_json(),
         }
@@ -266,6 +287,15 @@ class VideoRetrievalSystem:
         """Shim over :meth:`metrics`: query-result cache counters."""
         return self._engine.cache_stats()
 
+    def snapshot_stats(self):
+        """Shim over :meth:`metrics`: snapshot serving state (None when off)."""
+        return self.snapshots.stats()
+
+    def write_snapshot(self) -> str:
+        """Write the store's mmap snapshot now; returns its path."""
+        return self.snapshots.write()
+
     def close(self) -> None:
         self._pool.close()
+        self.snapshots.close()
         self.db.close()

@@ -225,6 +225,16 @@ class Database:
         db._storage = storage
         return db
 
+    @property
+    def is_durable(self) -> bool:
+        """True when the database is backed by on-disk storage."""
+        return self._storage is not None
+
+    @property
+    def path(self) -> Optional[str]:
+        """The storage file location (None for in-memory databases)."""
+        return self._storage.path if self._storage is not None else None
+
     def checkpoint(self) -> None:
         """Write a full snapshot and truncate the WAL (durable DBs only)."""
         if self._storage is None:

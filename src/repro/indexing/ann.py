@@ -385,6 +385,92 @@ class IVFIndex:
         self._m_candidates.observe(len(out))
         return sorted(out)
 
+    # -- snapshot state ----------------------------------------------------------
+
+    def export_state(self) -> Optional[Tuple[Dict[str, np.ndarray], Dict[str, object]]]:
+        """The trained state as ``(arrays, meta)`` for the snapshot writer.
+
+        Returns ``None`` when the index has never been built (nothing to
+        persist -- the reader trains lazily, same as a fresh process).
+        Posting lists and per-frame assignments are flattened with offset
+        arrays, the standard CSR-style layout for ragged data.
+        """
+        if self._known_generation < 0:
+            return None
+        meta: Dict[str, object] = {
+            "names": list(self._names),
+            "n_cells": self.n_cells,
+            "seed": self.seed,
+            "rebuild_drift": self.rebuild_drift,
+            "n_assign": self.n_assign,
+            "known_generation": self._known_generation,
+            "trained_size": self._trained_size,
+            "churn": self._churn,
+            "trained": self._centroids is not None,
+            "scales": list(self._scales) if self._scales is not None else None,
+        }
+        if self._centroids is None:
+            return {}, meta
+        fids = sorted(self._cells_of)
+        assign_cells: List[int] = []
+        assign_offsets = [0]
+        for fid in fids:
+            assign_cells.extend(self._cells_of[fid])
+            assign_offsets.append(len(assign_cells))
+        postings: List[int] = []
+        post_offsets = [0]
+        for members in self._lists:
+            postings.extend(members)
+            post_offsets.append(len(postings))
+        arrays = {
+            "centroids": np.asarray(self._centroids, dtype=np.float64),
+            "postings": np.asarray(postings, dtype=np.int64),
+            "post_offsets": np.asarray(post_offsets, dtype=np.int64),
+            "assign_fids": np.asarray(fids, dtype=np.int64),
+            "assign_cells": np.asarray(assign_cells, dtype=np.int64),
+            "assign_offsets": np.asarray(assign_offsets, dtype=np.int64),
+            "residuals": np.asarray(sorted(self._residuals), dtype=np.int64),
+        }
+        return arrays, meta
+
+    def load_state(
+        self, arrays: Dict[str, np.ndarray], meta: Dict[str, object]
+    ) -> None:
+        """Restore :meth:`export_state` output, skipping the retrain.
+
+        The recorded ``known_generation`` must correspond to the store
+        generation the snapshot restored; mutations replayed on top (WAL
+        entries) are folded in by the usual :meth:`_sync` on next probe.
+        """
+        self._known_generation = int(meta["known_generation"])
+        self._trained_size = int(meta["trained_size"])
+        self._churn = int(meta["churn"])
+        if not meta.get("trained"):
+            self._centroids = None
+            self._scales = None
+            self._lists = []
+            self._cells_of = {}
+            self._residuals = set()
+            return
+        self._centroids = np.array(arrays["centroids"], dtype=np.float64)
+        self._scales = [float(s) for s in meta["scales"]]
+        post_offsets = arrays["post_offsets"]
+        postings = arrays["postings"]
+        self._lists = [
+            [int(fid) for fid in postings[post_offsets[i] : post_offsets[i + 1]]]
+            for i in range(len(post_offsets) - 1)
+        ]
+        assign_offsets = arrays["assign_offsets"]
+        assign_cells = arrays["assign_cells"]
+        self._cells_of = {
+            int(fid): tuple(
+                int(c)
+                for c in assign_cells[assign_offsets[i] : assign_offsets[i + 1]]
+            )
+            for i, fid in enumerate(arrays["assign_fids"])
+        }
+        self._residuals = {int(fid) for fid in arrays["residuals"]}
+
     # -- introspection -----------------------------------------------------------
 
     @property

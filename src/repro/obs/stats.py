@@ -13,7 +13,7 @@ from typing import Dict, List, Mapping, Optional
 __all__ = ["format_stats"]
 
 #: subsystem summary sections, in display order
-_SECTIONS = ("store", "index", "ann", "cache", "resilience")
+_SECTIONS = ("store", "index", "ann", "cache", "snapshot", "resilience")
 
 
 def _fmt_value(value: object) -> str:

@@ -7,6 +7,8 @@ an infrastructure failure can plausibly occur::
     pool.map            one worker-pool map call
     codec.decode        one stored-video RVF decode
     ann.probe           one IVF candidate-index probe
+    snapshot.open       one mmap snapshot open (-> SQL-rebuild fallback)
+    snapshot.compact    one snapshot compaction (WAL fold + rewrite)
     extractor.<name>    one query-side feature extraction (e.g. extractor.gabor)
 
 Tests and chaos runs *arm* points with a spec string (the ``REPRO_FAULTS``
@@ -50,7 +52,16 @@ __all__ = [
 FAULTS_ENV_VAR = "REPRO_FAULTS"
 
 #: exact fault-point names (plus the ``extractor.<name>`` family)
-KNOWN_POINTS = frozenset({"db.execute", "pool.map", "codec.decode", "ann.probe"})
+KNOWN_POINTS = frozenset(
+    {
+        "db.execute",
+        "pool.map",
+        "codec.decode",
+        "ann.probe",
+        "snapshot.open",
+        "snapshot.compact",
+    }
+)
 
 _EXTRACTOR_POINT = re.compile(r"extractor\.[a-z_][a-z0-9_]*$")
 

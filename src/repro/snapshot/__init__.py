@@ -1,0 +1,47 @@
+"""On-disk snapshot format: an mmap-able index image plus its WAL.
+
+This package owns only the bytes -- the versioned binary layout
+(:mod:`repro.snapshot.format`) and the checksummed JSON-lines log that
+rides beside it (:mod:`repro.snapshot.wal`).  Translating a
+:class:`~repro.core.store.FeatureStore` and IVF index to and from those
+bytes lives in :mod:`repro.core.snapshots`, keeping this layer free of
+core imports so the analysis layer DAG stays acyclic.
+"""
+
+from repro.snapshot.format import (
+    MAGIC,
+    VERSION,
+    CorruptSnapshotError,
+    Snapshot,
+    SnapshotError,
+    SnapshotVersionError,
+    write_snapshot,
+)
+from repro.snapshot.wal import (
+    WAL_MAGIC,
+    CorruptWalError,
+    StaleWalError,
+    WalWriter,
+    read_wal,
+    remove_wal,
+    wal_depth,
+    wal_path_for,
+)
+
+__all__ = [
+    "MAGIC",
+    "VERSION",
+    "WAL_MAGIC",
+    "Snapshot",
+    "SnapshotError",
+    "CorruptSnapshotError",
+    "SnapshotVersionError",
+    "CorruptWalError",
+    "StaleWalError",
+    "WalWriter",
+    "write_snapshot",
+    "read_wal",
+    "remove_wal",
+    "wal_depth",
+    "wal_path_for",
+]

@@ -1,0 +1,208 @@
+"""The store-level write-ahead log riding alongside a snapshot.
+
+Rewriting a multi-megabyte snapshot on every ingest would turn the
+mmap win into a write amplification loss, so mutations between
+compactions append to a small JSON-lines WAL instead.  A reader opens
+the snapshot, then replays the WAL on top; compaction folds the WAL
+into a fresh snapshot and truncates it.
+
+Each line is ``"%08x %s\\n" % (crc32(payload), payload)`` where payload
+is one JSON object.  The first record is a header::
+
+    {"wal": "RSWAL1", "base_generation": G, "base_structure_generation": S}
+
+binding the log to the snapshot it extends -- a WAL whose base
+generations disagree with the snapshot's header is stale (the snapshot
+was rewritten underneath it) and must be discarded.  Subsequent records
+carry ``seq`` (1, 2, 3, ...) and ``op``; a gap or repeat means the file
+was spliced and is treated as corruption.
+
+A torn **final** line (crash mid-append) is expected and silently
+dropped: the record never committed.  Damage anywhere *before* the tail
+is real corruption and raises :class:`CorruptWalError`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.snapshot.format import CorruptSnapshotError
+
+__all__ = [
+    "WAL_MAGIC",
+    "CorruptWalError",
+    "StaleWalError",
+    "WalWriter",
+    "read_wal",
+    "wal_path_for",
+    "remove_wal",
+    "wal_depth",
+]
+
+WAL_MAGIC = "RSWAL1"
+
+
+class CorruptWalError(CorruptSnapshotError):
+    """A WAL record before the tail failed its checksum or sequence check."""
+
+
+class StaleWalError(CorruptSnapshotError):
+    """The WAL extends a different snapshot generation than the one on disk."""
+
+
+def _encode(payload: Dict[str, object]) -> bytes:
+    body = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return ("%08x %s\n" % (zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF, body)).encode(
+        "utf-8"
+    )
+
+
+def _decode(line: bytes) -> Optional[Dict[str, object]]:
+    """One parsed record, or ``None`` when the line is torn/invalid."""
+    try:
+        text = line.decode("utf-8")
+        crc_hex, _, body = text.partition(" ")
+        if len(crc_hex) != 8 or not body:
+            return None
+        if int(crc_hex, 16) != zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF:
+            return None
+        record = json.loads(body)
+    except (UnicodeDecodeError, ValueError):
+        return None
+    return record if isinstance(record, dict) else None
+
+
+def read_wal(
+    path: Union[str, "os.PathLike[str]"],
+    base_generation: int,
+    base_structure_generation: int,
+) -> List[Dict[str, object]]:
+    """Parse and validate the WAL at ``path``; returns the entry records.
+
+    An absent or empty WAL is fine (no mutations since the snapshot) and
+    returns ``[]``.  Raises :class:`StaleWalError` when the log belongs
+    to another snapshot generation, :class:`CorruptWalError` for damage
+    anywhere except a torn final line.
+    """
+    path = os.fspath(path)
+    try:
+        with open(path, "rb") as fh:
+            raw = fh.read()
+    except FileNotFoundError:
+        return []
+    if not raw:
+        return []
+    lines = raw.split(b"\n")
+    # a well-formed file ends with "\n", leaving one empty trailing chunk;
+    # anything else in the last slot is a torn append and is dropped
+    torn_tail = lines[-1] != b""
+    lines = lines[:-1]
+    records = []
+    for i, line in enumerate(lines):
+        record = _decode(line)
+        if record is None:
+            if torn_tail is False and i == len(lines) - 1:
+                # final newline present but the line itself is damaged:
+                # could be a crash between write and flush -- treat as torn
+                break
+            raise CorruptWalError(f"{path}: bad record at line {i + 1}")
+        records.append(record)
+    if not records:
+        return []
+    header = records[0]
+    if header.get("wal") != WAL_MAGIC:
+        raise CorruptWalError(f"{path}: missing WAL header record")
+    if (
+        int(header.get("base_generation", -1)) != base_generation
+        or int(header.get("base_structure_generation", -1)) != base_structure_generation
+    ):
+        raise StaleWalError(
+            f"{path}: WAL base generation "
+            f"({header.get('base_generation')}, "
+            f"{header.get('base_structure_generation')}) does not match snapshot "
+            f"({base_generation}, {base_structure_generation})"
+        )
+    entries = []
+    for i, record in enumerate(records[1:], start=1):
+        if int(record.get("seq", -1)) != i:
+            raise CorruptWalError(
+                f"{path}: sequence gap at record {i} (got seq={record.get('seq')})"
+            )
+        entries.append(record)
+    return entries
+
+
+class WalWriter:
+    """Appends checksummed records; one writer per store process.
+
+    Creating a writer on a fresh path writes the header record binding
+    it to ``(base_generation, base_structure_generation)``.  On an
+    existing valid WAL for the same base, appends continue the sequence.
+    Every append flushes and fsyncs, so an acknowledged mutation
+    survives a crash.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, "os.PathLike[str]"],
+        base_generation: int,
+        base_structure_generation: int,
+    ):
+        self.path = os.fspath(path)
+        self.base_generation = base_generation
+        self.base_structure_generation = base_structure_generation
+        existing = read_wal(self.path, base_generation, base_structure_generation)
+        self._seq = len(existing)
+        if not os.path.exists(self.path) or os.path.getsize(self.path) == 0:
+            header = {
+                "wal": WAL_MAGIC,
+                "base_generation": base_generation,
+                "base_structure_generation": base_structure_generation,
+            }
+            with open(self.path, "wb") as fh:
+                fh.write(_encode(header))
+                fh.flush()
+                os.fsync(fh.fileno())
+
+    @property
+    def depth(self) -> int:
+        """Entries appended since the base snapshot (compaction pressure)."""
+        return self._seq
+
+    def append(self, op: str, payload: Dict[str, object]) -> int:
+        """Durably append one mutation record; returns its sequence number."""
+        self._seq += 1
+        record: Dict[str, object] = {"seq": self._seq, "op": op}
+        record.update(payload)
+        with open(self.path, "ab") as fh:
+            fh.write(_encode(record))
+            fh.flush()
+            os.fsync(fh.fileno())
+        return self._seq
+
+
+def wal_path_for(snapshot_path: Union[str, "os.PathLike[str]"]) -> str:
+    """The conventional WAL location next to a snapshot file."""
+    return os.fspath(snapshot_path) + ".wal"
+
+
+def remove_wal(snapshot_path: Union[str, "os.PathLike[str]"]) -> None:
+    """Delete the WAL (after a successful compaction)."""
+    try:
+        os.remove(wal_path_for(snapshot_path))
+    except FileNotFoundError:
+        pass
+
+
+def wal_depth(
+    snapshot_path: Union[str, "os.PathLike[str]"],
+    base: Tuple[int, int],
+) -> int:
+    """Entry count of the WAL next to ``snapshot_path`` (0 if absent/stale)."""
+    try:
+        return len(read_wal(wal_path_for(snapshot_path), base[0], base[1]))
+    except CorruptSnapshotError:
+        return 0

@@ -29,7 +29,10 @@ PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 #: exact paths + parameterized patterns for metric label normalization
 #: (labels must have bounded cardinality: ids are collapsed to {id})
 _EXACT_ROUTES = frozenset(
-    {"/", "/videos", "/ui", "/search", "/admin/videos", "/metrics", "/traces/recent"}
+    {
+        "/", "/videos", "/ui", "/search", "/admin/videos", "/metrics",
+        "/snapshot", "/traces/recent",
+    }
 )
 _PATTERN_ROUTES = (
     ("/videos/{id}", re.compile(r"/videos/\d+")),
@@ -187,6 +190,10 @@ class CbvrApi:
             return self._browse_page()
         if method == "GET" and path == "/metrics":
             return self._metrics(query.get("format", "prometheus"))
+        if method == "GET" and path == "/snapshot":
+            return _json_response(
+                200, {"snapshot": self.system.snapshot_stats()}
+            )
         if method == "GET" and path == "/traces/recent":
             return self._recent_traces(query.get("limit"))
         if method == "POST" and path == "/search":

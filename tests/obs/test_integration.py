@@ -26,7 +26,9 @@ class TestMetricsSurface:
     def test_sections_and_registry(self, system):
         system.search(system.any_key_frame(), top_k=3)
         m = system.metrics()
-        assert set(m) == {"store", "index", "ann", "cache", "resilience", "registry"}
+        assert set(m) == {
+            "store", "index", "ann", "cache", "snapshot", "resilience", "registry",
+        }
         assert m["store"]["videos"] == 1
         assert m["store"]["key_frames"] == len(system._store)
         assert m["index"]["entries"] == m["store"]["key_frames"]

@@ -1,0 +1,140 @@
+"""The binary snapshot layout: round trip, validation, rejection."""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.snapshot import (
+    MAGIC,
+    CorruptSnapshotError,
+    Snapshot,
+    SnapshotError,
+    SnapshotVersionError,
+    write_snapshot,
+)
+
+_PREAMBLE_SIZE = struct.calcsize("<8sIIIQ")
+
+
+@pytest.fixture()
+def arrays():
+    rng = np.random.default_rng(7)
+    return {
+        "matrix": rng.normal(size=(5, 12)),
+        "ids": np.arange(5, dtype=np.int64) * 3,
+        "empty": np.zeros((0, 4), dtype=np.float64),
+    }
+
+
+@pytest.fixture()
+def snap_path(tmp_path, arrays):
+    path = str(tmp_path / "test.snap")
+    write_snapshot(path, arrays, {"kind": "test", "answer": 42})
+    return path
+
+
+class TestRoundTrip:
+    def test_sections_byte_identical(self, snap_path, arrays):
+        snap = Snapshot.open(snap_path)
+        assert snap.section_names() == list(arrays)
+        for name, original in arrays.items():
+            view = snap.section(name)
+            assert view.shape == original.shape
+            assert view.tobytes() == np.ascontiguousarray(original).tobytes()
+
+    def test_meta_round_trips(self, snap_path):
+        snap = Snapshot.open(snap_path)
+        assert snap.meta == {"kind": "test", "answer": 42}
+
+    def test_sections_are_read_only(self, snap_path):
+        view = Snapshot.open(snap_path).section("matrix")
+        with pytest.raises(ValueError):
+            view[0, 0] = 1.0
+
+    def test_verify_clean(self, snap_path):
+        assert Snapshot.open(snap_path).verify() == []
+
+    def test_contains_and_missing_section(self, snap_path):
+        snap = Snapshot.open(snap_path)
+        assert "matrix" in snap
+        assert "nope" not in snap
+        with pytest.raises(KeyError):
+            snap.section("nope")
+
+    def test_info_lists_sections(self, snap_path):
+        info = Snapshot.open(snap_path).info()
+        assert {s["name"] for s in info["sections"]} == {"matrix", "ids", "empty"}
+        assert info["version"] == 1
+
+    def test_atomic_overwrite(self, snap_path):
+        write_snapshot(snap_path, {"only": np.ones(3)}, {"kind": "second"})
+        snap = Snapshot.open(snap_path)
+        assert snap.section_names() == ["only"]
+        assert snap.meta["kind"] == "second"
+
+    def test_closed_snapshot_refuses_reads(self, snap_path):
+        snap = Snapshot.open(snap_path)
+        snap.close()
+        with pytest.raises(SnapshotError):
+            snap.section("matrix")
+
+
+def _flip(path: str, offset: int) -> None:
+    with open(path, "r+b") as fh:
+        fh.seek(offset)
+        byte = fh.read(1)
+        fh.seek(offset)
+        fh.write(bytes([byte[0] ^ 0xFF]))
+
+
+class TestRejection:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            Snapshot.open(str(tmp_path / "absent.snap"))
+
+    def test_bad_magic(self, snap_path):
+        _flip(snap_path, 0)
+        with pytest.raises(CorruptSnapshotError, match="bad magic"):
+            Snapshot.open(snap_path)
+
+    def test_unknown_version(self, snap_path):
+        with open(snap_path, "r+b") as fh:
+            fh.seek(len(MAGIC))
+            fh.write(struct.pack("<I", 99))
+        with pytest.raises(SnapshotVersionError, match="version 99"):
+            Snapshot.open(snap_path)
+
+    def test_foreign_endianness(self, snap_path):
+        with open(snap_path, "r+b") as fh:
+            fh.seek(len(MAGIC) + 4)
+            fh.write(struct.pack("<I", 0x04030201))
+        with pytest.raises(SnapshotVersionError, match="endianness"):
+            Snapshot.open(snap_path)
+
+    def test_header_checksum(self, snap_path):
+        _flip(snap_path, _PREAMBLE_SIZE + 2)
+        with pytest.raises(CorruptSnapshotError, match="header checksum"):
+            Snapshot.open(snap_path)
+
+    def test_truncated_preamble(self, snap_path):
+        with open(snap_path, "r+b") as fh:
+            fh.truncate(10)
+        with pytest.raises(CorruptSnapshotError):
+            Snapshot.open(snap_path)
+
+    def test_truncated_body(self, snap_path):
+        import os
+
+        with open(snap_path, "r+b") as fh:
+            fh.truncate(os.path.getsize(snap_path) - 64)
+        with pytest.raises(CorruptSnapshotError):
+            Snapshot.open(snap_path)
+
+    def test_flipped_section_byte_caught_by_verify(self, snap_path):
+        # open() stays cheap (no full read), so a bit flip deep in a
+        # section body is verify()'s job to catch
+        offset = int(Snapshot.open(snap_path)._table["matrix"]["offset"])
+        _flip(snap_path, offset + 5)
+        snap = Snapshot.open(snap_path)
+        assert snap.verify() == ["matrix"]

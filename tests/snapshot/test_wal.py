@@ -1,0 +1,91 @@
+"""The store-level WAL: append/replay, torn tails, staleness, splices."""
+
+import pytest
+
+from repro.snapshot import (
+    CorruptWalError,
+    StaleWalError,
+    WalWriter,
+    read_wal,
+    remove_wal,
+    wal_depth,
+    wal_path_for,
+)
+
+
+@pytest.fixture()
+def snap_path(tmp_path):
+    # the WAL rides next to this path; the snapshot itself is not needed
+    return str(tmp_path / "lib.snap")
+
+
+class TestWriterAndReader:
+    def test_absent_wal_is_empty(self, snap_path):
+        assert read_wal(wal_path_for(snap_path), 3, 3) == []
+        assert wal_depth(snap_path, (3, 3)) == 0
+
+    def test_round_trip(self, snap_path):
+        writer = WalWriter(wal_path_for(snap_path), 5, 4)
+        assert writer.append("add_video", {"video_id": 1}) == 1
+        assert writer.append("rename_video", {"video_id": 1, "name": "x"}) == 2
+        assert writer.depth == 2
+        entries = read_wal(wal_path_for(snap_path), 5, 4)
+        assert [e["op"] for e in entries] == ["add_video", "rename_video"]
+        assert [e["seq"] for e in entries] == [1, 2]
+        assert wal_depth(snap_path, (5, 4)) == 2
+
+    def test_writer_continues_existing_sequence(self, snap_path):
+        WalWriter(wal_path_for(snap_path), 5, 4).append("add_video", {"video_id": 1})
+        writer = WalWriter(wal_path_for(snap_path), 5, 4)
+        assert writer.depth == 1
+        assert writer.append("delete_video", {"video_id": 1}) == 2
+        assert len(read_wal(wal_path_for(snap_path), 5, 4)) == 2
+
+    def test_remove_wal(self, snap_path):
+        WalWriter(wal_path_for(snap_path), 5, 4).append("add_video", {})
+        remove_wal(snap_path)
+        assert read_wal(wal_path_for(snap_path), 5, 4) == []
+        remove_wal(snap_path)  # idempotent
+
+
+class TestDamage:
+    def test_torn_final_line_dropped(self, snap_path):
+        writer = WalWriter(wal_path_for(snap_path), 5, 4)
+        writer.append("add_video", {"video_id": 1})
+        with open(wal_path_for(snap_path), "ab") as fh:
+            fh.write(b'deadbeef {"seq": 2, "op": "add_vi')  # crash mid-append
+        entries = read_wal(wal_path_for(snap_path), 5, 4)
+        assert [e["seq"] for e in entries] == [1]
+
+    def test_damage_before_tail_is_corruption(self, snap_path):
+        writer = WalWriter(wal_path_for(snap_path), 5, 4)
+        writer.append("add_video", {"video_id": 1})
+        writer.append("delete_video", {"video_id": 1})
+        wal = wal_path_for(snap_path)
+        with open(wal, "rb") as fh:
+            lines = fh.read().split(b"\n")
+        lines[1] = b"garbage " + lines[1][8:]
+        with open(wal, "wb") as fh:
+            fh.write(b"\n".join(lines))
+        with pytest.raises(CorruptWalError):
+            read_wal(wal, 5, 4)
+
+    def test_stale_base_generation(self, snap_path):
+        WalWriter(wal_path_for(snap_path), 5, 4).append("add_video", {})
+        with pytest.raises(StaleWalError):
+            read_wal(wal_path_for(snap_path), 6, 5)
+        # wal_depth treats stale as empty rather than erroring
+        assert wal_depth(snap_path, (6, 5)) == 0
+
+    def test_sequence_gap(self, snap_path):
+        writer = WalWriter(wal_path_for(snap_path), 5, 4)
+        for i in range(3):
+            writer.append("add_video", {"video_id": i})
+        wal = wal_path_for(snap_path)
+        with open(wal, "rb") as fh:
+            lines = fh.read().split(b"\n")
+        del lines[2]  # splice out seq=2
+        with open(wal, "wb") as fh:
+            fh.write(b"\n".join(lines))
+        with pytest.raises(CorruptWalError, match="sequence gap"):
+            read_wal(wal, 5, 4)

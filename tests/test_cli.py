@@ -179,3 +179,57 @@ class TestStats:
         dump = tmp_path / "d.json"
         dump.write_text("{}", encoding="utf-8")
         assert main(["stats", "lib.rdb", "--dump", str(dump)]) == 2
+
+
+class TestSnapshot:
+    def test_write_info_verify(self, library, capsys):
+        rc = main(["snapshot", "write", library])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        snap = library + ".snap"
+        assert os.path.exists(snap)
+
+        rc = main(["snapshot", "info", snap])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "generation" in out and "feat:" in out
+
+        rc = main(["snapshot", "verify", snap])
+        assert rc == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_info_json(self, library, capsys):
+        import json
+
+        main(["snapshot", "write", library])
+        capsys.readouterr()
+        rc = main(["snapshot", "info", library + ".snap", "--json"])
+        assert rc == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["version"] == 1
+        assert info["wal_depth"] == 0
+        assert any(s["name"].startswith("feat:") for s in info["sections"])
+
+    def test_verify_rejects_corruption(self, library, capsys):
+        from repro.snapshot import Snapshot
+
+        main(["snapshot", "write", library])
+        snap = library + ".snap"
+        handle = Snapshot.open(snap)
+        offset = int(handle._table[handle.section_names()[0]]["offset"])
+        handle.close()
+        with open(snap, "r+b") as fh:
+            fh.seek(offset + 3)
+            byte = fh.read(1)
+            fh.seek(offset + 3)
+            fh.write(bytes([byte[0] ^ 0xFF]))
+        capsys.readouterr()
+        rc = main(["snapshot", "verify", snap])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_snapshot_file(self, tmp_path, capsys):
+        rc = main(["snapshot", "info", str(tmp_path / "nope.snap")])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
