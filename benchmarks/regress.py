@@ -18,6 +18,10 @@ layer optimizes (ingest fan-out, batched distance scoring), and writes
 - **cold_start** -- open-a-durable-library-and-answer-one-query, the mmap
   snapshot path (``snapshot=require``) vs the SQL rebuild path
   (``snapshot=off``); the CI cold-start lane gates on the same ratio
+- **scatter_gather** -- the same scoring-only query served by a 4-shard
+  scatter-gather coordinator vs the single-store engine; rankings are
+  byte-identical (asserted here and gated by ``scripts/shard_gate.py``),
+  only the throughput trajectory is tracked
 
 Usage::
 
@@ -61,6 +65,7 @@ _TRACKED = [
     ("cache_hit", "hit", "ops_per_sec"),
     ("obs_overhead", "disabled", "ops_per_sec"),
     ("cold_start", "mmap", "ops_per_sec"),
+    ("scatter_gather", "shards4", "ops_per_sec"),
 ]
 
 
@@ -354,6 +359,56 @@ def run_benchmarks(
         f"cold_start    rebuild p50 {rebuild['latency_ms']['p50']:8.1f}ms   "
         f"mmap p50 {mmap_open['latency_ms']['p50']:8.1f}ms   "
         f"speedup {cold_speedup:.2f}x"
+    )
+
+    # -- scatter-gather: 4-shard coordinator vs the single-store engine -------
+    # The same scoring-only query (no per-query extraction, cache off)
+    # served both ways.  The coordinator's merge is byte-identical to the
+    # single-store ranking -- asserted here on the full top-k -- so the
+    # row measures pure serving throughput; the hard >=Nx gate with
+    # cpu-aware scaling lives in scripts/shard_gate.py.
+    from repro.sharding import ShardedSearchEngine, read_manifest, split_store
+
+    with tempfile.TemporaryDirectory() as tmp:
+        split_store(system._store, tmp, 4)
+        _, shard_paths = read_manifest(tmp)
+        sharded_engine = ShardedSearchEngine(
+            system.config.with_(batch_distances=True, query_cache_size=0),
+            shard_paths,
+        )
+        try:
+            single_hits = batched_engine.query_with_vectors(query_vectors, top_k=20)
+            sharded_hits = sharded_engine.query_with_vectors(query_vectors, top_k=20)
+            if [(h.frame_id, h.distance) for h in single_hits] != [
+                (h.frame_id, h.distance) for h in sharded_hits
+            ]:
+                raise AssertionError(
+                    "sharded ranking diverged from the single-store ranking"
+                )
+            single = _timed(
+                lambda: batched_engine.query_with_vectors(query_vectors, top_k=20),
+                repeats,
+            )
+            shards4 = _timed(
+                lambda: sharded_engine.query_with_vectors(query_vectors, top_k=20),
+                repeats,
+            )
+        finally:
+            sharded_engine.close()
+    sg_speedup = round(
+        single["latency_ms"]["p50"] / max(1e-9, shards4["latency_ms"]["p50"]), 2
+    )
+    result["scatter_gather"] = {
+        "shards": 4,
+        "single": single,
+        "shards4": shards4,
+        "speedup_vs_single": sg_speedup,
+        "rankings_identical": True,
+    }
+    print(
+        f"scatter_gather  single p50 {single['latency_ms']['p50']:8.1f}ms   "
+        f"4-shard p50 {shards4['latency_ms']['p50']:8.1f}ms   "
+        f"speedup {sg_speedup:.2f}x"
     )
 
     result["ingest"] = ingest

@@ -96,6 +96,7 @@ class LintConfig:
         ("repro.features", "repro.db", "repro.runtime"),
         ("repro.indexing",),
         ("repro.core",),
+        ("repro.sharding",),
         ("repro.web", "repro.eval", "repro.analysis"),
         ("repro.cli",),
         ("repro.__main__",),
@@ -103,7 +104,11 @@ class LintConfig:
     #: packages whose public functions run on server threads (R15 roots)
     threaded_packages: Tuple[str, ...] = ("repro.web",)
     #: modules whose public entry points must reach instrumentation (R17)
-    obs_entry_modules: Tuple[str, ...] = ("repro.core.system", "repro.web")
+    obs_entry_modules: Tuple[str, ...] = (
+        "repro.core.system",
+        "repro.web",
+        "repro.sharding.coordinator",
+    )
     #: modules sanctioned to hold resources outside ``with`` (R18)
     resource_allowlist: frozenset = frozenset({"repro.imaging.image"})
 

@@ -11,6 +11,7 @@ writing Python:
 - ``export-frame`` -- write a stored key frame to an image file
 - ``serve``        -- start the HTTP facade on a library
 - ``snapshot``     -- manage a library's mmap snapshot (write/info/verify)
+- ``shard``        -- split a library into scatter-gather shard snapshots
 - ``table1``       -- run the paper's Table 1 experiment
 - ``lint``         -- run the reprolint static analyzer over source paths
 
@@ -71,6 +72,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="k-means cells of the IVF coarse quantizer")
     p.add_argument("--ann-nprobe", type=int, default=3,
                    help="cells probed per query (= cells: exact ranking)")
+    p.add_argument("--shards", default=None, metavar="DIR",
+                   help="serve the query from the shard set in DIR "
+                        "(written by 'repro shard split'); the merged "
+                        "ranking is identical to the unsharded one")
 
     p = sub.add_parser("delete", help="delete a video by id")
     p.add_argument("library")
@@ -85,6 +90,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("library")
     p.add_argument("--port", type=int, default=8765)
     p.add_argument("--admin-password", default=None)
+    p.add_argument("--shards", default=None, metavar="DIR",
+                   help="serve queries scatter-gather from the shard set "
+                        "in DIR (written by 'repro shard split')")
+
+    p = sub.add_parser(
+        "shard",
+        help="split a library into scatter-gather shards (see docs/sharding.md)",
+    )
+    hsub = p.add_subparsers(dest="shard_command", required=True)
+    hp = hsub.add_parser(
+        "split", help="partition the corpus into per-shard snapshots"
+    )
+    hp.add_argument("library", help="library database path (.rdb)")
+    hp.add_argument("out_dir", help="directory for the shard snapshots")
+    hp.add_argument("--shards", type=int, default=4, dest="n_shards",
+                    help="number of partitions (default 4)")
+    hp = hsub.add_parser("info", help="summarize a shard directory")
+    hp.add_argument("shard_dir", help="directory holding shards.json")
+    hp.add_argument("--json", action="store_true",
+                    help="emit the summary as JSON")
 
     p = sub.add_parser(
         "snapshot", help="manage a library's mmap snapshot (see docs/snapshot.md)"
@@ -208,6 +233,16 @@ def _cmd_search(args: argparse.Namespace) -> int:
         system = VideoRetrievalSystem.open(args.library, config)
     else:
         system = _open_system(args.library)
+    if args.shards:
+        if args.ann:
+            print("error: --ann cannot be combined with --shards",
+                  file=sys.stderr)
+            system.close()
+            return 2
+        from repro.sharding import attach_sharded_engine, read_manifest
+
+        _, shard_paths = read_manifest(args.shards)
+        attach_sharded_engine(system, shard_paths)
     query = read_image(args.image)
     features = args.features.split(",") if args.features else None
     results = system.search(
@@ -218,10 +253,14 @@ def _cmd_search(args: argparse.Namespace) -> int:
     )
     print(f"{len(results)} hits "
           f"(pruned {results.pruning_fraction:.0%} of {results.n_total} frames)")
-    if results.degraded:
-        skipped = ", ".join(results.degraded_features) or "reduced pipeline"
+    if results.degraded_features:
+        skipped = ", ".join(results.degraded_features)
         print(f"DEGRADED: skipped {skipped}; ranking uses the surviving "
               f"features with renormalized fusion weights")
+    if results.degraded_shards:
+        shards = ", ".join(str(s) for s in results.degraded_shards)
+        print(f"DEGRADED: shards {shards} unavailable; partial ranking over "
+              f"the surviving partitions")
     for row in results.to_rows():
         print(f"  #{row['rank']:2d}  {row['video']:<24} "
               f"[{row['category']}]  frame {row['frame_id']}  d={row['distance']}")
@@ -249,10 +288,21 @@ def _cmd_export_frame(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:  # pragma: no cover - blocking loop
     from repro.web.server import make_server
 
-    system = _open_system(args.library, admin_password=args.admin_password)
+    if args.shards:
+        from repro.core.config import SystemConfig
+        from repro.core.system import VideoRetrievalSystem
+        from repro.sharding import sharded_config
+
+        config = sharded_config(
+            args.shards, SystemConfig(admin_password=args.admin_password)
+        )
+        system = VideoRetrievalSystem.open(args.library, config)
+    else:
+        system = _open_system(args.library, admin_password=args.admin_password)
     server, port = make_server(system, port=args.port)
+    sharded = f", {system.config.shards} shards" if args.shards else ""
     print(f"serving {args.library} on http://127.0.0.1:{port} "
-          f"({system.n_videos()} videos)")
+          f"({system.n_videos()} videos{sharded})")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -356,6 +406,50 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
         snap.close()
 
 
+def _cmd_shard(args: argparse.Namespace) -> int:
+    import json
+
+    if args.shard_command == "split":
+        from repro.sharding import split_library
+
+        manifest = split_library(args.library, args.out_dir, args.n_shards)
+        print(f"wrote {manifest.n_shards} shards to {args.out_dir}")
+        for name in manifest.snapshots:
+            path = os.path.join(args.out_dir, name)
+            print(f"  {name}  {os.path.getsize(path)} bytes")
+        return 0
+
+    from repro.sharding import read_manifest
+    from repro.snapshot import Snapshot
+
+    manifest, paths = read_manifest(args.shard_dir)
+    shards = []
+    for index, path in enumerate(paths):
+        snap = Snapshot.open(path)
+        try:
+            meta = snap.meta
+            shards.append({
+                "index": index,
+                "snapshot": manifest.snapshots[index],
+                "frames": int(meta.get("n_frames", 0)),
+                "videos": len(meta.get("videos", {})),
+                "bytes": os.path.getsize(path),
+            })
+        finally:
+            snap.close()
+    summary = {"n_shards": manifest.n_shards, "shards": shards}
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(f"{args.shard_dir}: {manifest.n_shards} shards, "
+              f"{sum(s['frames'] for s in shards)} key frames")
+        for s in shards:
+            print(f"  shard {s['index']}: {s['snapshot']}  "
+                  f"{s['videos']} videos, {s['frames']} frames, "
+                  f"{s['bytes']} bytes")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis.runner import main as lint_main
 
@@ -372,6 +466,7 @@ _COMMANDS = {
     "export-frame": _cmd_export_frame,
     "stats": _cmd_stats,
     "snapshot": _cmd_snapshot,
+    "shard": _cmd_shard,
     "serve": _cmd_serve,
     "table1": _cmd_table1,
 }

@@ -97,6 +97,17 @@ class SystemConfig:
     #: per-request wall-time budget checked at stage boundaries
     #: (None = unbounded; the web layer maps overruns to HTTP 504)
     request_deadline: Optional[float] = None
+    # sharded scatter-gather serving (repro.sharding): a coordinator
+    # fans queries out to ``shards`` persistent snapshot-backed workers
+    # and merges their raw distances into the single-store ranking
+    #: shard count (1 = unsharded, the default single-store engine)
+    shards: int = 1
+    #: per-shard RSNAP1 snapshot paths (len == ``shards``); None leaves
+    #: attachment to the caller (``repro.sharding.bootstrap``)
+    shard_paths: Optional[Tuple[str, ...]] = None
+    #: serve a partial ranking when a shard fails / its breaker is open
+    #: (surfaced via ``SearchResults.degraded_shards``); False escalates
+    shard_partial_ok: bool = True
     # admin authentication (None = open access)
     admin_password: Optional[str] = None
 
@@ -151,6 +162,18 @@ class SystemConfig:
             raise ValueError("breaker_cooldown must be non-negative")
         if self.request_deadline is not None and self.request_deadline <= 0:
             raise ValueError("request_deadline must be positive")
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.shard_paths is not None and len(self.shard_paths) != self.shards:
+            raise ValueError(
+                f"shard_paths holds {len(self.shard_paths)} paths "
+                f"but shards={self.shards}"
+            )
+        if self.shards > 1 and self.ann:
+            raise ValueError(
+                "ann is not supported with sharded serving (shards > 1): "
+                "the coordinator merges exact raw distances"
+            )
         if self.fault_spec is not None:
             from repro.resilience.faults import parse_fault_spec
 

@@ -31,7 +31,9 @@ class SearchResults:
     ``degraded`` is True when the query completed by gracefully dropping
     part of the pipeline (e.g. a faulting extractor was skipped and the
     fusion weights renormalized over the survivors);
-    ``degraded_features`` names the skipped extractors.
+    ``degraded_features`` names the skipped extractors and
+    ``degraded_shards`` the shard indices a scatter-gather coordinator
+    dropped from the ranking (their corpus slice is simply absent).
     """
 
     def __init__(
@@ -41,6 +43,7 @@ class SearchResults:
         n_total: int,
         degraded: bool = False,
         degraded_features: Optional[Sequence[str]] = None,
+        degraded_shards: Optional[Sequence[int]] = None,
     ):
         self.hits = list(hits)
         #: how many frames survived index pruning and were actually scored
@@ -48,9 +51,13 @@ class SearchResults:
         #: corpus size at query time
         self.n_total = n_total
         #: the answer is valid but computed with reduced fidelity
-        self.degraded = bool(degraded) or bool(degraded_features)
+        self.degraded = (
+            bool(degraded) or bool(degraded_features) or bool(degraded_shards)
+        )
         #: extractors skipped after repeated failure (fusion renormalized)
         self.degraded_features = list(degraded_features or [])
+        #: shards whose partition is missing from this ranking
+        self.degraded_shards = list(degraded_shards or [])
 
     def __len__(self) -> int:
         return len(self.hits)

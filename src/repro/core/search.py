@@ -210,6 +210,7 @@ class SearchEngine:
             n_total=results.n_total,
             degraded=results.degraded,
             degraded_features=list(results.degraded_features),
+            degraded_shards=list(results.degraded_shards),
         )
 
     def _record_query(

@@ -59,6 +59,7 @@ __all__ = [
     "SnapshotRequiredError",
     "build_snapshot_payload",
     "load_snapshot_into_store",
+    "open_snapshot_store",
     "init_worker_snapshot",
     "worker_snapshot_path",
     "worker_feature_matrix",
@@ -260,6 +261,34 @@ def load_snapshot_into_store(snap: Snapshot, store: FeatureStore) -> None:
     for name, rows in shared.rows_of.items():
         if rows is None:
             store.seed_matrix(name, shared.matrices[name])
+
+
+def open_snapshot_store(path: str) -> Tuple[Snapshot, FeatureStore]:
+    """Open a snapshot + its WAL into a fresh read-replica store.
+
+    The pure-mmap analogue of :meth:`SnapshotManager.try_open` for callers
+    that have only a snapshot file and no database -- shard workers and the
+    scatter-gather coordinator.  No fallback: a missing or corrupt file
+    raises, because a replica silently serving an empty partition would
+    corrupt merged rankings.  The caller owns closing the returned
+    :class:`~repro.snapshot.Snapshot` (the store's seeded matrices view its
+    mmap).
+    """
+    snap = Snapshot.open(path)
+    try:
+        store = FeatureStore()
+        base = (
+            int(snap.meta["generation"]),
+            int(snap.meta["structure_generation"]),
+        )
+        entries = read_wal(wal_path_for(path), base[0], base[1])
+        load_snapshot_into_store(snap, store)
+        for entry in entries:
+            _replay_wal_entry(store, entry)
+    except Exception:
+        snap.close()
+        raise
+    return snap, store
 
 
 def _replay_wal_entry(store: FeatureStore, entry: Dict[str, object]) -> None:

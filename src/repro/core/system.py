@@ -142,6 +142,37 @@ class VideoRetrievalSystem:
         for fid in self._store.frame_ids():
             self._index.insert_bucket(fid, self._store.get(fid).bucket)
 
+    # -- engine attachment -----------------------------------------------------
+
+    @property
+    def engine(self):
+        """The query engine currently serving :meth:`search` (read access)."""
+        return self._engine
+
+    @property
+    def feature_store(self) -> FeatureStore:
+        """The live in-memory feature store (read access for tooling).
+
+        Mutations belong to :class:`AdminSession`; this accessor exists
+        for read-side tooling -- the shard splitter, evaluation scripts --
+        that needs the records without re-parsing the database.
+        """
+        return self._store
+
+    def attach_engine(self, engine) -> None:
+        """Swap the query engine serving :meth:`search` / :meth:`search_by_video`.
+
+        The hook the sharded scatter-gather coordinator (and any future
+        engine variant) binds through -- ``repro.core`` sits below those
+        layers in the architecture DAG, so they push themselves in rather
+        than being imported here.  The engine must expose the
+        :class:`~repro.core.search.SearchEngine` query surface; it is
+        closed with the system.  The previous engine stays usable (it
+        shares this system's store and pool) but stops receiving queries.
+        """
+        self._engine = engine
+        self.snapshots.attach_engine(engine)
+
     # -- roles ----------------------------------------------------------------------
 
     def login_admin(self, password: Optional[str] = None) -> AdminSession:
@@ -254,9 +285,19 @@ class VideoRetrievalSystem:
             "ann": self._engine.ann_stats(),
             "cache": self._engine.cache_stats(),
             "snapshot": self.snapshots.stats(),
+            "sharding": self._sharding_summary(),
             "resilience": self._resilience_summary(),
             "registry": self.obs.registry.render_json(),
         }
+
+    def _sharding_summary(self) -> Optional[Dict[str, Any]]:
+        """Shard topology of the attached engine (None when unsharded).
+
+        Duck-typed on purpose: ``repro.core`` cannot import the sharding
+        layer, so any engine exposing ``sharding_stats()`` reports here.
+        """
+        stats_fn = getattr(self._engine, "sharding_stats", None)
+        return stats_fn() if callable(stats_fn) else None
 
     def _resilience_summary(self) -> Dict[str, Any]:
         """Flat resilience snapshot for :meth:`metrics` / ``repro stats``."""
@@ -296,6 +337,10 @@ class VideoRetrievalSystem:
         return self.snapshots.write()
 
     def close(self) -> None:
+        # the engine owns per-engine resources (a sharded coordinator's
+        # worker pools and partition mmaps); the default engine shares
+        # self._pool, whose close is idempotent
+        self._engine.close()
         self._pool.close()
         self.snapshots.close()
         self.db.close()

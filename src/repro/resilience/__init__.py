@@ -128,8 +128,7 @@ class ResiliencePolicies:
         if sleep is not None:
             retry_kwargs["sleep"] = sleep
         self.retry = Retry(**retry_kwargs)
-        self.ann_breaker = CircuitBreaker(
-            "ann",
+        self._breaker_kwargs = dict(
             window=breaker_window,
             failure_threshold=breaker_failure_threshold,
             min_calls=breaker_min_calls,
@@ -137,15 +136,8 @@ class ResiliencePolicies:
             clock=clock,
             obs=obs,
         )
-        self.pool_breaker = CircuitBreaker(
-            "pool",
-            window=breaker_window,
-            failure_threshold=breaker_failure_threshold,
-            min_calls=breaker_min_calls,
-            cooldown=breaker_cooldown,
-            clock=clock,
-            obs=obs,
-        )
+        self.ann_breaker = self.make_breaker("ann")
+        self.pool_breaker = self.make_breaker("pool")
         self._m_degraded = obs.counter(
             "repro_resilience_degraded_total",
             "Requests that completed with degraded semantics, by reason.",
@@ -186,6 +178,15 @@ class ResiliencePolicies:
             request_deadline=config.request_deadline,
             obs=obs,
         )
+
+    def make_breaker(self, name: str) -> CircuitBreaker:
+        """A new breaker sharing this policy bundle's window/cooldown knobs.
+
+        The sharded coordinator builds one per shard, so a single sick
+        partition trips open without affecting its siblings (or the
+        fixed :attr:`ann_breaker` / :attr:`pool_breaker`).
+        """
+        return CircuitBreaker(name, **self._breaker_kwargs)
 
     # -- hooks called from the pipeline ---------------------------------------
 

@@ -9,6 +9,7 @@ an infrastructure failure can plausibly occur::
     ann.probe           one IVF candidate-index probe
     snapshot.open       one mmap snapshot open (-> SQL-rebuild fallback)
     snapshot.compact    one snapshot compaction (WAL fold + rewrite)
+    shard.query         one scatter-gather shard dispatch (-> partial result)
     extractor.<name>    one query-side feature extraction (e.g. extractor.gabor)
 
 Tests and chaos runs *arm* points with a spec string (the ``REPRO_FAULTS``
@@ -60,6 +61,7 @@ KNOWN_POINTS = frozenset(
         "ann.probe",
         "snapshot.open",
         "snapshot.compact",
+        "shard.query",
     }
 )
 

@@ -4,9 +4,11 @@
 layers (`core.ingest`, `core.search`) only say *what* to compute.  The
 contract is deliberately narrow: an order-preserving chunked ``map`` that
 degrades to the plain serial loop whenever parallelism cannot help
-(one worker, one item) or cannot work (unpicklable task, dead pool).
+(one worker, one item) or cannot work (unpicklable task, dead pool),
+plus a ``submit``/``result`` pair for long-lived tasks pinned to
+persistent worker processes (the sharded scatter-gather path).
 """
 
-from repro.runtime.pool import WorkerPool, parallel_map, resolve_workers
+from repro.runtime.pool import PoolTask, WorkerPool, parallel_map, resolve_workers
 
-__all__ = ["WorkerPool", "parallel_map", "resolve_workers"]
+__all__ = ["PoolTask", "WorkerPool", "parallel_map", "resolve_workers"]

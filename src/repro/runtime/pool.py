@@ -35,7 +35,7 @@ from repro.resilience import (
     ResiliencePolicies,
 )
 
-__all__ = ["WorkerPool", "parallel_map", "resolve_workers"]
+__all__ = ["WorkerPool", "PoolTask", "parallel_map", "resolve_workers"]
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -74,6 +74,60 @@ def _is_picklable(obj: object) -> bool:
         return True
     except (pickle.PicklingError, TypeError, AttributeError):
         return False
+
+
+class PoolTask:
+    """Handle for one :meth:`WorkerPool.submit` call.
+
+    ``result()`` blocks until the task finishes and returns its value.
+    Exceptions raised by the task function propagate unchanged;
+    infrastructure failures (a dead worker process, an unpicklable
+    result) are redone in-process, mirroring :meth:`WorkerPool.map`'s
+    fallback semantics.  A handle created without a future runs the task
+    in-process, lazily, on the first ``result()`` call -- so a caller
+    that fanned several submits out still overlaps the healthy ones.
+    """
+
+    __slots__ = ("_pool", "_fn", "_args", "_future", "_breaker", "_done", "_value")
+
+    def __init__(self, pool: "WorkerPool", fn, args, future=None, breaker=None):
+        self._pool = pool
+        self._fn = fn
+        self._args = args
+        self._future = future
+        self._breaker = breaker
+        self._done = False
+        self._value = None
+
+    @property
+    def inline(self) -> bool:
+        """Whether this task runs (or ran) in-process instead of a worker."""
+        return self._future is None
+
+    def result(self):
+        """The task's return value (blocks until available)."""
+        if self._done:
+            return self._value
+        if self._future is None:
+            value = self._fn(*self._args)
+        else:
+            try:
+                value = self._future.result()
+                if self._breaker is not None:
+                    self._breaker.record_success()
+            except (BrokenProcessPool, pickle.PicklingError, OSError):
+                # the worker died or the result refused to pickle; the
+                # work itself is still valid, so redo it in-process
+                if self._breaker is not None:
+                    self._breaker.record_failure()
+                    self._pool._policies.note_fallback("pool_serial")
+                self._pool.close()
+                self._pool._m_fallbacks.labels(reason="broken_pool").inc()
+                self._future = None
+                value = self._fn(*self._args)
+        self._value = value
+        self._done = True
+        return value
 
 
 class WorkerPool:
@@ -136,6 +190,11 @@ class WorkerPool:
             "repro_pool_fallbacks_total",
             "Parallel map calls that degraded to the serial loop.",
             labelnames=("reason",),
+        )
+        self._m_submits = obs.counter(
+            "repro_pool_submits_total",
+            "Single-task submissions, by dispatch mode.",
+            labelnames=("mode",),
         )
 
     def attach_resilience(self, policies: ResiliencePolicies) -> None:
@@ -241,6 +300,46 @@ class WorkerPool:
             return out
         finally:
             self._m_queue_depth.set(0)
+
+    def submit(self, fn: Callable[..., R], *args: object) -> PoolTask:
+        """Dispatch one long-lived task to a worker process.
+
+        Unlike :meth:`map`, a ``workers == 1`` pool still ships the task
+        to its single *persistent* worker process -- that is the point:
+        a caller pins per-process state via :meth:`set_initializer`
+        (e.g. a memory-mapped shard snapshot) and keeps submitting
+        queries to it without re-forking.  The serial fallback only
+        triggers for unpicklable tasks, an open pool breaker, or broken
+        infrastructure; task exceptions always propagate from the
+        handle's ``result()``.  The ``pool.map`` fault point covers this
+        dispatch path too.
+        """
+        if not (_is_picklable(fn) and all(_is_picklable(a) for a in args)):
+            self._m_fallbacks.labels(reason="unpicklable").inc()
+            self._m_submits.labels(mode="inline").inc()
+            return PoolTask(self, fn, args)
+        breaker = self._policies.pool_breaker if self._policies.enabled else None
+        if breaker is not None:
+            try:
+                breaker.guard()
+            except CircuitOpenError:
+                self._m_fallbacks.labels(reason="breaker_open").inc()
+                self._policies.note_fallback("pool_serial")
+                self._m_submits.labels(mode="inline").inc()
+                return PoolTask(self, fn, args)
+        try:
+            self._policies.fire("pool.map")
+            future = self._ensure_executor().submit(fn, *args)
+        except (BrokenProcessPool, pickle.PicklingError, OSError, FaultInjected):
+            if breaker is not None:
+                breaker.record_failure()
+                self._policies.note_fallback("pool_serial")
+            self.close()
+            self._m_fallbacks.labels(reason="broken_pool").inc()
+            self._m_submits.labels(mode="inline").inc()
+            return PoolTask(self, fn, args)
+        self._m_submits.labels(mode="parallel").inc()
+        return PoolTask(self, fn, args, future=future, breaker=breaker)
 
 
 def parallel_map(

@@ -1,0 +1,40 @@
+"""``repro.sharding``: scatter-gather serving over partitioned snapshots.
+
+Horizontal scaling for the query path: a stable hash partitioner
+(:mod:`~repro.sharding.partition`) assigns whole videos to shards, the
+builder (:mod:`~repro.sharding.builder`) writes one self-contained
+RSNAP1 snapshot per shard, and the coordinator
+(:mod:`~repro.sharding.coordinator`) fans each frame / vector / video
+query out to persistent, snapshot-mmapping worker processes and merges
+their raw per-feature distances into a ranking **byte-identical** to
+the single-store engine's.  A failing shard degrades to a partial
+ranking (``SearchResults.degraded_shards``) guarded by per-shard
+circuit breakers and the ``shard.query`` fault point.
+
+See ``docs/sharding.md`` for the architecture and operational guide.
+"""
+
+from repro.sharding.bootstrap import (
+    attach_sharded_engine,
+    maybe_attach_sharded,
+    sharded_config,
+)
+from repro.sharding.builder import SHARD_SNAPSHOT_PATTERN, split_library, split_store
+from repro.sharding.coordinator import ShardedSearchEngine
+from repro.sharding.manifest import MANIFEST_NAME, ShardManifest, read_manifest
+from repro.sharding.partition import partition_video_ids, shard_of
+
+__all__ = [
+    "MANIFEST_NAME",
+    "SHARD_SNAPSHOT_PATTERN",
+    "ShardManifest",
+    "ShardedSearchEngine",
+    "attach_sharded_engine",
+    "maybe_attach_sharded",
+    "partition_video_ids",
+    "read_manifest",
+    "shard_of",
+    "sharded_config",
+    "split_library",
+    "split_store",
+]

@@ -1,0 +1,81 @@
+"""Per-shard corpus builder: split one store into N snapshot partitions.
+
+Each shard gets a complete, self-contained RSNAP1 snapshot (plus an
+empty WAL at the shard store's base generation) holding exactly the
+videos that :func:`~repro.sharding.partition.shard_of` assigns to it.
+Workers then cold-start a partition with the same mmap machinery the
+single-store engine uses -- a shard is just a smaller library.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.core.snapshots import build_snapshot_payload
+from repro.core.store import FeatureStore
+from repro.obs import log
+from repro.sharding.manifest import ShardManifest
+from repro.sharding.partition import shard_of
+from repro.snapshot import WalWriter, remove_wal, wal_path_for, write_snapshot
+
+__all__ = ["SHARD_SNAPSHOT_PATTERN", "split_store", "split_library"]
+
+#: per-shard snapshot file name (index == hash bucket)
+SHARD_SNAPSHOT_PATTERN = "shard-{index:03d}.snap"
+
+
+def split_store(
+    store: FeatureStore, out_dir: str, n_shards: int
+) -> ShardManifest:
+    """Partition ``store`` into ``n_shards`` snapshots under ``out_dir``.
+
+    Empty shards (no video hashed to them) still get a snapshot, so the
+    manifest's shard index always equals the hash bucket.  Returns the
+    written manifest.
+    """
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1")
+    os.makedirs(out_dir, exist_ok=True)
+    subs = [FeatureStore() for _ in range(n_shards)]
+    for video_id in store.video_ids():
+        sub = subs[shard_of(video_id, n_shards)]
+        for record in store.frames_of_video(video_id):
+            sub.add(record)
+        motion = store.video_motion(video_id)
+        if motion is not None:
+            sub.set_video_motion(video_id, motion)
+    names = []
+    for index, sub in enumerate(subs):
+        name = SHARD_SNAPSHOT_PATTERN.format(index=index)
+        path = os.path.join(out_dir, name)
+        arrays, meta = build_snapshot_payload(sub)
+        meta["shard"] = {"index": index, "of": n_shards}
+        write_snapshot(path, arrays, meta)
+        # a fresh empty WAL pins the base generation, so a worker opening
+        # the shard replays nothing and a stale leftover log can't leak in
+        remove_wal(path)
+        WalWriter(wal_path_for(path), sub.generation, sub.structure_generation)
+        names.append(name)
+    manifest = ShardManifest(n_shards=n_shards, snapshots=tuple(names))
+    manifest.write(out_dir)
+    log.get_logger(__name__).info(
+        "shard.split",
+        out_dir=out_dir,
+        n_shards=n_shards,
+        frames=[len(sub) for sub in subs],
+    )
+    return manifest
+
+
+def split_library(
+    library: str, out_dir: str, n_shards: int, config: Optional[object] = None
+) -> ShardManifest:
+    """Open a durable library and split its corpus (the CLI entry point)."""
+    from repro.core.system import VideoRetrievalSystem
+
+    system = VideoRetrievalSystem.open(library, config=config)
+    try:
+        return split_store(system.feature_store, out_dir, n_shards)
+    finally:
+        system.close()

@@ -1,0 +1,455 @@
+"""The scatter-gather coordinator: one engine over N shard partitions.
+
+:class:`ShardedSearchEngine` subclasses the single-store
+:class:`~repro.core.search.SearchEngine` and keeps its whole query-side
+surface -- range-index pruning, query cache, extractor degradation,
+deadlines -- while replacing the distance computation: candidates are
+split by owning shard, scored in parallel by persistent snapshot-backed
+worker processes, and merged back coordinator-side.
+
+The merge is **byte-identical** to the single-store ranking because the
+shards return raw per-feature distances (see :mod:`repro.sharding.worker`)
+which are reassembled in global candidate order before the one global
+min-max normalization + weighted fusion + stable top-k the base engine
+runs.  A shard that fails (or whose circuit breaker is open) degrades to
+a partial ranking over the surviving partitions -- exactly the ranking a
+store holding only those partitions would produce -- surfaced via
+``SearchResults.degraded_shards``; ``config.shard_partial_ok=False``
+escalates instead.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from functools import partial
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import SystemConfig
+from repro.core.results import RetrievalResult, SearchResults
+from repro.core.search import (
+    SearchEngine,
+    VideoMatch,
+    _extract_query_features,
+    _stable_topk,
+)
+from repro.core.snapshots import init_worker_snapshot, open_snapshot_store
+from repro.core.store import FeatureStore
+from repro.imaging import accel
+from repro.imaging.image import Image
+from repro.indexing.rangefinder import RangeFinder
+from repro.indexing.tree import RangeIndex
+from repro.obs import NULL_OBS, Obs
+from repro.resilience import (
+    NULL_POLICIES,
+    CircuitOpenError,
+    DeadlineExceeded,
+    ResiliencePolicies,
+)
+from repro.runtime import PoolTask, WorkerPool
+from repro.sharding.worker import score_vectors_shard, score_video_shard
+from repro.similarity.fusion import CombinedScorer, FeatureWeights, normalize_scores
+
+__all__ = ["ShardedSearchEngine"]
+
+
+class ShardedSearchEngine(SearchEngine):
+    """Scatter-gather query execution over per-shard snapshot partitions."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        shard_paths: Sequence[str],
+        pool: Optional[WorkerPool] = None,
+        obs: Obs = NULL_OBS,
+        policies: ResiliencePolicies = NULL_POLICIES,
+    ):
+        if not shard_paths:
+            raise ValueError("shard_paths must name at least one snapshot")
+        if config.ann:
+            raise ValueError(
+                "ann is not supported with sharded serving: the "
+                "coordinator merges exact raw distances"
+            )
+        paths = [os.path.abspath(os.fspath(p)) for p in shard_paths]
+        snapshots = []
+        stores: List[FeatureStore] = []
+        try:
+            for path in paths:
+                snapshot, store = open_snapshot_store(path)
+                snapshots.append(snapshot)
+                stores.append(store)
+            merged, index = self._merge(config, stores)
+        except Exception:
+            for snapshot in snapshots:
+                snapshot.close()
+            raise
+        # the base engine runs pruning/extraction/cache over the merged
+        # store; its pool only does query-side key-frame extraction
+        super().__init__(
+            config, merged, index, pool=pool or WorkerPool(workers=1),
+            obs=obs, policies=policies,
+        )
+        self._snapshots = snapshots
+        self._paths = paths
+        # merged-row -> owning shard, aligned with merged.frame_ids()
+        global_ids = np.asarray(merged.frame_ids(), dtype=np.int64)
+        self._row_shard = np.empty(global_ids.size, dtype=np.int64)
+        self._shard_frame_ids: List[np.ndarray] = []
+        for s, store in enumerate(stores):
+            ids = np.asarray(store.frame_ids(), dtype=np.int64)
+            self._shard_frame_ids.append(ids)
+            if ids.size:
+                self._row_shard[np.searchsorted(global_ids, ids)] = s
+        self._global_ids = global_ids
+        # one persistent single-worker pool per shard: the worker process
+        # mmaps its partition once (init_worker_snapshot) and stays up
+        # across queries instead of re-forking per request
+        self._shard_pools: List[WorkerPool] = []
+        for path in paths:
+            shard_pool = WorkerPool(workers=1)
+            shard_pool.set_initializer(init_worker_snapshot, (path,))
+            self._shard_pools.append(shard_pool)
+        self._breakers = [
+            policies.make_breaker(f"shard{s}") if policies.enabled else None
+            for s in range(len(paths))
+        ]
+        self._m_shard_queries = obs.counter(
+            "repro_shard_queries_total",
+            "Shard dispatches, by shard and outcome.",
+            labelnames=("shard", "outcome"),
+        )
+        self._m_shard_seconds = obs.histogram(
+            "repro_shard_query_seconds",
+            "Per-shard dispatch-to-gather wall time.",
+            labelnames=("shard",),
+        )
+        self._m_merge_seconds = obs.histogram(
+            "repro_shard_merge_seconds",
+            "Coordinator-side merge (assemble + fuse + top-k) wall time.",
+        )
+        self._m_partials = obs.counter(
+            "repro_shard_partial_results_total",
+            "Queries answered with at least one shard missing.",
+        )
+        obs.gauge("repro_shards", "Configured shard count.").set(len(paths))
+
+    @staticmethod
+    def _merge(
+        config: SystemConfig, stores: Sequence[FeatureStore]
+    ) -> Tuple[FeatureStore, RangeIndex]:
+        """One store + range index over every partition's records.
+
+        Records are shared, not copied: their feature mappings keep
+        viewing the shard snapshots' mmaps, so the merge costs metadata
+        only.  Duplicate frame ids (overlapping shard sets) fail fast in
+        ``FeatureStore.add``.
+        """
+        merged = FeatureStore()
+        for store in stores:
+            for fid in store.frame_ids():
+                merged.add(store.get(fid))
+            for vid in store.video_ids():
+                motion = store.video_motion(vid)
+                if motion is not None:
+                    merged.set_video_motion(vid, motion)
+        finder = RangeFinder(
+            first_threshold=config.index_first_threshold,
+            threshold=config.index_threshold,
+            max_level=config.index_max_level,
+        )
+        index = RangeIndex(finder)
+        for fid in merged.frame_ids():
+            index.insert_bucket(fid, merged.get(fid).bucket)
+        return merged, index
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._paths)
+
+    # -- scatter-gather core ---------------------------------------------------
+
+    def _scatter(
+        self,
+        fn: Callable,
+        payloads: Sequence[Tuple[int, tuple]],
+    ) -> Tuple[Dict[int, object], List[int]]:
+        """Dispatch ``fn(*args)`` to each listed shard's worker; gather.
+
+        Returns ``(results_by_shard, degraded_shards)``.  Per-shard
+        failures -- an open breaker, an injected ``shard.query`` fault, a
+        dead worker past the pool's own serial fallback -- drop the shard
+        into ``degraded_shards`` and feed its breaker; deadline overruns
+        always escalate.  Raises the last shard error when nothing
+        survived or ``config.shard_partial_ok`` is off.
+        """
+        pending: List[Tuple[int, PoolTask, float]] = []
+        gathered: Dict[int, object] = {}
+        degraded: List[int] = []
+        last_error: Optional[Exception] = None
+        for s, args in payloads:
+            breaker = self._breakers[s]
+            t0 = time.perf_counter()
+            try:
+                if breaker is not None:
+                    breaker.guard()
+                self._policies.fire("shard.query")
+                task = self._shard_pools[s].submit(fn, *args)
+            except CircuitOpenError as exc:
+                last_error = exc
+                degraded.append(s)
+                self._shard_down(s, "breaker_open")
+                continue
+            except DeadlineExceeded:
+                raise
+            except Exception as exc:
+                if breaker is not None:
+                    breaker.record_failure()
+                last_error = exc
+                degraded.append(s)
+                self._shard_down(s, f"{type(exc).__name__}: {exc}")
+                continue
+            pending.append((s, task, t0))
+        for s, task, t0 in pending:
+            breaker = self._breakers[s]
+            try:
+                value = task.result()
+            except DeadlineExceeded:
+                raise
+            except Exception as exc:
+                if breaker is not None:
+                    breaker.record_failure()
+                last_error = exc
+                degraded.append(s)
+                self._shard_down(s, f"{type(exc).__name__}: {exc}")
+                continue
+            if breaker is not None:
+                breaker.record_success()
+            self._m_shard_seconds.labels(shard=str(s)).observe(
+                time.perf_counter() - t0
+            )
+            self._m_shard_queries.labels(shard=str(s), outcome="ok").inc()
+            gathered[s] = value
+        if degraded:
+            degraded.sort()
+            self._m_partials.inc()
+            if not gathered or not self.config.shard_partial_ok:
+                raise last_error
+        return gathered, degraded
+
+    def _shard_down(self, shard: int, reason: str) -> None:
+        self._m_shard_queries.labels(shard=str(shard), outcome="error").inc()
+        self._policies.note_degraded(f"shard.{shard}")
+        self._log.warning("search.shard_degraded", shard=shard, reason=reason)
+
+    # -- frame / vector queries ------------------------------------------------
+
+    def _query_with_vectors(
+        self,
+        query_vectors,
+        names: List[str],
+        top_k: int,
+        candidate_ids,
+        weights,
+    ) -> SearchResults:
+        self._policies.check_stage("search.score")
+        if candidate_ids is None:
+            candidate_arr = self._global_ids
+        else:
+            candidate_arr = np.asarray(list(candidate_ids), dtype=np.int64)
+        n_total = len(self.store)
+        if not candidate_arr.size:
+            return SearchResults([], n_candidates=0, n_total=n_total)
+
+        # the scoring flags are resolved here, once, and shipped to every
+        # worker, so coordinator and shards pick the same distance kernel
+        batched = self.config.batch_distances
+        fast = accel.fast_paths_enabled()
+        if candidate_arr is self._global_ids:
+            owners = self._row_shard
+        else:
+            owners = self._row_shard[self.store.matrix_rows(candidate_arr)]
+        payloads = []
+        positions: Dict[int, np.ndarray] = {}
+        for s in range(self.n_shards):
+            pos = np.nonzero(owners == s)[0]
+            if not pos.size:
+                continue
+            ids = candidate_arr[pos]
+            # a shard receiving its full id list in ascending order scores
+            # everything it has -- no id payload, no row gather
+            if np.array_equal(ids, self._shard_frame_ids[s]):
+                send: Optional[List[int]] = None
+            else:
+                send = [int(fid) for fid in ids]
+            payloads.append(
+                (s, (self._paths[s], query_vectors, list(names), send, batched, fast))
+            )
+            positions[s] = pos
+        with self._obs.span("search.scatter", shards=len(payloads)):
+            gathered, degraded = self._scatter(score_vectors_shard, payloads)
+
+        t_merge = time.perf_counter()
+        # reassemble each feature's raw distances in global candidate order
+        per_feature: Dict[str, np.ndarray] = {}
+        for s, shard_values in gathered.items():
+            pos = positions[s]
+            for name in names:
+                dest = per_feature.get(name)
+                if dest is None:
+                    dest = per_feature[name] = np.empty(
+                        candidate_arr.size, dtype=shard_values[name].dtype
+                    )
+                dest[pos] = shard_values[name]
+        if degraded:
+            # compact over the surviving positions: exactly the arrays a
+            # store holding only the surviving partitions would produce
+            keep = np.sort(np.concatenate([positions[s] for s in gathered]))
+            candidate_arr = candidate_arr[keep]
+            for name in names:
+                per_feature[name] = per_feature[name][keep]
+        # from here on this is the base engine's fusion + ranking tail,
+        # verbatim: one global normalization over the candidate set
+        if len(names) == 1:
+            fused = np.asarray(per_feature[names[0]], dtype=np.float64)
+        else:
+            if weights is None:
+                weights = {n: self.config.weight_of(n) for n in names}
+            fused = CombinedScorer(FeatureWeights(weights)).fuse(per_feature)
+        if fast:
+            order = _stable_topk(fused, max(0, top_k))
+        else:
+            order = np.argsort(fused, kind="stable")[: max(0, top_k)]
+        hits = []
+        for i in order:
+            record = self.store.get(int(candidate_arr[i]))
+            hits.append(
+                RetrievalResult(
+                    frame_id=record.frame_id,
+                    video_id=record.video_id,
+                    video_name=record.video_name,
+                    frame_name=record.frame_name,
+                    category=record.category,
+                    distance=float(fused[i]),
+                    per_feature={n: float(per_feature[n][i]) for n in names},
+                )
+            )
+        self._m_merge_seconds.observe(time.perf_counter() - t_merge)
+        return SearchResults(
+            hits,
+            n_candidates=int(candidate_arr.size),
+            n_total=n_total,
+            degraded_shards=degraded,
+        )
+
+    # -- video queries ---------------------------------------------------------
+
+    def _query_video(
+        self,
+        frames: List[Image],
+        features,
+        top_k: int,
+    ) -> List[VideoMatch]:
+        names = self._resolve_features(features)
+        self._policies.check_stage("search.keyframes")
+        key_frames = [f for _i, f in self.keyframe_extractor.extract(frames)]
+        self._policies.check_stage("search.extract")
+        extract = partial(
+            _extract_query_features, extractors=self.extractors, names=names
+        )
+        query_seq = self._pool.map(extract, key_frames)
+        self._policies.check_stage("search.score")
+        if not self.store.video_ids():
+            return []
+
+        batched = self.config.batch_distances
+        payloads = [
+            (s, (self._paths[s], query_seq, list(names), batched))
+            for s in range(self.n_shards)
+            if self._shard_frame_ids[s].size
+        ]
+        with self._obs.span("search.scatter", shards=len(payloads)):
+            gathered, degraded = self._scatter(score_video_shard, payloads)
+
+        t_merge = time.perf_counter()
+        # global record order (videos ascending, frames ascending within)
+        # restricted to the surviving shards' videos
+        shard_of_video: Dict[int, int] = {}
+        shard_spans: Dict[int, slice] = {}
+        for s, (_blocks, shard_vids) in gathered.items():
+            offset = 0
+            for vid in shard_vids:
+                shard_of_video[vid] = s
+                n = len(self.store.frames_of_video(vid))
+                shard_spans[vid] = slice(offset, offset + n)
+                offset += n
+        video_ids = [
+            vid for vid in self.store.video_ids() if vid in shard_of_video
+        ]
+        all_records = []
+        spans: Dict[int, slice] = {}
+        for video_id in video_ids:
+            records = self.store.frames_of_video(video_id)
+            spans[video_id] = slice(
+                len(all_records), len(all_records) + len(records)
+            )
+            all_records.extend(records)
+        nq, nr = len(query_seq), len(all_records)
+        combined = np.zeros((nq, nr))
+        total_weight = 0.0
+        for name in names:
+            m = np.empty((nq, nr))
+            for video_id in video_ids:
+                blocks, _vids = gathered[shard_of_video[video_id]]
+                m[:, spans[video_id]] = blocks[name][:, shard_spans[video_id]]
+            w = self.config.weight_of(name)
+            combined += w * normalize_scores(m.ravel()).reshape(nq, nr)
+            total_weight += w
+        if total_weight > 0:
+            combined /= total_weight
+
+        matches: List[VideoMatch] = []
+        for video_id in video_ids:
+            span = spans[video_id]
+            if span.stop == span.start:
+                continue
+            records = all_records[span]
+            matches.append(
+                VideoMatch(
+                    video_id=video_id,
+                    video_name=records[0].video_name,
+                    category=records[0].category,
+                    distance=self._sequence_distance(combined[:, span]),
+                )
+            )
+        matches = self._blend_motion(frames, matches)
+        matches.sort(key=lambda m: m.distance)
+        self._m_merge_seconds.observe(time.perf_counter() - t_merge)
+        return matches[: max(0, top_k)]
+
+    # -- introspection / shutdown ----------------------------------------------
+
+    def sharding_stats(self) -> Dict[str, object]:
+        """Shard topology + breaker states for ``system.metrics()``."""
+        return {
+            "shards": self.n_shards,
+            "paths": list(self._paths),
+            "partial_ok": bool(self.config.shard_partial_ok),
+            "frames_per_shard": [int(ids.size) for ids in self._shard_frame_ids],
+            "breakers": {
+                f"shard{s}": breaker.stats()
+                for s, breaker in enumerate(self._breakers)
+                if breaker is not None
+            },
+        }
+
+    def close(self) -> None:
+        """Stop the shard workers and release the partition mmaps."""
+        with self._obs.span("shard.close"):
+            for shard_pool in self._shard_pools:
+                shard_pool.close()
+            for snapshot in self._snapshots:
+                snapshot.close()
+            super().close()

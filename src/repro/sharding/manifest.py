@@ -1,0 +1,85 @@
+"""The shard-set manifest: which snapshots form one partitioned corpus.
+
+``repro shard split`` writes ``shards.json`` next to the per-shard
+RSNAP1 files; serve-time code reads it back instead of trusting the
+caller to list N paths in the right order (shard index == hash bucket,
+so order is load-bearing).  Snapshot names are stored relative to the
+manifest so the directory can be rsynced or bind-mounted anywhere.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["MANIFEST_NAME", "ShardManifest", "read_manifest"]
+
+#: file name of the manifest inside a shard directory
+MANIFEST_NAME = "shards.json"
+
+_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ShardManifest:
+    """One shard set: ``snapshots[i]`` holds the videos hashing to shard i."""
+
+    n_shards: int
+    #: snapshot file names relative to the manifest's directory
+    snapshots: Tuple[str, ...]
+    version: int = _VERSION
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        if len(self.snapshots) != self.n_shards:
+            raise ValueError(
+                f"manifest lists {len(self.snapshots)} snapshots "
+                f"but n_shards={self.n_shards}"
+            )
+
+    def snapshot_paths(self, base_dir: str) -> Tuple[str, ...]:
+        """Absolute snapshot paths for a manifest rooted at ``base_dir``."""
+        return tuple(
+            os.path.join(os.path.abspath(base_dir), name)
+            for name in self.snapshots
+        )
+
+    def write(self, out_dir: str) -> str:
+        """Write ``shards.json`` into ``out_dir``; returns its path."""
+        path = os.path.join(out_dir, MANIFEST_NAME)
+        payload = {
+            "version": self.version,
+            "n_shards": self.n_shards,
+            "snapshots": list(self.snapshots),
+        }
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return path
+
+
+def read_manifest(path: str) -> Tuple[ShardManifest, Tuple[str, ...]]:
+    """Load a manifest (or the directory holding one) -> (manifest, paths).
+
+    The returned paths are absolute, in shard order.
+    """
+    path = os.fspath(path)
+    if os.path.isdir(path):
+        path = os.path.join(path, MANIFEST_NAME)
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    version = int(payload.get("version", -1))
+    if version != _VERSION:
+        raise ValueError(
+            f"{path}: unsupported shard manifest version {version} "
+            f"(this build reads version {_VERSION})"
+        )
+    manifest = ShardManifest(
+        n_shards=int(payload["n_shards"]),
+        snapshots=tuple(str(name) for name in payload["snapshots"]),
+        version=version,
+    )
+    return manifest, manifest.snapshot_paths(os.path.dirname(path))

@@ -1,0 +1,44 @@
+"""Stable hash partitioning: video id -> shard id.
+
+Shards own whole videos (a video query's DP alignment needs every frame
+of a stored video on one shard), so the partition key is the video id.
+The hash is an explicit splitmix64 finalizer rather than Python's
+``hash()``: the assignment must be identical across processes, runs, and
+interpreter versions, because the split that built the shard snapshots
+and the coordinator routing queries at serve time have to agree forever.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+__all__ = ["shard_of", "partition_video_ids"]
+
+_MASK64 = (1 << 64) - 1
+
+
+def _splitmix64(x: int) -> int:
+    """The splitmix64 finalizer (Steele et al.): avalanches all 64 bits."""
+    x = (x + 0x9E3779B97F4A7C15) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (x ^ (x >> 31)) & _MASK64
+
+
+def shard_of(video_id: int, n_shards: int) -> int:
+    """The shard owning ``video_id`` (stable across runs and processes)."""
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1")
+    if n_shards == 1:
+        return 0
+    return _splitmix64(int(video_id) & _MASK64) % n_shards
+
+
+def partition_video_ids(
+    video_ids: Iterable[int], n_shards: int
+) -> List[List[int]]:
+    """Group video ids by owning shard, preserving input order per shard."""
+    groups: List[List[int]] = [[] for _ in range(n_shards)]
+    for video_id in video_ids:
+        groups[shard_of(video_id, n_shards)].append(video_id)
+    return groups

@@ -1,0 +1,165 @@
+"""Shard worker tasks: raw per-feature distances over one partition.
+
+These module-level functions run inside the coordinator's persistent
+per-shard worker processes (``WorkerPool.submit``).  Each process mmaps
+its partition's snapshot once and caches the resulting read-replica
+store across queries -- the pool's ``init_worker_snapshot`` initializer
+records the path at spawn, but the task also carries it explicitly so
+the in-process serial fallback (broken pool, unpicklable payload) scores
+the right partition regardless of what the parent's own pool was
+initialized with.
+
+Workers return **raw** distances, never fused scores: the combined
+ranking min-max normalizes each feature over the *global* candidate set,
+so normalizing per shard would change the merged order.  Every distance
+kernel is rowwise (no matrix-global statistics), hence a shard's rows
+are bit-identical to the same rows of a full-store computation, and the
+coordinator's merge reproduces the single-store ranking byte for byte.
+
+Module state is lock-guarded for R15: worker processes are effectively
+single-threaded, but the serial fallback shares this module with the
+(possibly threaded) parent.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.snapshots import open_snapshot_store
+from repro.core.store import FeatureStore, FrameRecord
+from repro.features.base import FeatureExtractor, FeatureVector, get_extractor
+from repro.snapshot import Snapshot
+
+__all__ = ["score_vectors_shard", "score_video_shard", "reset_worker_state"]
+
+
+class _ShardState:
+    """One opened partition: mmap snapshot + store + extractor cache."""
+
+    __slots__ = ("snapshot", "store", "extractors")
+
+    def __init__(self, snapshot: Snapshot, store: FeatureStore):
+        self.snapshot = snapshot
+        self.store = store
+        self.extractors: Dict[str, FeatureExtractor] = {}
+
+    def extractor(self, name: str) -> FeatureExtractor:
+        if name not in self.extractors:
+            self.extractors[name] = get_extractor(name)
+        return self.extractors[name]
+
+
+_state_lock = threading.Lock()
+_states: Dict[str, _ShardState] = {}
+
+
+def _shard_state(path: str) -> _ShardState:
+    with _state_lock:
+        state = _states.get(path)
+        if state is None:
+            snapshot, store = open_snapshot_store(path)
+            state = _ShardState(snapshot, store)
+            _states[path] = state
+        return state
+
+
+def reset_worker_state() -> None:
+    """Drop every cached partition (tests / coordinator shutdown fallback)."""
+    with _state_lock:
+        for state in _states.values():
+            state.snapshot.close()
+        _states.clear()
+
+
+def score_vectors_shard(
+    path: str,
+    query_vectors: Dict[str, FeatureVector],
+    names: Sequence[str],
+    candidate_ids: Optional[Sequence[int]],
+    batched: bool,
+    fast: bool,
+) -> Dict[str, np.ndarray]:
+    """Raw per-feature distances for this shard's slice of the candidates.
+
+    Mirrors ``SearchEngine._query_with_vectors`` branch for branch (the
+    ``batched``/``fast`` flags are computed coordinator-side and passed
+    in, so both processes pick the same kernel): prepared-stack scoring,
+    the reference batched path, or the scalar per-record loop.
+    ``candidate_ids=None`` means every frame of the partition -- the
+    common case, which skips the row gather entirely.
+    """
+    state = _shard_state(path)
+    store = state.store
+    shard_full = candidate_ids is None
+    if shard_full:
+        candidate_ids = store.frame_ids()
+    else:
+        candidate_ids = list(candidate_ids)
+    prepared_scoring = batched and fast
+    records: Optional[List[FrameRecord]] = None
+    rows: Optional[np.ndarray] = None
+    if not batched or not fast:
+        records = [store.get(fid) for fid in candidate_ids]
+    elif prepared_scoring and not shard_full:
+        rows = store.matrix_rows(candidate_ids)
+    per_feature: Dict[str, np.ndarray] = {}
+    for name in names:
+        extractor = state.extractor(name)
+        qv = query_vectors[name]
+        if prepared_scoring:
+            prepared = store.prepared_matrix(name, extractor)
+            if rows is not None:
+                prepared = prepared[rows]
+            per_feature[name] = extractor.batch_distance_prepared(qv, prepared)
+        elif batched:
+            matrix = store.feature_matrix(
+                name, None if shard_full else candidate_ids
+            )
+            per_feature[name] = extractor.batch_distance(qv, matrix)
+        else:
+            per_feature[name] = np.array(
+                [extractor.distance(qv, rec.features[name]) for rec in records]
+            )
+    return per_feature
+
+
+def score_video_shard(
+    path: str,
+    query_seq: Sequence[Dict[str, FeatureVector]],
+    names: Sequence[str],
+    batched: bool,
+) -> Tuple[Dict[str, np.ndarray], List[int]]:
+    """Per-feature (n_query x n_shard_frames) raw distance blocks.
+
+    Columns follow the partition's canonical record order -- videos by
+    ascending id, frames by ascending id within each video -- which is
+    the global order restricted to this shard, so the coordinator can
+    reassemble the full matrix by slotting each video's column block.
+    Returns ``(blocks, video_ids)`` with the shard's videos in that
+    column order.
+    """
+    state = _shard_state(path)
+    store = state.store
+    video_ids = store.video_ids()
+    all_records: List[FrameRecord] = []
+    for video_id in video_ids:
+        all_records.extend(store.frames_of_video(video_id))
+    nq, nr = len(query_seq), len(all_records)
+    record_ids = [rec.frame_id for rec in all_records]
+    blocks: Dict[str, np.ndarray] = {}
+    for name in names:
+        extractor = state.extractor(name)
+        m = np.empty((nq, nr))
+        if batched:
+            matrix = store.feature_matrix(name, record_ids)
+            for i, qf in enumerate(query_seq):
+                m[i, :] = extractor.batch_distance(qf[name], matrix)
+        else:
+            for i, qf in enumerate(query_seq):
+                for j, rec in enumerate(all_records):
+                    m[i, j] = extractor.distance(qf[name], rec.features[name])
+        blocks[name] = m
+    return blocks, video_ids

@@ -309,6 +309,7 @@ class CbvrApi:
                 "n_candidates": results.n_candidates,
                 "degraded": results.degraded,
                 "degraded_features": results.degraded_features,
+                "degraded_shards": results.degraded_shards,
                 "results": results.to_rows(),
             },
         )

@@ -17,6 +17,7 @@ from typing import Tuple
 
 from repro.core.system import VideoRetrievalSystem
 from repro.obs import log
+from repro.sharding import maybe_attach_sharded
 from repro.web.api import CbvrApi
 
 __all__ = ["CbvrHttpServer", "make_server"]
@@ -72,7 +73,13 @@ def make_server(
 
     ``port=0`` picks a free port.  Call ``server.serve_forever()`` (or
     ``handle_request()`` in tests) to serve.
+
+    A config asking for sharded serving (``shards > 1`` with
+    ``shard_paths``) gets its scatter-gather coordinator attached here,
+    so ``repro serve --shards DIR`` and programmatic servers behave the
+    same.
     """
+    maybe_attach_sharded(system)
     handler = type("BoundHandler", (_Handler,), {"api": CbvrApi(system)})
     server = CbvrHttpServer((host, port), handler)
     return server, server.server_address[1]

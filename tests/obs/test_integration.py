@@ -27,8 +27,10 @@ class TestMetricsSurface:
         system.search(system.any_key_frame(), top_k=3)
         m = system.metrics()
         assert set(m) == {
-            "store", "index", "ann", "cache", "snapshot", "resilience", "registry",
+            "store", "index", "ann", "cache", "snapshot", "sharding",
+            "resilience", "registry",
         }
+        assert m["sharding"] is None  # default config: single store
         assert m["store"]["videos"] == 1
         assert m["store"]["key_frames"] == len(system._store)
         assert m["index"]["entries"] == m["store"]["key_frames"]

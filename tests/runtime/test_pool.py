@@ -96,3 +96,68 @@ class TestWorkerPool:
 
 def test_parallel_map_convenience():
     assert parallel_map(_square, [2, 3], workers=2) == [4, 9]
+
+
+def _pid():
+    return os.getpid()
+
+
+def _set_token(value):
+    os.environ["REPRO_POOL_TEST_TOKEN"] = value
+
+
+def _read_token():
+    return os.environ.get("REPRO_POOL_TEST_TOKEN")
+
+
+class TestSubmit:
+    def test_result_value_and_memoization(self):
+        with WorkerPool(workers=1) as pool:
+            task = pool.submit(_square, 6)
+            assert task.result() == 36
+            assert task.result() == 36  # cached, not recomputed
+
+    def test_ships_to_persistent_worker_even_when_serial(self):
+        # unlike map, workers=1 still dispatches: the point of submit is
+        # pinning per-process state in one long-lived worker
+        with WorkerPool(workers=1) as pool:
+            first = pool.submit(_pid)
+            assert not first.inline
+            worker_pid = first.result()
+            assert worker_pid != os.getpid()
+            assert pool.submit(_pid).result() == worker_pid  # same process
+
+    def test_task_exception_propagates(self):
+        with WorkerPool(workers=1) as pool:
+            task = pool.submit(_boom, 3)
+            with pytest.raises(RuntimeError, match="task failed on 3"):
+                task.result()
+
+    def test_unpicklable_fn_runs_inline_lazily(self):
+        calls = []
+
+        def local_fn(x):  # closures cannot be pickled
+            calls.append(x)
+            return x + 1
+
+        with WorkerPool(workers=2) as pool:
+            task = pool.submit(local_fn, 1)
+            assert task.inline
+            assert calls == []  # deferred until result() is asked for
+            assert task.result() == 2
+            assert calls == [1]
+
+    def test_initializer_pins_worker_state(self, monkeypatch):
+        monkeypatch.delenv("REPRO_POOL_TEST_TOKEN", raising=False)
+        with WorkerPool(workers=1) as pool:
+            pool.set_initializer(_set_token, ("shard-state",))
+            assert pool.submit(_read_token).result() == "shard-state"
+        assert _read_token() is None  # parent process untouched
+
+    def test_changing_initializer_recycles_workers(self):
+        with WorkerPool(workers=1) as pool:
+            pool.set_initializer(_set_token, ("a",))
+            first = pool.submit(_pid).result()
+            pool.set_initializer(_set_token, ("b",))
+            assert pool.submit(_read_token).result() == "b"
+            assert pool.submit(_pid).result() != first

@@ -1,0 +1,21 @@
+"""Sharding fixtures: one session-shared corpus split four ways."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sharding import read_manifest, split_store
+
+
+@pytest.fixture(scope="session")
+def shard_dir(ingested_system, tmp_path_factory):
+    """The session corpus split into 4 shard snapshots (read-only)."""
+    out = tmp_path_factory.mktemp("shards4")
+    split_store(ingested_system.feature_store, str(out), 4)
+    return str(out)
+
+
+@pytest.fixture(scope="session")
+def shard_paths(shard_dir):
+    _, paths = read_manifest(shard_dir)
+    return paths

@@ -1,0 +1,102 @@
+"""Shard builder + manifest round trips."""
+
+import json
+import os
+
+import pytest
+
+from repro.core.snapshots import open_snapshot_store
+from repro.sharding import (
+    MANIFEST_NAME,
+    ShardManifest,
+    read_manifest,
+    shard_of,
+    split_store,
+)
+from repro.snapshot import Snapshot
+
+
+def test_split_covers_corpus_exactly(ingested_system, shard_dir):
+    store = ingested_system.feature_store
+    manifest, paths = read_manifest(shard_dir)
+    assert manifest.n_shards == 4
+    seen_frames = []
+    seen_videos = []
+    for s, path in enumerate(paths):
+        snap, sub = open_snapshot_store(path)
+        try:
+            seen_frames.extend(sub.frame_ids())
+            for vid in sub.video_ids():
+                seen_videos.append(vid)
+                assert shard_of(vid, 4) == s
+                # whole videos: every frame of the video is on this shard
+                assert [r.frame_id for r in sub.frames_of_video(vid)] == [
+                    r.frame_id for r in store.frames_of_video(vid)
+                ]
+        finally:
+            snap.close()
+    assert sorted(seen_frames) == store.frame_ids()
+    assert sorted(seen_videos) == store.video_ids()
+
+
+def test_shard_records_match_source(ingested_system, shard_paths):
+    store = ingested_system.feature_store
+    snap, sub = open_snapshot_store(shard_paths[0])
+    try:
+        for fid in sub.frame_ids():
+            a, b = sub.get(fid), store.get(fid)
+            assert (a.video_id, a.video_name, a.frame_name, a.category) == (
+                b.video_id, b.video_name, b.frame_name, b.category
+            )
+            assert a.bucket == b.bucket
+    finally:
+        snap.close()
+
+
+def test_shard_meta_stamps_topology(shard_paths):
+    for s, path in enumerate(shard_paths):
+        snap = Snapshot.open(path)
+        try:
+            assert snap.meta["shard"] == {"index": s, "of": len(shard_paths)}
+        finally:
+            snap.close()
+
+
+def test_manifest_file_shape(shard_dir):
+    with open(os.path.join(shard_dir, MANIFEST_NAME)) as fh:
+        payload = json.load(fh)
+    assert payload["version"] == 1
+    assert payload["n_shards"] == 4
+    assert payload["snapshots"] == [f"shard-{i:03d}.snap" for i in range(4)]
+
+
+def test_manifest_rejects_length_mismatch():
+    with pytest.raises(ValueError):
+        ShardManifest(n_shards=2, snapshots=("only-one.snap",))
+
+
+def test_read_manifest_rejects_unknown_version(tmp_path):
+    path = tmp_path / MANIFEST_NAME
+    path.write_text(json.dumps({"version": 99, "n_shards": 1, "snapshots": ["x"]}))
+    with pytest.raises(ValueError, match="version"):
+        read_manifest(str(tmp_path))
+
+
+def test_empty_shards_still_written(ingested_system, tmp_path):
+    # far more shards than videos: some must be empty yet still openable
+    manifest = split_store(ingested_system.feature_store, str(tmp_path), 8)
+    _, paths = read_manifest(str(tmp_path))
+    assert manifest.n_shards == 8
+    total = 0
+    for path in paths:
+        snap, sub = open_snapshot_store(path)
+        try:
+            total += len(sub)
+        finally:
+            snap.close()
+    assert total == len(ingested_system.feature_store)
+
+
+def test_split_rejects_bad_count(ingested_system, tmp_path):
+    with pytest.raises(ValueError):
+        split_store(ingested_system.feature_store, str(tmp_path), 0)

@@ -233,3 +233,51 @@ class TestSnapshot:
         rc = main(["snapshot", "info", str(tmp_path / "nope.snap")])
         assert rc == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestShard:
+    def test_split_info_and_identical_sharded_search(self, library, tmp_path,
+                                                     capsys):
+        shards = str(tmp_path / "shards")
+        rc = main(["shard", "split", library, shards, "--shards", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "wrote 3 shards" in out
+        assert "shard-000.snap" in out
+
+        rc = main(["shard", "info", shards])
+        assert rc == 0
+        assert "3 shards" in capsys.readouterr().out
+
+        frame = str(tmp_path / "q.ppm")
+        main(["export-frame", library, "1", frame])
+        capsys.readouterr()
+        rc = main(["search", library, frame, "--top-k", "3"])
+        assert rc == 0
+        plain = capsys.readouterr().out
+        rc = main(["search", library, frame, "--top-k", "3", "--shards", shards])
+        assert rc == 0
+        # scatter-gather output is byte-identical to the unsharded ranking
+        assert capsys.readouterr().out == plain
+
+    def test_info_json(self, library, tmp_path, capsys):
+        import json
+
+        shards = str(tmp_path / "s")
+        main(["shard", "split", library, shards, "--shards", "2"])
+        capsys.readouterr()
+        rc = main(["shard", "info", shards, "--json"])
+        assert rc == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["n_shards"] == 2
+        assert sum(s["frames"] for s in summary["shards"]) > 0
+
+    def test_search_rejects_ann_with_shards(self, library, tmp_path, capsys):
+        shards = str(tmp_path / "s")
+        main(["shard", "split", library, shards, "--shards", "2"])
+        frame = str(tmp_path / "q.ppm")
+        main(["export-frame", library, "1", frame])
+        capsys.readouterr()
+        rc = main(["search", library, frame, "--ann", "--shards", shards])
+        assert rc == 2
+        assert "--ann" in capsys.readouterr().err

@@ -44,3 +44,44 @@ class TestHttp:
         with pytest.raises(urllib.error.HTTPError) as exc:
             urllib.request.urlopen(f"{base}/videos/999")
         assert exc.value.code == 404
+
+
+class TestConcurrency:
+    def test_server_is_threading(self):
+        import socketserver
+
+        from repro.web.server import CbvrHttpServer
+
+        assert issubclass(CbvrHttpServer, socketserver.ThreadingMixIn)
+        assert CbvrHttpServer.daemon_threads is True
+
+    def test_concurrent_searches_all_succeed(self, server_url):
+        # 8 simultaneous POST /search round trips: the threading server
+        # must answer every one correctly with no serialization errors
+        base, video = server_url
+        body = video.frames[0].encode("ppm")
+        results = [None] * 8
+        errors = []
+
+        def fetch(i):
+            try:
+                req = urllib.request.Request(
+                    f"{base}/search?top_k=2", data=body, method="POST"
+                )
+                with urllib.request.urlopen(req, timeout=30) as resp:
+                    results[i] = json.loads(resp.read())
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=fetch, args=(i,)) for i in range(len(results))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors
+        assert all(r is not None for r in results)
+        first = results[0]["results"]
+        assert first[0]["video"] == video.name
+        assert all(r["results"] == first for r in results)
