@@ -108,6 +108,7 @@ class LintConfig:
         "repro.core.system",
         "repro.web",
         "repro.sharding.coordinator",
+        "repro.sharding.worker",
     )
     #: modules sanctioned to hold resources outside ``with`` (R18)
     resource_allowlist: frozenset = frozenset({"repro.imaging.image"})

@@ -76,6 +76,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="serve the query from the shard set in DIR "
                         "(written by 'repro shard split'); the merged "
                         "ranking is identical to the unsharded one")
+    p.add_argument("--explain", action="store_true",
+                   help="print the query's explain payload as JSON "
+                        "(candidate counts, pruning ratio, per-stage and "
+                        "per-shard timings, cache/ANN decisions)")
 
     p = sub.add_parser("delete", help="delete a video by id")
     p.add_argument("library")
@@ -141,6 +145,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "metrics carry samples")
     p.add_argument("--json", action="store_true",
                    help="emit the raw snapshot as JSON instead of a table")
+    p.add_argument("--slow", action="store_true",
+                   help="also print the slow-query log (newest first); "
+                        "works live and from --dump files")
 
     p = sub.add_parser(
         "lint",
@@ -264,6 +271,11 @@ def _cmd_search(args: argparse.Namespace) -> int:
     for row in results.to_rows():
         print(f"  #{row['rank']:2d}  {row['video']:<24} "
               f"[{row['category']}]  frame {row['frame_id']}  d={row['distance']}")
+    if args.explain:
+        import json
+
+        print("explain:")
+        print(json.dumps(results.explain, indent=2, sort_keys=True, default=str))
     system.close()
     return 0
 
@@ -350,7 +362,24 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         print(json.dumps(snapshot, indent=2, sort_keys=True, default=str))
     else:
         print(format_stats(snapshot))
+    if args.slow:
+        _print_slow_log(snapshot.get("slow_log"))
     return 0
+
+
+def _print_slow_log(slow) -> None:
+    """Render the slow-query section of a metrics snapshot as text."""
+    if not slow:
+        print("slow queries: (log disabled)")
+        return
+    print(f"slow queries: {slow.get('recorded_total', 0)} recorded "
+          f"(threshold {slow.get('threshold_ms')} ms, "
+          f"buffered {slow.get('buffered', 0)}/{slow.get('capacity')})")
+    for entry in slow.get("recent") or []:
+        trace = entry.get("trace_id") or "-"
+        print(f"  {entry.get('ms'):>10} ms  kind={entry.get('kind')}  "
+              f"trace={trace}  candidates={entry.get('candidates')}  "
+              f"degraded={entry.get('degraded')}")
 
 
 def _cmd_snapshot(args: argparse.Namespace) -> int:

@@ -74,6 +74,15 @@ class SystemConfig:
     obs_trace_buffer: int = 64
     #: level for the ``repro`` logger tree (None = REPRO_LOG_LEVEL env / WARNING)
     obs_log_level: Optional[str] = None
+    #: latency histogram bucket bounds in seconds, strictly increasing
+    #: (None = the built-in defaults, 1ms..10s); tune so sub-millisecond
+    #: cache hits and multi-second degraded queries both resolve
+    obs_latency_buckets: Optional[Tuple[float, ...]] = None
+    #: wall-time threshold (ms) above which a query is captured in the
+    #: slow-query ring buffer (``GET /debug/slow``); 0 disables the log
+    obs_slow_query_ms: float = 500.0
+    #: slow-query ring-buffer capacity
+    obs_slow_log_size: int = 64
     # resilience (repro.resilience): retry/backoff, breakers, deadlines, faults
     #: master gate; False swaps every policy hook for shared no-ops
     resilience: bool = True
@@ -142,6 +151,18 @@ class SystemConfig:
             raise ValueError("snapshot_compact_every must be >= 0 (0 = manual only)")
         if self.obs_trace_buffer < 1:
             raise ValueError("obs_trace_buffer must be >= 1")
+        if self.obs_latency_buckets is not None:
+            bounds = self.obs_latency_buckets
+            if not bounds:
+                raise ValueError("obs_latency_buckets needs at least one bound")
+            if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+                raise ValueError(
+                    f"obs_latency_buckets must strictly increase: {bounds}"
+                )
+        if self.obs_slow_query_ms < 0:
+            raise ValueError("obs_slow_query_ms must be >= 0 (0 = disabled)")
+        if self.obs_slow_log_size < 1:
+            raise ValueError("obs_slow_log_size must be >= 1")
         if self.obs_log_level is not None:
             allowed = ("DEBUG", "INFO", "WARNING", "ERROR", "CRITICAL")
             if str(self.obs_log_level).upper() not in allowed:

@@ -44,6 +44,7 @@ class SearchResults:
         degraded: bool = False,
         degraded_features: Optional[Sequence[str]] = None,
         degraded_shards: Optional[Sequence[int]] = None,
+        explain: Optional[Dict[str, object]] = None,
     ):
         self.hits = list(hits)
         #: how many frames survived index pruning and were actually scored
@@ -58,6 +59,10 @@ class SearchResults:
         self.degraded_features = list(degraded_features or [])
         #: shards whose partition is missing from this ranking
         self.degraded_shards = list(degraded_shards or [])
+        #: how the answer was computed: candidate counts, pruning ratio,
+        #: per-stage (and, sharded, per-shard) timings, cache/ANN decisions
+        #: (JSON-safe; surfaced by ``?explain=1`` and ``repro search --explain``)
+        self.explain = explain
 
     def __len__(self) -> int:
         return len(self.hits)

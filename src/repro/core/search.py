@@ -13,6 +13,7 @@ similarity.
 
 from __future__ import annotations
 
+import copy
 import time
 from dataclasses import replace
 from functools import partial
@@ -150,6 +151,7 @@ class SearchEngine:
             "repro_search_seconds",
             "End-to-end query wall time (cache hits included).",
             labelnames=("kind",),
+            buckets=obs.latency_buckets,
         )
         self._m_candidates = obs.histogram(
             "repro_search_candidates",
@@ -198,12 +200,16 @@ class SearchEngine:
             return builder()
         generation = self.store.generation
         results = self._query_cache.get(key, generation)
-        if results is None:
+        hit = results is not None
+        if not hit:
             results = builder()
             self._query_cache.put(key, generation, results)
         # fresh wrapper + per-hit dict copies, so callers can't mutate the
         # cached entry through the returned object
         hits = [replace(h, per_feature=dict(h.per_feature)) for h in results.hits]
+        explain = copy.deepcopy(results.explain)
+        if explain is not None:
+            explain["cache"] = "hit" if hit else "miss"
         return SearchResults(
             hits,
             n_candidates=results.n_candidates,
@@ -211,21 +217,42 @@ class SearchEngine:
             degraded=results.degraded,
             degraded_features=list(results.degraded_features),
             degraded_shards=list(results.degraded_shards),
+            explain=explain,
         )
 
     def _record_query(
-        self, kind: str, t0: float, candidates: Optional[int] = None
+        self,
+        kind: str,
+        t0: float,
+        candidates: Optional[int] = None,
+        results: Optional[SearchResults] = None,
+        span: Optional[object] = None,
     ) -> None:
         """Per-query bookkeeping shared by the three public entry points."""
         elapsed = time.perf_counter() - t0
+        ms = elapsed * 1000.0
+        explain = results.explain if results is not None else None
+        if explain is not None:
+            explain["total_ms"] = round(ms, 3)
         self._m_queries.labels(kind=kind).inc()
         self._m_query_seconds.labels(kind=kind).observe(elapsed)
         if candidates is not None:
             self._m_candidates.observe(candidates)
+        # one float compare on the fast path: the disabled slow log
+        # advertises an infinite threshold
+        if ms >= self._obs.slow_log.threshold_ms:
+            self._obs.slow_log.record(
+                ms,
+                kind=kind,
+                trace_id=getattr(span, "trace_id", None),
+                candidates=candidates,
+                degraded=results.degraded if results is not None else None,
+                explain=copy.deepcopy(explain),
+            )
         self._log.debug(
             "search.query",
             kind=kind,
-            ms=round(elapsed * 1000.0, 2),
+            ms=round(ms, 2),
             candidates=candidates,
         )
 
@@ -254,6 +281,10 @@ class SearchEngine:
             # run (or hide it), so chaos queries bypass the result cache
             if not self._query_cache.enabled or self._policies.faults.armed:
                 results = self._query_frame(image, names, top_k, use_index)
+                if results.explain is not None:
+                    results.explain["cache"] = (
+                        "bypass" if self._policies.faults.armed else "off"
+                    )
             else:  # don't pay the pixel digest when the cache is off
                 key = (
                     "frame", digest_array(image.pixels), tuple(names), top_k, use_index
@@ -262,7 +293,7 @@ class SearchEngine:
                     key, lambda: self._query_frame(image, names, top_k, use_index)
                 )
             span.annotate(candidates=results.n_candidates)
-        self._record_query("frame", t0, results.n_candidates)
+        self._record_query("frame", t0, results.n_candidates, results, span)
         return results
 
     def _query_frame(
@@ -282,10 +313,12 @@ class SearchEngine:
         self._policies.check_stage("search.extract")
         with self._obs.span("search.extract"):
             query_vectors, degraded = self._extract_degradable(image, names)
+        ann_probed: Optional[bool] = None
         if self.ann is not None and candidate_ids is not None:
             # compose with the range index: a frame must survive both
             with self._obs.span("search.ann.probe"):
                 ann_ids = self._ann_probe(query_vectors)
+            ann_probed = ann_ids is not None
             if ann_ids is not None:
                 wanted = set(ann_ids)
                 candidate_ids = [fid for fid in candidate_ids if fid in wanted]
@@ -293,6 +326,17 @@ class SearchEngine:
         if degraded:
             results.degraded = True
             results.degraded_features = degraded
+        explain = results.explain
+        if explain is not None:
+            explain["kind"] = "frame"
+            explain["index"] = {
+                "used": bool(use_index),
+                "pruning_ratio": round(results.pruning_fraction, 6),
+            }
+            if ann_probed is not None:  # the frame-level probe decided
+                explain["ann"] = {"enabled": True, "probed": ann_probed}
+            if degraded:
+                explain["degraded_features"] = list(degraded)
         return results
 
     def _extract_degradable(
@@ -384,7 +428,7 @@ class SearchEngine:
         ) as span:
             results = self._vectors_entry(query_vectors, top_k, candidate_ids, weights)
             span.annotate(candidates=results.n_candidates)
-        self._record_query("vectors", t0, results.n_candidates)
+        self._record_query("vectors", t0, results.n_candidates, results, span)
         return results
 
     def _vectors_entry(
@@ -401,9 +445,14 @@ class SearchEngine:
         # armed faults bypass the cache: a cached answer could outlive
         # (or hide) the chaos run
         if not self._query_cache.enabled or self._policies.faults.armed:
-            return self._query_with_vectors(
+            results = self._query_with_vectors(
                 query_vectors, names, top_k, candidate_ids, weights
             )
+            if results.explain is not None:
+                results.explain["cache"] = (
+                    "bypass" if self._policies.faults.armed else "off"
+                )
+            return results
         key = (
             "vectors",
             digest_vectors({n: query_vectors[n] for n in names}),
@@ -433,17 +482,27 @@ class SearchEngine:
     ) -> SearchResults:
         self._policies.check_stage("search.score")
         full_store = False
+        ann_probed = False
         if candidate_ids is None:
             if self.ann is not None:
                 candidate_ids = self._ann_probe(query_vectors)
+                ann_probed = candidate_ids is not None
             if candidate_ids is None:
                 candidate_ids = self.store.frame_ids()
                 full_store = True
         else:
             candidate_ids = list(candidate_ids)
         n_total = len(self.store)
+        explain: Dict[str, object] = {
+            "kind": "vectors",
+            "features": list(names),
+            "top_k": int(top_k),
+            "n_total": n_total,
+            "n_candidates": len(candidate_ids),
+            "ann": {"enabled": self.ann is not None, "probed": ann_probed},
+        }
         if not candidate_ids:
-            return SearchResults([], n_candidates=0, n_total=n_total)
+            return SearchResults([], n_candidates=0, n_total=n_total, explain=explain)
 
         batched = self.config.batch_distances
         fast = accel.fast_paths_enabled()
@@ -459,6 +518,7 @@ class SearchEngine:
             # feature (preparation commutes with row gathers)
             rows = self.store.matrix_rows(candidate_ids)
         per_feature: Dict[str, np.ndarray] = {}
+        distance_ms: Dict[str, float] = {}
         for name in names:
             t_dist = time.perf_counter()
             extractor = self.extractors[name]
@@ -480,9 +540,9 @@ class SearchEngine:
                 per_feature[name] = np.array(
                     [extractor.distance(qv, rec.features[name]) for rec in records]
                 )
-            self._m_distance_seconds.labels(feature=name).observe(
-                time.perf_counter() - t_dist
-            )
+            dt = time.perf_counter() - t_dist
+            distance_ms[name] = round(dt * 1000.0, 3)
+            self._m_distance_seconds.labels(feature=name).observe(dt)
 
         t_fuse = time.perf_counter()
         if len(names) == 1:
@@ -491,7 +551,12 @@ class SearchEngine:
             if weights is None:
                 weights = {n: self.config.weight_of(n) for n in names}
             fused = CombinedScorer(FeatureWeights(weights)).fuse(per_feature)
-        self._m_fusion_seconds.observe(time.perf_counter() - t_fuse)
+        t_fuse = time.perf_counter() - t_fuse
+        explain["timings_ms"] = {
+            "distance": distance_ms,
+            "fusion": round(t_fuse * 1000.0, 3),
+        }
+        self._m_fusion_seconds.observe(t_fuse)
 
         if fast:
             order = _stable_topk(fused, max(0, top_k))
@@ -513,7 +578,9 @@ class SearchEngine:
                     per_feature={n: float(per_feature[n][i]) for n in names},
                 )
             )
-        return SearchResults(hits, n_candidates=len(candidate_ids), n_total=n_total)
+        return SearchResults(
+            hits, n_candidates=len(candidate_ids), n_total=n_total, explain=explain
+        )
 
     # -- video query ---------------------------------------------------------------
 
@@ -530,9 +597,9 @@ class SearchEngine:
         t0 = time.perf_counter()
         with self._policies.request_scope(), self._obs.span(
             "search.query_video", frames=len(frames), top_k=top_k
-        ):
+        ) as span:
             matches = self._query_video(frames, features, top_k)
-        self._record_query("video", t0)
+        self._record_query("video", t0, span=span)
         return matches
 
     def _query_video(

@@ -72,6 +72,9 @@ class VideoRetrievalSystem:
         self.obs = Obs(
             enabled=self.config.obs_enabled,
             trace_buffer=self.config.obs_trace_buffer,
+            latency_buckets=self.config.obs_latency_buckets,
+            slow_query_ms=self.config.obs_slow_query_ms,
+            slow_log_size=self.config.obs_slow_log_size,
         )
         if self.config.obs_log_level is not None:
             obs_log.set_level(self.config.obs_log_level)
@@ -287,8 +290,21 @@ class VideoRetrievalSystem:
             "snapshot": self.snapshots.stats(),
             "sharding": self._sharding_summary(),
             "resilience": self._resilience_summary(),
+            "slow_log": self._slow_log_summary(),
             "registry": self.obs.registry.render_json(),
         }
+
+    def _slow_log_summary(self) -> Optional[Dict[str, Any]]:
+        """Slow-query ring-buffer stats (None when the log is disabled).
+
+        Includes the buffered entries under ``recent`` so dump-mode
+        ``repro stats --slow`` works from a saved :meth:`metrics` JSON.
+        """
+        stats = self.obs.slow_log.stats()
+        if stats is None:
+            return None
+        stats["recent"] = self.obs.slow_log.recent()
+        return stats
 
     def _sharding_summary(self) -> Optional[Dict[str, Any]]:
         """Shard topology of the attached engine (None when unsharded).
@@ -315,6 +331,10 @@ class VideoRetrievalSystem:
     def recent_traces(self, limit: Optional[int] = None) -> List[dict]:
         """The most recent root traces, newest first (empty when disabled)."""
         return self.obs.recent_traces(limit)
+
+    def slow_queries(self, limit: Optional[int] = None) -> List[dict]:
+        """Slow-query entries, newest first (empty when the log is off)."""
+        return self.obs.slow_log.recent(limit)
 
     def index_stats(self):
         """Range-index occupancy (rich :class:`IndexStats` snapshot)."""

@@ -29,8 +29,25 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NullMetric,
     NullRegistry,
+    diff_state,
 )
-from repro.obs.tracing import NULL_SPAN, NULL_TRACER, NullSpan, NullTracer, Span, Tracer
+from repro.obs.slowlog import NULL_SLOW_LOG, NullSlowQueryLog, SlowQueryLog
+from repro.obs.tracing import (
+    NULL_SPAN,
+    NULL_TRACER,
+    NullSpan,
+    NullTracer,
+    Span,
+    Tracer,
+    capture_subtree,
+    current_span,
+    current_trace_context,
+    current_trace_id,
+    free_span,
+    new_span_id,
+    new_trace_id,
+    span_from_dict,
+)
 
 __all__ = [
     "Obs",
@@ -49,10 +66,22 @@ __all__ = [
     "NULL_REGISTRY",
     "DEFAULT_REGISTRY",
     "DEFAULT_BUCKETS",
+    "diff_state",
+    "SlowQueryLog",
+    "NullSlowQueryLog",
+    "NULL_SLOW_LOG",
     "Span",
     "Tracer",
     "NullSpan",
     "NullTracer",
     "NULL_SPAN",
     "NULL_TRACER",
+    "capture_subtree",
+    "current_span",
+    "current_trace_context",
+    "current_trace_id",
+    "free_span",
+    "new_span_id",
+    "new_trace_id",
+    "span_from_dict",
 ]

@@ -28,13 +28,14 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NullRegistry,
 )
+from repro.obs.slowlog import NULL_SLOW_LOG, NullSlowQueryLog, SlowQueryLog
 from repro.obs.tracing import NULL_TRACER, NullSpan, NullTracer, Span, Tracer
 
 __all__ = ["Obs", "NULL_OBS"]
 
 
 class Obs:
-    """Metrics registry + tracer behind one enabled/disabled gate."""
+    """Metrics registry + tracer + slow-query log behind one gate."""
 
     def __init__(
         self,
@@ -42,8 +43,14 @@ class Obs:
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
         trace_buffer: int = 64,
+        latency_buckets: Optional[Sequence[float]] = None,
+        slow_query_ms: float = 0.0,
+        slow_log_size: int = 64,
     ):
         self.enabled = bool(enabled)
+        self.latency_buckets: tuple = (
+            tuple(latency_buckets) if latency_buckets else DEFAULT_BUCKETS
+        )
         if self.enabled:
             self.registry: Union[MetricsRegistry, NullRegistry] = (
                 registry if registry is not None else MetricsRegistry()
@@ -51,9 +58,15 @@ class Obs:
             self.tracer: Union[Tracer, NullTracer] = (
                 tracer if tracer is not None else Tracer(capacity=trace_buffer)
             )
+            self.slow_log: Union[SlowQueryLog, NullSlowQueryLog] = (
+                SlowQueryLog(capacity=slow_log_size, threshold_ms=slow_query_ms)
+                if slow_query_ms > 0
+                else NULL_SLOW_LOG
+            )
         else:
             self.registry = NULL_REGISTRY
             self.tracer = NULL_TRACER
+            self.slow_log = NULL_SLOW_LOG
 
     # -- metrics --------------------------------------------------------------
 

@@ -14,6 +14,11 @@ has none, so embedding applications stay in control).  The level comes
 from the ``REPRO_LOG_LEVEL`` environment variable (default ``WARNING``)
 and can be changed at runtime with :func:`set_level` (which is what
 ``SystemConfig.obs_log_level`` feeds).
+
+When a span is open on the emitting thread, every line gains a trailing
+``trace=<id>`` field.  The id travels with the distributed trace context
+into shard workers, so coordinator and worker lines for one query grep
+together: ``grep trace=4f2a... coordinator.log worker-*.log``.
 """
 
 from __future__ import annotations
@@ -22,6 +27,8 @@ import logging
 import os
 import threading
 from typing import Dict, Optional, Union
+
+from repro.obs import tracing
 
 __all__ = ["KvLogger", "get_logger", "set_level", "kv_format", "LOG_LEVEL_ENV_VAR"]
 
@@ -102,6 +109,9 @@ class KvLogger:
 
     def _emit(self, level: int, event: str, fields: Dict[str, object]) -> None:
         if self._logger.isEnabledFor(level):
+            trace_id = tracing.current_trace_id()
+            if trace_id is not None:
+                fields["trace"] = trace_id
             self._logger.log(level, kv_format(event, fields))
 
     def debug(self, event: str, **fields: object) -> None:
@@ -119,6 +129,9 @@ class KvLogger:
     def exception(self, event: str, **fields: object) -> None:
         """ERROR with the current exception's traceback appended."""
         if self._logger.isEnabledFor(logging.ERROR):
+            trace_id = tracing.current_trace_id()
+            if trace_id is not None:
+                fields["trace"] = trace_id
             self._logger.error(kv_format(event, fields), exc_info=True)
 
 

@@ -29,7 +29,7 @@ from __future__ import annotations
 import math
 import re
 import threading
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 __all__ = [
     "Counter",
@@ -44,6 +44,7 @@ __all__ = [
     "NULL_REGISTRY",
     "DEFAULT_REGISTRY",
     "DEFAULT_BUCKETS",
+    "diff_state",
 ]
 
 #: latency-oriented default histogram buckets (seconds)
@@ -171,6 +172,32 @@ class Histogram:
             running += n
             out.append((bound, running))
         return out
+
+    def state(self) -> Dict[str, object]:
+        """An atomic snapshot of the raw (non-cumulative) per-bucket counts."""
+        with self._lock:
+            return {
+                "counts": list(self._counts),
+                "sum": self._sum,
+                "count": self._count,
+            }
+
+    def merge(self, counts: Sequence[int], total: float, count: int) -> None:
+        """Fold another histogram's raw bucket counts into this one.
+
+        Both histograms must share the same bucket bounds (``counts`` has
+        one slot per bound plus the trailing ``+Inf`` slot).
+        """
+        if len(counts) != len(self._counts):
+            raise MetricError(
+                f"histogram merge: {len(counts)} bucket counts, "
+                f"expected {len(self._counts)}"
+            )
+        with self._lock:
+            for i, n in enumerate(counts):
+                self._counts[i] += int(n)
+            self._sum += float(total)
+            self._count += int(count)
 
 
 _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
@@ -310,6 +337,77 @@ class MetricsRegistry:
         with self._lock:
             return self._families.get(name)
 
+    # -- cross-process state transfer -----------------------------------------
+
+    def state(self) -> Dict[str, object]:
+        """A picklable snapshot of every family's raw values.
+
+        Shape: ``{name: {kind, help, labelnames, buckets?, samples}}`` where
+        each sample is ``{"labels": [v1, ...], ...raw values}`` (counters and
+        gauges carry ``value``; histograms carry non-cumulative ``counts``
+        plus ``sum``/``count``).  Feed two snapshots to :func:`diff_state`
+        for deltas, or hand a snapshot to :meth:`merge_state` on another
+        registry to aggregate a fleet.
+        """
+        out: Dict[str, object] = {}
+        for family in self.families():
+            samples: List[Dict[str, object]] = []
+            for values, child in family.children():
+                sample: Dict[str, object] = {"labels": list(values)}
+                if family.kind == "histogram":
+                    sample.update(child.state())
+                else:
+                    sample["value"] = child.value
+                samples.append(sample)
+            entry: Dict[str, object] = {
+                "kind": family.kind,
+                "help": family.help,
+                "labelnames": list(family.labelnames),
+                "samples": samples,
+            }
+            if family.kind == "histogram":
+                entry["buckets"] = list(family._buckets)
+            out[family.name] = entry
+        return out
+
+    def merge_state(
+        self,
+        state: Mapping[str, object],
+        extra_labels: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        """Fold a :meth:`state` snapshot (usually a delta) into this registry.
+
+        Each incoming family is created on demand with ``extra_labels``'s
+        names prepended to its label set — the coordinator merges worker
+        deltas with ``{"shard": "3"}`` to get ``shard``-labeled fleet
+        families.  Counters and histogram bucket counts add; gauges take
+        the incoming value (last write wins).
+        """
+        extra = dict(extra_labels or {})
+        for name, entry in state.items():
+            kind = str(entry["kind"])
+            labelnames = tuple(extra) + tuple(entry.get("labelnames") or ())
+            if kind == "histogram":
+                family = self.histogram(
+                    name, str(entry.get("help", "")), labelnames,
+                    buckets=tuple(entry.get("buckets") or DEFAULT_BUCKETS),
+                )
+            elif kind == "gauge":
+                family = self.gauge(name, str(entry.get("help", "")), labelnames)
+            else:
+                family = self.counter(name, str(entry.get("help", "")), labelnames)
+            own_names = tuple(entry.get("labelnames") or ())
+            for sample in entry.get("samples") or ():
+                labels = dict(extra)
+                labels.update(zip(own_names, sample["labels"]))
+                child = family.labels(**labels)
+                if kind == "histogram":
+                    child.merge(sample["counts"], sample["sum"], sample["count"])
+                elif kind == "gauge":
+                    child.set(sample["value"])
+                else:
+                    child.inc(sample["value"])
+
     # -- renderers ------------------------------------------------------------
 
     @staticmethod
@@ -377,6 +475,57 @@ class MetricsRegistry:
         return out
 
 
+def diff_state(
+    current: Mapping[str, object], previous: Mapping[str, object]
+) -> Dict[str, object]:
+    """The delta between two :meth:`MetricsRegistry.state` snapshots.
+
+    Counters and histogram bucket counts subtract; gauges pass through the
+    current value (they are not cumulative).  Samples that did not change
+    — and families left with no changed samples — are dropped, so the
+    piggybacked per-task payload stays proportional to recent activity.
+    """
+    out: Dict[str, object] = {}
+    for name, entry in current.items():
+        kind = str(entry["kind"])
+        prev_entry = previous.get(name) or {}
+        prev_samples = {
+            tuple(s["labels"]): s for s in (prev_entry.get("samples") or ())
+        }
+        samples: List[Dict[str, object]] = []
+        for sample in entry.get("samples") or ():
+            prev = prev_samples.get(tuple(sample["labels"]))
+            if kind == "histogram":
+                if prev is None:
+                    delta = dict(sample)
+                else:
+                    counts = [
+                        max(0, int(c) - int(p))
+                        for c, p in zip(sample["counts"], prev["counts"])
+                    ]
+                    delta = {
+                        "labels": list(sample["labels"]),
+                        "counts": counts,
+                        "sum": max(0.0, float(sample["sum"]) - float(prev["sum"])),
+                        "count": max(0, int(sample["count"]) - int(prev["count"])),
+                    }
+                if delta["count"]:
+                    samples.append(delta)
+            elif kind == "gauge":
+                samples.append(dict(sample))
+            else:
+                base = 0.0 if prev is None else float(prev["value"])
+                value = max(0.0, float(sample["value"]) - base)
+                if value:
+                    samples.append({"labels": list(sample["labels"]), "value": value})
+        if samples:
+            out[name] = {
+                k: v for k, v in entry.items() if k != "samples"
+            }
+            out[name]["samples"] = samples
+    return out
+
+
 class NullMetric:
     """Shared do-nothing stand-in for every metric kind (disabled obs)."""
 
@@ -430,6 +579,16 @@ class NullRegistry:
 
     def get(self, name: str) -> None:
         return None
+
+    def state(self) -> Dict[str, object]:
+        return {}
+
+    def merge_state(
+        self,
+        state: Mapping[str, object],
+        extra_labels: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        pass
 
     def render_text(self) -> str:
         return ""

@@ -1,0 +1,99 @@
+"""Bounded ring buffer of slow-query records.
+
+Queries whose wall time crosses ``threshold_ms`` are captured with their
+explain payload into a fixed-capacity deque, newest evicting oldest, for
+post-hoc inspection via ``GET /debug/slow`` and ``repro stats --slow``.
+
+The fast-path contract mirrors the rest of ``repro.obs``: callers guard
+with ``ms >= slow_log.threshold_ms`` *before* building the entry dict, and
+``NULL_SLOW_LOG`` (the disabled twin) advertises an infinite threshold —
+so a disabled or never-tripped slow log costs one float comparison per
+query.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+__all__ = ["SlowQueryLog", "NullSlowQueryLog", "NULL_SLOW_LOG"]
+
+
+class SlowQueryLog:
+    """Thread-safe ring buffer of queries slower than ``threshold_ms``."""
+
+    def __init__(self, capacity: int = 64, threshold_ms: float = 500.0):
+        if capacity < 1:
+            raise ValueError(f"slow-log capacity must be >= 1, got {capacity}")
+        if not threshold_ms > 0:
+            raise ValueError(
+                f"slow-log threshold must be > 0 ms, got {threshold_ms}"
+            )
+        self.capacity = int(capacity)
+        self.threshold_ms = float(threshold_ms)
+        self._entries: Deque[Dict[str, object]] = deque(maxlen=self.capacity)
+        self._lock = threading.Lock()
+        self._recorded = 0
+
+    def record(self, ms: float, **fields: object) -> bool:
+        """Capture one query taking ``ms`` milliseconds; drop fast ones."""
+        ms = float(ms)
+        if ms < self.threshold_ms:
+            return False
+        entry: Dict[str, object] = {"ts": time.time(), "ms": round(ms, 3)}
+        entry.update(fields)
+        with self._lock:
+            self._entries.append(entry)
+            self._recorded += 1
+        return True
+
+    def recent(self, limit: Optional[int] = None) -> List[Dict[str, object]]:
+        """Most-recent-first copies of the buffered entries."""
+        with self._lock:
+            entries = list(self._entries)
+        entries.reverse()
+        if limit is not None:
+            entries = entries[: max(0, int(limit))]
+        return [dict(e) for e in entries]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            buffered = len(self._entries)
+            recorded = self._recorded
+        return {
+            "threshold_ms": self.threshold_ms,
+            "capacity": self.capacity,
+            "recorded_total": recorded,
+            "buffered": buffered,
+        }
+
+
+class NullSlowQueryLog:
+    """Disabled twin: infinite threshold, so the guard never trips."""
+
+    __slots__ = ()
+
+    threshold_ms = math.inf
+    capacity = 0
+
+    def record(self, ms: float, **fields: object) -> bool:
+        return False
+
+    def recent(self, limit: Optional[int] = None) -> List[Dict[str, object]]:
+        return []
+
+    def clear(self) -> None:
+        pass
+
+    def stats(self) -> None:
+        return None
+
+
+NULL_SLOW_LOG = NullSlowQueryLog()

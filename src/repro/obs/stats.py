@@ -13,7 +13,10 @@ from typing import Dict, List, Mapping, Optional
 __all__ = ["format_stats"]
 
 #: subsystem summary sections, in display order
-_SECTIONS = ("store", "index", "ann", "cache", "snapshot", "resilience")
+_SECTIONS = (
+    "store", "index", "ann", "cache", "snapshot", "sharding",
+    "resilience", "slow_log",
+)
 
 
 def _fmt_value(value: object) -> str:
@@ -59,7 +62,11 @@ def format_stats(snapshot: Mapping[str, object]) -> str:
         if data is None:
             lines.append(f"{section:<8} (disabled)")
             continue
-        pairs = " ".join(f"{k}={_fmt_value(v)}" for k, v in data.items())
+        pairs = " ".join(
+            f"{k}={_fmt_value(v)}"
+            for k, v in data.items()
+            if not isinstance(v, (dict, list))  # nested payloads get own views
+        )
         lines.append(f"{section:<8} {pairs}")
 
     registry = snapshot.get("registry") or {}

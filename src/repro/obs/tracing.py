@@ -14,24 +14,66 @@ inspection (``GET /traces/recent``, ``system.recent_traces()``).  A span
 that exits through an exception is marked ``status="error"`` with the
 exception's type and message, and the exception propagates unchanged.
 
+Spans carry W3C-style identifiers (``trace_id``, ``span_id``,
+``parent_id``) so a trace can cross process boundaries: the coordinator
+ships :func:`current_trace_context` to shard workers, a worker rebuilds
+its chain under :func:`capture_subtree`, serializes it with
+:meth:`Span.to_dict`, and the coordinator grafts it back via
+:func:`span_from_dict` + :meth:`Span.attach`.  The round trip is
+deterministic — serializing an attached subtree again yields the exact
+same dict.
+
 ``NULL_TRACER`` is the disabled twin: ``span()`` returns one shared no-op
 context manager, keeping the off-path overhead to a single call.
 """
 
 from __future__ import annotations
 
+import contextlib
 import contextvars
+import itertools
+import os
 import threading
 import time
 from collections import deque
-from typing import Deque, Dict, List, Optional
+from typing import Deque, Dict, Iterator, List, Mapping, Optional
 
-__all__ = ["Span", "Tracer", "NullSpan", "NullTracer", "NULL_SPAN", "NULL_TRACER"]
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullSpan",
+    "NullTracer",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "capture_subtree",
+    "current_span",
+    "current_trace_context",
+    "current_trace_id",
+    "free_span",
+    "new_span_id",
+    "new_trace_id",
+    "span_from_dict",
+]
 
 #: the span currently open on this thread (tail of the active chain)
 _CURRENT: "contextvars.ContextVar[Optional[Span]]" = contextvars.ContextVar(
     "repro_obs_current_span", default=None
 )
+
+#: per-process span-id counter, seeded randomly once so ids from different
+#: processes (coordinator vs. shard workers) do not collide.  ``next()`` on
+#: ``itertools.count`` is atomic under the GIL — no lock on the hot path.
+_SPAN_IDS = itertools.count(int.from_bytes(os.urandom(8), "big"))
+
+
+def new_span_id() -> str:
+    """A 16-hex-digit span id, unique within (and very likely across) processes."""
+    return f"{next(_SPAN_IDS) & 0xFFFFFFFFFFFFFFFF:016x}"
+
+
+def new_trace_id() -> str:
+    """A 32-hex-digit trace id for a new root trace."""
+    return os.urandom(16).hex()
 
 
 class Span:
@@ -39,10 +81,11 @@ class Span:
 
     __slots__ = (
         "name", "attrs", "children", "status", "error",
-        "start_time", "duration_ms", "_t0", "_tracer", "_parent", "_token",
+        "start_time", "duration_ms", "trace_id", "span_id", "parent_id",
+        "_t0", "_tracer", "_parent", "_token",
     )
 
-    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, object]):
+    def __init__(self, tracer: Optional["Tracer"], name: str, attrs: Dict[str, object]):
         self.name = name
         self.attrs = attrs
         self.children: List[Span] = []
@@ -50,6 +93,9 @@ class Span:
         self.error: Optional[str] = None
         self.start_time = time.time()
         self.duration_ms: Optional[float] = None
+        self.trace_id: Optional[str] = None
+        self.span_id: str = new_span_id()
+        self.parent_id: Optional[str] = None
         self._t0 = time.perf_counter()
         self._tracer = tracer
         self._parent: Optional[Span] = None
@@ -60,9 +106,25 @@ class Span:
         self.attrs.update(attrs)
         return self
 
+    def attach(self, child: "Span") -> "Span":
+        """Adopt an externally built subtree (e.g. a deserialized shard span)."""
+        child._parent = self
+        if child.trace_id is None:
+            child.trace_id = self.trace_id
+        if child.parent_id is None:
+            child.parent_id = self.span_id
+        self.children.append(child)
+        return child
+
     def __enter__(self) -> "Span":
         self._parent = _CURRENT.get()
         self._token = _CURRENT.set(self)
+        if self._parent is not None:
+            if self.trace_id is None:
+                self.trace_id = self._parent.trace_id
+            self.parent_id = self._parent.span_id
+        elif self.trace_id is None:
+            self.trace_id = new_trace_id()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
@@ -74,17 +136,22 @@ class Span:
             _CURRENT.reset(self._token)
         if self._parent is not None:
             self._parent.children.append(self)
-        else:
+        elif self._tracer is not None:
             self._tracer._record(self)
         return False  # never swallow
 
     def to_dict(self) -> Dict[str, object]:
         out: Dict[str, object] = {
             "name": self.name,
-            "start_time": self.start_time,
-            "duration_ms": self.duration_ms,
-            "status": self.status,
+            "span_id": self.span_id,
         }
+        if self.trace_id is not None:
+            out["trace_id"] = self.trace_id
+        if self.parent_id is not None:
+            out["parent_id"] = self.parent_id
+        out["start_time"] = self.start_time
+        out["duration_ms"] = self.duration_ms
+        out["status"] = self.status
         if self.attrs:
             out["attrs"] = {k: _plain(v) for k, v in self.attrs.items()}
         if self.error is not None:
@@ -135,10 +202,92 @@ class Tracer:
             self._recent.clear()
 
 
+def current_span() -> Optional[Span]:
+    """The innermost span open on this thread, if any."""
+    return _CURRENT.get()
+
+
+def current_trace_id() -> Optional[str]:
+    """Trace id of the active span chain, or ``None`` outside any span."""
+    span = _CURRENT.get()
+    return span.trace_id if span is not None else None
+
+
+def current_trace_context() -> Optional[Dict[str, object]]:
+    """A picklable trace context for cross-process propagation.
+
+    Stamped by the coordinator into every shard task; ``None`` when no
+    span is open (nothing to propagate).
+    """
+    span = _CURRENT.get()
+    if span is None:
+        return None
+    return {"trace_id": span.trace_id, "span_id": span.span_id, "sampled": True}
+
+
+def free_span(name: str, /, **attrs: object) -> Span:
+    """A span bound to no tracer: builds a subtree without recording it."""
+    return Span(None, name, attrs)
+
+
+@contextlib.contextmanager
+def capture_subtree(
+    name: str, ctx: Optional[Mapping[str, object]] = None, /, **attrs: object
+) -> Iterator[Span]:
+    """Capture a span subtree under a propagated trace context.
+
+    Runs ``name`` as a *detached* root on this thread: any enclosing span
+    chain is suspended for the duration, so when a shard task falls back
+    to inline execution in the coordinator process the captured subtree is
+    not double-recorded (it is shipped back serialized and re-attached,
+    exactly like the remote path).  The root adopts ``ctx``'s trace id and
+    parent span id so the coordinator can stitch it into the request trace.
+    """
+    root = Span(None, name, dict(attrs))
+    ctx = ctx or {}
+    root.trace_id = str(ctx.get("trace_id")) if ctx.get("trace_id") else new_trace_id()
+    parent = ctx.get("span_id")
+    root.parent_id = str(parent) if parent else None
+    saved = _CURRENT.set(None)
+    try:
+        with root:
+            yield root
+    finally:
+        _CURRENT.reset(saved)
+
+
+def span_from_dict(data: Mapping[str, object]) -> Span:
+    """Rebuild a :class:`Span` subtree from its :meth:`Span.to_dict` form.
+
+    The inverse of serialization up to fresh object identity:
+    ``span_from_dict(d).to_dict() == d`` for any dict produced by
+    :meth:`Span.to_dict` (ids, timings, status, attrs and children all
+    round-trip byte-stable).
+    """
+    span = Span(None, str(data.get("name", "")), dict(data.get("attrs") or {}))
+    span.span_id = str(data.get("span_id") or span.span_id)
+    trace_id = data.get("trace_id")
+    span.trace_id = str(trace_id) if trace_id is not None else None
+    parent_id = data.get("parent_id")
+    span.parent_id = str(parent_id) if parent_id is not None else None
+    span.start_time = data.get("start_time")  # type: ignore[assignment]
+    span.duration_ms = data.get("duration_ms")  # type: ignore[assignment]
+    span.status = str(data.get("status", "ok"))
+    error = data.get("error")
+    span.error = str(error) if error is not None else None
+    span.children = [span_from_dict(c) for c in data.get("children") or ()]  # type: ignore[union-attr]
+    return span
+
+
 class NullSpan:
     """Shared no-op span for disabled observability."""
 
     __slots__ = ()
+
+    #: id attributes mirror :class:`Span` so ``getattr``-free code works
+    trace_id = None
+    span_id = None
+    parent_id = None
 
     def __enter__(self) -> "NullSpan":
         return self
@@ -148,6 +297,9 @@ class NullSpan:
 
     def annotate(self, **attrs: object) -> "NullSpan":
         return self
+
+    def attach(self, child: object) -> object:
+        return child
 
 
 NULL_SPAN = NullSpan()

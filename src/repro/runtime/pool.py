@@ -27,7 +27,7 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, List, Optional, TypeVar
 
-from repro.obs import NULL_OBS, Obs
+from repro.obs import NULL_OBS, Obs, log
 from repro.resilience import (
     NULL_POLICIES,
     CircuitOpenError,
@@ -36,6 +36,8 @@ from repro.resilience import (
 )
 
 __all__ = ["WorkerPool", "PoolTask", "parallel_map", "resolve_workers"]
+
+_log = log.get_logger(__name__)
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -88,7 +90,9 @@ class PoolTask:
     that fanned several submits out still overlaps the healthy ones.
     """
 
-    __slots__ = ("_pool", "_fn", "_args", "_future", "_breaker", "_done", "_value")
+    __slots__ = (
+        "_pool", "_fn", "_args", "_future", "_breaker", "_done", "_value", "_t0",
+    )
 
     def __init__(self, pool: "WorkerPool", fn, args, future=None, breaker=None):
         self._pool = pool
@@ -98,6 +102,7 @@ class PoolTask:
         self._breaker = breaker
         self._done = False
         self._value = None
+        self._t0 = time.perf_counter()
 
     @property
     def inline(self) -> bool:
@@ -109,13 +114,15 @@ class PoolTask:
         if self._done:
             return self._value
         if self._future is None:
+            mode = "inline"
             value = self._fn(*self._args)
         else:
+            mode = "parallel"
             try:
                 value = self._future.result()
                 if self._breaker is not None:
                     self._breaker.record_success()
-            except (BrokenProcessPool, pickle.PicklingError, OSError):
+            except (BrokenProcessPool, pickle.PicklingError, OSError) as exc:
                 # the worker died or the result refused to pickle; the
                 # work itself is still valid, so redo it in-process
                 if self._breaker is not None:
@@ -123,8 +130,16 @@ class PoolTask:
                     self._pool._policies.note_fallback("pool_serial")
                 self._pool.close()
                 self._pool._m_fallbacks.labels(reason="broken_pool").inc()
+                _log.warning(
+                    "pool.task_redone_inline",
+                    error=f"{type(exc).__name__}: {exc}",
+                )
                 self._future = None
+                mode = "redone"
                 value = self._fn(*self._args)
+        self._pool._m_task_seconds.labels(mode=mode).observe(
+            time.perf_counter() - self._t0
+        )
         self._value = value
         self._done = True
         return value
@@ -196,6 +211,12 @@ class WorkerPool:
             "Single-task submissions, by dispatch mode.",
             labelnames=("mode",),
         )
+        self._m_task_seconds = obs.histogram(
+            "repro_pool_task_seconds",
+            "Submit-to-result wall time per single task, by dispatch mode.",
+            labelnames=("mode",),
+            buckets=obs.latency_buckets,
+        )
 
     def attach_resilience(self, policies: ResiliencePolicies) -> None:
         """Route parallel dispatch through ``policies``' pool breaker.
@@ -221,6 +242,11 @@ class WorkerPool:
                 max_workers=self.workers, **kwargs
             )
         return self._executor
+
+    @property
+    def active(self) -> bool:
+        """Whether a live executor (with worker processes) currently exists."""
+        return self._executor is not None
 
     def close(self) -> None:
         if self._executor is not None:
@@ -285,7 +311,7 @@ class WorkerPool:
                 time.perf_counter() - t0
             )
             return out
-        except (BrokenProcessPool, pickle.PicklingError, OSError, FaultInjected):
+        except (BrokenProcessPool, pickle.PicklingError, OSError, FaultInjected) as exc:
             # infrastructure died (or a result refused to pickle); the
             # work itself is still valid, so redo it in-process
             if breaker is not None:
@@ -293,6 +319,10 @@ class WorkerPool:
                 self._policies.note_fallback("pool_serial")
             self.close()
             self._m_fallbacks.labels(reason="broken_pool").inc()
+            _log.warning(
+                "pool.map_fallback_serial",
+                error=f"{type(exc).__name__}: {exc}",
+            )
             out = [fn(x) for x in materialized]
             self._m_map_seconds.labels(mode="serial").observe(
                 time.perf_counter() - t0
@@ -330,12 +360,16 @@ class WorkerPool:
         try:
             self._policies.fire("pool.map")
             future = self._ensure_executor().submit(fn, *args)
-        except (BrokenProcessPool, pickle.PicklingError, OSError, FaultInjected):
+        except (BrokenProcessPool, pickle.PicklingError, OSError, FaultInjected) as exc:
             if breaker is not None:
                 breaker.record_failure()
                 self._policies.note_fallback("pool_serial")
             self.close()
             self._m_fallbacks.labels(reason="broken_pool").inc()
+            _log.warning(
+                "pool.submit_fallback_inline",
+                error=f"{type(exc).__name__}: {exc}",
+            )
             self._m_submits.labels(mode="inline").inc()
             return PoolTask(self, fn, args)
         self._m_submits.labels(mode="parallel").inc()

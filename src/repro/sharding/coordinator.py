@@ -41,7 +41,7 @@ from repro.imaging import accel
 from repro.imaging.image import Image
 from repro.indexing.rangefinder import RangeFinder
 from repro.indexing.tree import RangeIndex
-from repro.obs import NULL_OBS, Obs
+from repro.obs import NULL_OBS, Obs, current_trace_context, free_span, span_from_dict
 from repro.resilience import (
     NULL_POLICIES,
     CircuitOpenError,
@@ -49,7 +49,11 @@ from repro.resilience import (
     ResiliencePolicies,
 )
 from repro.runtime import PoolTask, WorkerPool
-from repro.sharding.worker import score_vectors_shard, score_video_shard
+from repro.sharding.worker import (
+    drain_worker_metrics,
+    score_vectors_shard,
+    score_video_shard,
+)
 from repro.similarity.fusion import CombinedScorer, FeatureWeights, normalize_scores
 
 __all__ = ["ShardedSearchEngine"]
@@ -125,10 +129,12 @@ class ShardedSearchEngine(SearchEngine):
             "repro_shard_query_seconds",
             "Per-shard dispatch-to-gather wall time.",
             labelnames=("shard",),
+            buckets=obs.latency_buckets,
         )
         self._m_merge_seconds = obs.histogram(
             "repro_shard_merge_seconds",
             "Coordinator-side merge (assemble + fuse + top-k) wall time.",
+            buckets=obs.latency_buckets,
         )
         self._m_partials = obs.counter(
             "repro_shard_partial_results_total",
@@ -175,74 +181,120 @@ class ShardedSearchEngine(SearchEngine):
         self,
         fn: Callable,
         payloads: Sequence[Tuple[int, tuple]],
-    ) -> Tuple[Dict[int, object], List[int]]:
+    ) -> Tuple[Dict[int, object], List[int], Dict[int, Dict[str, object]]]:
         """Dispatch ``fn(*args)`` to each listed shard's worker; gather.
 
-        Returns ``(results_by_shard, degraded_shards)``.  Per-shard
-        failures -- an open breaker, an injected ``shard.query`` fault, a
-        dead worker past the pool's own serial fallback -- drop the shard
-        into ``degraded_shards`` and feed its breaker; deadline overruns
-        always escalate.  Raises the last shard error when nothing
-        survived or ``config.shard_partial_ok`` is off.
-        """
-        pending: List[Tuple[int, PoolTask, float]] = []
-        gathered: Dict[int, object] = {}
-        degraded: List[int] = []
-        last_error: Optional[Exception] = None
-        for s, args in payloads:
-            breaker = self._breakers[s]
-            t0 = time.perf_counter()
-            try:
-                if breaker is not None:
-                    breaker.guard()
-                self._policies.fire("shard.query")
-                task = self._shard_pools[s].submit(fn, *args)
-            except CircuitOpenError as exc:
-                last_error = exc
-                degraded.append(s)
-                self._shard_down(s, "breaker_open")
-                continue
-            except DeadlineExceeded:
-                raise
-            except Exception as exc:
-                if breaker is not None:
-                    breaker.record_failure()
-                last_error = exc
-                degraded.append(s)
-                self._shard_down(s, f"{type(exc).__name__}: {exc}")
-                continue
-            pending.append((s, task, t0))
-        for s, task, t0 in pending:
-            breaker = self._breakers[s]
-            try:
-                value = task.result()
-            except DeadlineExceeded:
-                raise
-            except Exception as exc:
-                if breaker is not None:
-                    breaker.record_failure()
-                last_error = exc
-                degraded.append(s)
-                self._shard_down(s, f"{type(exc).__name__}: {exc}")
-                continue
-            if breaker is not None:
-                breaker.record_success()
-            self._m_shard_seconds.labels(shard=str(s)).observe(
-                time.perf_counter() - t0
-            )
-            self._m_shard_queries.labels(shard=str(s), outcome="ok").inc()
-            gathered[s] = value
-        if degraded:
-            degraded.sort()
-            self._m_partials.inc()
-            if not gathered or not self.config.shard_partial_ok:
-                raise last_error
-        return gathered, degraded
+        Returns ``(results_by_shard, degraded_shards, shard_meta)`` where
+        ``shard_meta`` carries per-shard wall time / outcome for explain
+        payloads.  Per-shard failures -- an open breaker, an injected
+        ``shard.query`` fault, a dead worker past the pool's own serial
+        fallback -- drop the shard into ``degraded_shards`` and feed its
+        breaker; deadline overruns always escalate.  Raises the last
+        shard error when nothing survived or ``config.shard_partial_ok``
+        is off.
 
-    def _shard_down(self, shard: int, reason: str) -> None:
+        Observability rides on the tasks themselves: each payload is
+        extended with a trace context (trace id, the scatter span as
+        parent, a per-shard label, and a metrics request), replies carry
+        serialized span subtrees that are stitched under the scatter span
+        plus registry deltas merged ``shard``-labeled into the
+        coordinator's registry.
+        """
+        with self._obs.span("search.scatter", shards=len(payloads)) as scatter_span:
+            ctx: Optional[Dict[str, object]] = None
+            if self._obs.enabled:
+                ctx = current_trace_context() or {
+                    "trace_id": None, "span_id": None, "sampled": False,
+                }
+                ctx["metrics"] = True
+            pending: List[Tuple[int, PoolTask, float]] = []
+            gathered: Dict[int, object] = {}
+            shard_meta: Dict[int, Dict[str, object]] = {}
+            degraded: List[int] = []
+            last_error: Optional[Exception] = None
+            for s, args in payloads:
+                breaker = self._breakers[s]
+                t0 = time.perf_counter()
+                try:
+                    if breaker is not None:
+                        breaker.guard()
+                    self._policies.fire("shard.query")
+                    task_ctx = dict(ctx, shard=s) if ctx is not None else None
+                    task = self._shard_pools[s].submit(fn, *args, task_ctx)
+                except CircuitOpenError as exc:
+                    last_error = exc
+                    degraded.append(s)
+                    self._shard_down(s, "breaker_open", shard_meta)
+                    continue
+                except DeadlineExceeded:
+                    raise
+                except Exception as exc:
+                    if breaker is not None:
+                        breaker.record_failure()
+                    last_error = exc
+                    degraded.append(s)
+                    self._shard_down(s, f"{type(exc).__name__}: {exc}", shard_meta)
+                    continue
+                pending.append((s, task, t0))
+            for s, task, t0 in pending:
+                breaker = self._breakers[s]
+                try:
+                    reply = task.result()
+                except DeadlineExceeded:
+                    raise
+                except Exception as exc:
+                    if breaker is not None:
+                        breaker.record_failure()
+                    last_error = exc
+                    degraded.append(s)
+                    self._shard_down(s, f"{type(exc).__name__}: {exc}", shard_meta)
+                    continue
+                if breaker is not None:
+                    breaker.record_success()
+                wall = time.perf_counter() - t0
+                self._m_shard_seconds.labels(shard=str(s)).observe(wall)
+                self._m_shard_queries.labels(shard=str(s), outcome="ok").inc()
+                gathered[s] = reply.value
+                shard_meta[s] = {
+                    "shard": s,
+                    "status": "ok",
+                    "wall_ms": round(wall * 1000.0, 3),
+                    "inline": task.inline,
+                }
+                if reply.span is not None:
+                    scatter_span.attach(span_from_dict(reply.span))
+                if reply.metrics is not None:
+                    self._obs.registry.merge_state(
+                        reply.metrics, {"shard": str(s)}
+                    )
+            if degraded:
+                degraded.sort()
+                self._m_partials.inc()
+                if not gathered or not self.config.shard_partial_ok:
+                    raise last_error
+                scatter_span.annotate(degraded_shards=",".join(map(str, degraded)))
+                if ctx is not None and ctx.get("sampled"):
+                    # keep the trace honest: a missing partition shows up
+                    # as an explicit error child, not a silent hole
+                    for s in degraded:
+                        marker = free_span("shard.degraded", shard=s)
+                        marker.status = "error"
+                        marker.error = str(shard_meta[s].get("error", "degraded"))
+                        marker.duration_ms = 0.0
+                        scatter_span.attach(marker)
+        return gathered, degraded, shard_meta
+
+    def _shard_down(
+        self,
+        shard: int,
+        reason: str,
+        shard_meta: Optional[Dict[int, Dict[str, object]]] = None,
+    ) -> None:
         self._m_shard_queries.labels(shard=str(shard), outcome="error").inc()
         self._policies.note_degraded(f"shard.{shard}")
         self._log.warning("search.shard_degraded", shard=shard, reason=reason)
+        if shard_meta is not None:
+            shard_meta[shard] = {"shard": shard, "status": "error", "error": reason}
 
     # -- frame / vector queries ------------------------------------------------
 
@@ -261,7 +313,17 @@ class ShardedSearchEngine(SearchEngine):
             candidate_arr = np.asarray(list(candidate_ids), dtype=np.int64)
         n_total = len(self.store)
         if not candidate_arr.size:
-            return SearchResults([], n_candidates=0, n_total=n_total)
+            return SearchResults(
+                [], n_candidates=0, n_total=n_total,
+                explain={
+                    "kind": "vectors",
+                    "features": list(names),
+                    "top_k": int(top_k),
+                    "n_total": n_total,
+                    "n_candidates": 0,
+                    "sharded": {"shards": self.n_shards, "dispatched": 0},
+                },
+            )
 
         # the scoring flags are resolved here, once, and shipped to every
         # worker, so coordinator and shards pick the same distance kernel
@@ -288,8 +350,11 @@ class ShardedSearchEngine(SearchEngine):
                 (s, (self._paths[s], query_vectors, list(names), send, batched, fast))
             )
             positions[s] = pos
-        with self._obs.span("search.scatter", shards=len(payloads)):
-            gathered, degraded = self._scatter(score_vectors_shard, payloads)
+        gathered, degraded, shard_meta = self._scatter(score_vectors_shard, payloads)
+        for s, pos in positions.items():
+            meta = shard_meta.get(s)
+            if meta is not None:
+                meta["candidates"] = int(pos.size)
 
         t_merge = time.perf_counter()
         # reassemble each feature's raw distances in global candidate order
@@ -336,12 +401,29 @@ class ShardedSearchEngine(SearchEngine):
                     per_feature={n: float(per_feature[n][i]) for n in names},
                 )
             )
-        self._m_merge_seconds.observe(time.perf_counter() - t_merge)
+        merge_s = time.perf_counter() - t_merge
+        self._m_merge_seconds.observe(merge_s)
+        explain: Dict[str, object] = {
+            "kind": "vectors",
+            "features": list(names),
+            "top_k": int(top_k),
+            "n_total": n_total,
+            "n_candidates": int(candidate_arr.size),
+            "sharded": {
+                "shards": self.n_shards,
+                "dispatched": len(payloads),
+                "merge_ms": round(merge_s * 1000.0, 3),
+                "per_shard": [shard_meta[s] for s in sorted(shard_meta)],
+            },
+        }
+        if degraded:
+            explain["degraded_shards"] = list(degraded)
         return SearchResults(
             hits,
             n_candidates=int(candidate_arr.size),
             n_total=n_total,
             degraded_shards=degraded,
+            explain=explain,
         )
 
     # -- video queries ---------------------------------------------------------
@@ -370,8 +452,7 @@ class ShardedSearchEngine(SearchEngine):
             for s in range(self.n_shards)
             if self._shard_frame_ids[s].size
         ]
-        with self._obs.span("search.scatter", shards=len(payloads)):
-            gathered, degraded = self._scatter(score_video_shard, payloads)
+        gathered, _degraded, _shard_meta = self._scatter(score_video_shard, payloads)
 
         t_merge = time.perf_counter()
         # global record order (videos ascending, frames ascending within)
@@ -445,9 +526,30 @@ class ShardedSearchEngine(SearchEngine):
             },
         }
 
+    def _drain_shard_metrics(self) -> None:
+        """Pull each live worker's residual metric delta (drain-on-recycle).
+
+        Counts recorded after a worker's last query reply -- snapshot
+        opens, resets -- would otherwise vanish with the process.  The
+        drain is strictly best-effort: a dead or never-started worker is
+        skipped, shutdown never fails on it.
+        """
+        if not self._obs.enabled:
+            return
+        for s, shard_pool in enumerate(self._shard_pools):
+            if not shard_pool.active:
+                continue
+            try:
+                delta = shard_pool.submit(drain_worker_metrics).result()
+            except Exception:
+                continue
+            if delta:
+                self._obs.registry.merge_state(delta, {"shard": str(s)})
+
     def close(self) -> None:
         """Stop the shard workers and release the partition mmaps."""
         with self._obs.span("shard.close"):
+            self._drain_shard_metrics()
             for shard_pool in self._shard_pools:
                 shard_pool.close()
             for snapshot in self._snapshots:

@@ -31,7 +31,7 @@ PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 _EXACT_ROUTES = frozenset(
     {
         "/", "/videos", "/ui", "/search", "/admin/videos", "/metrics",
-        "/snapshot", "/traces/recent",
+        "/snapshot", "/traces/recent", "/debug/slow",
     }
 )
 _PATTERN_ROUTES = (
@@ -95,6 +95,7 @@ class CbvrApi:
             "repro_web_request_seconds",
             "Request handling wall time by route template.",
             labelnames=("route",),
+            buckets=system.obs.latency_buckets,
         )
 
     # -- entry point -----------------------------------------------------------
@@ -196,6 +197,8 @@ class CbvrApi:
             )
         if method == "GET" and path == "/traces/recent":
             return self._recent_traces(query.get("limit"))
+        if method == "GET" and path == "/debug/slow":
+            return self._slow_queries(query.get("limit"))
         if method == "POST" and path == "/search":
             return self._search(body, query)
         if method == "POST" and path == "/admin/videos":
@@ -295,6 +298,21 @@ class CbvrApi:
                 raise ApiError(400, "limit must be >= 1")
         return _json_response(200, {"traces": self.system.recent_traces(n)})
 
+    def _slow_queries(self, limit: Optional[str]) -> Response:
+        """The slow-query ring buffer, newest first, plus its thresholds."""
+        n = None
+        if limit is not None:
+            n = int(limit)
+            if n < 1:
+                raise ApiError(400, "limit must be >= 1")
+        return _json_response(
+            200,
+            {
+                "slow_log": self.system.obs.slow_log.stats(),
+                "queries": self.system.slow_queries(n),
+            },
+        )
+
     def _search(self, body: bytes, query: Dict[str, str]) -> Response:
         if not body:
             raise ApiError(400, "search requires an image body (PPM/PGM/BMP)")
@@ -303,16 +321,16 @@ class CbvrApi:
         features = query.get("features")
         feature_list = features.split(",") if features else None
         results = self.system.search(image, features=feature_list, top_k=top_k)
-        return _json_response(
-            200,
-            {
-                "n_candidates": results.n_candidates,
-                "degraded": results.degraded,
-                "degraded_features": results.degraded_features,
-                "degraded_shards": results.degraded_shards,
-                "results": results.to_rows(),
-            },
-        )
+        payload = {
+            "n_candidates": results.n_candidates,
+            "degraded": results.degraded,
+            "degraded_features": results.degraded_features,
+            "degraded_shards": results.degraded_shards,
+            "results": results.to_rows(),
+        }
+        if query.get("explain") in ("1", "true", "yes"):
+            payload["explain"] = results.explain
+        return _json_response(200, payload)
 
     # -- admin endpoints --------------------------------------------------------------
 

@@ -1,0 +1,280 @@
+"""Distributed-tracing primitives: serialization, stitching, fleet merge.
+
+The coordinator/worker contract rests on three invariants tested here:
+span dict round-trips are byte-stable (``span_from_dict(d).to_dict() ==
+d``), subtree capture inherits exactly the propagated trace context (and
+detaches the caller's current span so inline fallbacks never
+double-record), and registry deltas merge idempotently across worker
+recycles.  The slow-query ring buffer's bound must hold under
+concurrent writers.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    SlowQueryLog,
+    Tracer,
+    capture_subtree,
+    current_trace_context,
+    diff_state,
+    free_span,
+    new_span_id,
+    new_trace_id,
+    span_from_dict,
+)
+from repro.obs.slowlog import NULL_SLOW_LOG
+
+
+class TestIdentifiers:
+    def test_formats(self):
+        assert len(new_trace_id()) == 32
+        assert len(new_span_id()) == 16
+        int(new_trace_id(), 16)
+        int(new_span_id(), 16)
+
+    def test_span_ids_unique(self):
+        ids = {new_span_id() for _ in range(1000)}
+        assert len(ids) == 1000
+
+    def test_roots_get_trace_ids(self):
+        tracer = Tracer(capacity=4)
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        a, b = tracer.recent()
+        assert a["trace_id"] != b["trace_id"]
+
+    def test_children_share_root_trace_id(self):
+        tracer = Tracer(capacity=4)
+        with tracer.span("root") as root:
+            with tracer.span("child") as child:
+                with tracer.span("grandchild") as grand:
+                    pass
+        assert child.trace_id == root.trace_id
+        assert grand.trace_id == root.trace_id
+        assert child.parent_id == root.span_id
+        assert grand.parent_id == child.span_id
+
+
+class TestRoundTrip:
+    def _sample_tree(self):
+        tracer = Tracer(capacity=2)
+        with tracer.span("root", corpus=32) as root:
+            with tracer.span("child.ok", rows=7):
+                pass
+            try:
+                with tracer.span("child.err"):
+                    raise ValueError("boom")
+            except ValueError:
+                pass
+            root.annotate(merged=True)
+        (trace,) = tracer.recent()
+        return trace
+
+    def test_round_trip_is_byte_stable(self):
+        d = self._sample_tree()
+        restored = span_from_dict(d).to_dict()
+        assert restored == d
+        # key *order* matters too: the CI artifact diffing relies on
+        # serialized traces being canonical
+        assert list(restored) == list(d)
+        assert [list(c) for c in restored["children"]] == [
+            list(c) for c in d["children"]
+        ]
+
+    def test_round_trip_preserves_error_subtree(self):
+        d = self._sample_tree()
+        restored = span_from_dict(d).to_dict()
+        err = [c for c in restored["children"] if c["name"] == "child.err"]
+        assert err and err[0]["status"] == "error"
+        assert "ValueError" in err[0]["error"]
+
+    def test_attach_inherits_identity(self):
+        parent = free_span("scatter")
+        with parent:
+            pass
+        child = span_from_dict(
+            {
+                "name": "shard.score",
+                "span_id": new_span_id(),
+                "start_time": 0.0,
+                "duration_ms": 1.0,
+                "status": "ok",
+            }
+        )
+        parent.attach(child)
+        assert child.trace_id == parent.trace_id
+        assert child.parent_id == parent.span_id
+
+    def test_attach_keeps_existing_identity(self):
+        """A shard subtree stitched back carries the *propagated* ids."""
+        parent = free_span("scatter")
+        tid, pid = new_trace_id(), new_span_id()
+        child = span_from_dict(
+            {
+                "name": "shard.score",
+                "span_id": new_span_id(),
+                "trace_id": tid,
+                "parent_id": pid,
+                "start_time": 0.0,
+                "duration_ms": 1.0,
+                "status": "ok",
+            }
+        )
+        parent.attach(child)
+        assert child.trace_id == tid
+        assert child.parent_id == pid
+
+
+class TestCaptureSubtree:
+    def test_inherits_propagated_context(self):
+        ctx = {"trace_id": new_trace_id(), "span_id": new_span_id()}
+        with capture_subtree("shard.score", ctx, shard=2) as root:
+            with free_span("shard.distance", feature="sch"):
+                pass
+        d = root.to_dict()
+        assert d["trace_id"] == ctx["trace_id"]
+        assert d["parent_id"] == ctx["span_id"]
+        assert d["children"][0]["trace_id"] == ctx["trace_id"]
+        assert d["children"][0]["parent_id"] == d["span_id"]
+        assert d["attrs"] == {"shard": 2}
+
+    def test_new_trace_without_context(self):
+        with capture_subtree("shard.score") as root:
+            pass
+        d = root.to_dict()
+        assert len(d["trace_id"]) == 32
+        assert "parent_id" not in d
+
+    def test_detaches_callers_current_span(self):
+        """Inline fallback: the captured subtree must NOT nest under the
+        coordinator's live span (it ships serialized and is re-attached),
+        and the caller's span stack must survive the capture."""
+        tracer = Tracer(capacity=4)
+        with tracer.span("search.scatter") as scatter:
+            ctx = current_trace_context()
+            with capture_subtree("shard.score", ctx) as sub:
+                inner = free_span("shard.distance")
+                with inner:
+                    pass
+            assert current_trace_context()["span_id"] == scatter.span_id
+        (trace,) = tracer.recent()
+        assert trace.get("children") is None  # nothing double-recorded
+        assert inner._parent is sub
+
+
+class TestFleetMerge:
+    def _worker_round(self, registry, queries=3):
+        c = registry.counter("repro_worker_queries_total", "q", ("kind",))
+        h = registry.histogram("repro_worker_query_seconds", "t")
+        for _ in range(queries):
+            c.labels(kind="vectors").inc()
+            h.observe(0.01)
+
+    def test_delta_then_merge_matches_totals(self):
+        worker = MetricsRegistry()
+        coord = MetricsRegistry()
+        last = {}
+        for round_queries in (3, 2):
+            self._worker_round(worker, round_queries)
+            current = worker.state()
+            delta = diff_state(current, last)
+            last = current
+            coord.merge_state(delta, {"shard": "1"})
+        text = coord.render_text()
+        assert 'repro_worker_queries_total{shard="1",kind="vectors"} 5' in text
+        assert 'repro_worker_query_seconds_count{shard="1"} 5' in text
+
+    def test_merge_is_idempotent_under_recycle(self):
+        """A recycled worker starts a fresh registry *and* a fresh
+        ``last`` baseline together, so the coordinator never re-counts
+        or under-counts across the recycle boundary."""
+        coord = MetricsRegistry()
+        # worker generation 1: two queries, drained once
+        w1 = MetricsRegistry()
+        self._worker_round(w1, 2)
+        coord.merge_state(diff_state(w1.state(), {}), {"shard": "0"})
+        # generation 2 replaces it: both registry and baseline reset
+        w2 = MetricsRegistry()
+        self._worker_round(w2, 3)
+        coord.merge_state(diff_state(w2.state(), {}), {"shard": "0"})
+        text = coord.render_text()
+        assert 'repro_worker_queries_total{shard="0",kind="vectors"} 5' in text
+
+    def test_empty_delta_merges_to_nothing(self):
+        worker = MetricsRegistry()
+        self._worker_round(worker)
+        state = worker.state()
+        assert diff_state(state, state) == {}
+        coord = MetricsRegistry()
+        coord.merge_state(diff_state(state, state), {"shard": "0"})
+        assert coord.render_json() == {}
+
+    def test_shards_stay_separate(self):
+        coord = MetricsRegistry()
+        for shard in ("0", "1"):
+            w = MetricsRegistry()
+            self._worker_round(w, 1 + int(shard))
+            coord.merge_state(diff_state(w.state(), {}), {"shard": shard})
+        text = coord.render_text()
+        assert 'repro_worker_queries_total{shard="0",kind="vectors"} 1' in text
+        assert 'repro_worker_queries_total{shard="1",kind="vectors"} 2' in text
+
+
+class TestSlowQueryLog:
+    def test_threshold_filters(self):
+        slow = SlowQueryLog(capacity=4, threshold_ms=100.0)
+        assert not slow.record(99.9, kind="frame")
+        assert slow.record(100.0, kind="frame")
+        (entry,) = slow.recent()
+        assert entry["ms"] == 100.0
+        assert entry["kind"] == "frame"
+
+    def test_newest_first_and_capacity(self):
+        slow = SlowQueryLog(capacity=3, threshold_ms=1.0)
+        for i in range(5):
+            slow.record(10.0 + i, seq=i)
+        entries = slow.recent()
+        assert [e["seq"] for e in entries] == [4, 3, 2]
+        assert slow.stats()["recorded_total"] == 5
+        assert slow.stats()["buffered"] == 3
+
+    def test_bounded_under_concurrent_writers(self):
+        slow = SlowQueryLog(capacity=16, threshold_ms=1.0)
+        n_threads, per_thread = 8, 200
+        barrier = threading.Barrier(n_threads)
+
+        def pound(tid):
+            barrier.wait()
+            for i in range(per_thread):
+                slow.record(10.0 + i, thread=tid, seq=i)
+
+        threads = [
+            threading.Thread(target=pound, args=(t,)) for t in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stats = slow.stats()
+        assert stats["recorded_total"] == n_threads * per_thread
+        assert stats["buffered"] == 16
+        assert len(slow.recent()) == 16
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            SlowQueryLog(capacity=0)
+        with pytest.raises(ValueError):
+            SlowQueryLog(threshold_ms=0.0)
+
+    def test_null_twin_guard_never_trips(self):
+        assert not (10_000.0 >= NULL_SLOW_LOG.threshold_ms)
+        assert not NULL_SLOW_LOG.record(10_000.0)
+        assert NULL_SLOW_LOG.recent() == []
+        assert NULL_SLOW_LOG.stats() is None

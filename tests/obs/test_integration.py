@@ -28,8 +28,9 @@ class TestMetricsSurface:
         m = system.metrics()
         assert set(m) == {
             "store", "index", "ann", "cache", "snapshot", "sharding",
-            "resilience", "registry",
+            "resilience", "slow_log", "registry",
         }
+        assert m["slow_log"]["recorded_total"] == 0  # 500ms default: untripped
         assert m["sharding"] is None  # default config: single store
         assert m["store"]["videos"] == 1
         assert m["store"]["key_frames"] == len(system._store)

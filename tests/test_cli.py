@@ -281,3 +281,71 @@ class TestShard:
         rc = main(["search", library, frame, "--ann", "--shards", shards])
         assert rc == 2
         assert "--ann" in capsys.readouterr().err
+
+
+class TestExplainFlag:
+    def test_search_explain_prints_payload(self, library, tmp_path, capsys):
+        import json
+
+        frame = str(tmp_path / "q.ppm")
+        main(["export-frame", library, "1", frame])
+        capsys.readouterr()
+        rc = main(["search", library, frame, "--top-k", "3", "--explain"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "explain:" in out
+        explain = json.loads(out.split("explain:", 1)[1])
+        assert explain["kind"] == "frame"
+        assert explain["total_ms"] >= 0
+        assert explain["index"]["used"] is True
+
+    def test_search_without_flag_stays_terse(self, library, tmp_path, capsys):
+        frame = str(tmp_path / "q.ppm")
+        main(["export-frame", library, "1", frame])
+        capsys.readouterr()
+        rc = main(["search", library, frame, "--top-k", "3"])
+        assert rc == 0
+        assert "explain" not in capsys.readouterr().out
+
+
+class TestSlowFlag:
+    def test_live_default_threshold_records_nothing(self, library, capsys):
+        rc = main(["stats", library, "--slow"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "slow queries: 0 recorded" in out
+
+    def test_dump_mode_prints_entries(self, tmp_path, capsys):
+        import json
+
+        dump = tmp_path / "metrics.json"
+        dump.write_text(json.dumps({
+            "store": {"videos": 1, "key_frames": 3, "generation": 1},
+            "slow_log": {
+                "threshold_ms": 5.0, "capacity": 8,
+                "recorded_total": 2, "buffered": 1,
+                "recent": [{
+                    "ts": 0.0, "ms": 12.5, "kind": "frame",
+                    "trace_id": "ab" * 16, "candidates": 9,
+                    "degraded": False,
+                }],
+            },
+        }), encoding="utf-8")
+        rc = main(["stats", "--dump", str(dump), "--slow"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "slow queries: 2 recorded" in out
+        assert "kind=frame" in out
+        assert "ab" * 16 in out
+
+    def test_dump_mode_disabled_log(self, tmp_path, capsys):
+        import json
+
+        dump = tmp_path / "metrics.json"
+        dump.write_text(json.dumps({
+            "store": {"videos": 0, "key_frames": 0, "generation": 0},
+            "slow_log": None,
+        }), encoding="utf-8")
+        rc = main(["stats", "--dump", str(dump), "--slow"])
+        assert rc == 0
+        assert "(log disabled)" in capsys.readouterr().out

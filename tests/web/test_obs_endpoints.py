@@ -128,3 +128,65 @@ class TestRequestMetrics:
         samples = registry["repro_web_request_seconds"]["samples"]
         root = [s for s in samples if s["labels"] == {"route": "/"}]
         assert root and root[0]["count"] == 1
+
+
+class TestExplainParam:
+    def test_search_explain_opt_in(self, api, small_corpus):
+        body = small_corpus[0].frames[0].encode("ppm")
+        status, payload = _json(api.handle("POST", "/search", body=body,
+                                           query={"explain": "1"}))
+        assert status == 200
+        explain = payload["explain"]
+        assert explain["kind"] == "frame"
+        assert explain["cache"] in ("miss", "off")
+        assert explain["total_ms"] >= 0
+        assert "timings_ms" in explain
+
+    def test_search_without_flag_omits_explain(self, api, small_corpus):
+        body = small_corpus[0].frames[0].encode("ppm")
+        status, payload = _json(api.handle("POST", "/search", body=body))
+        assert status == 200
+        assert "explain" not in payload
+
+
+class TestSlowQueryEndpoint:
+    @pytest.fixture()
+    def slow_api(self, small_corpus):
+        from repro.core.system import VideoRetrievalSystem
+
+        config = SystemConfig(obs_slow_query_ms=0.0001, obs_slow_log_size=4)
+        system = VideoRetrievalSystem.in_memory(config)
+        system.admin.add_video(small_corpus[0])
+        yield CbvrApi(system)
+        system.close()
+
+    def test_slow_queries_surface(self, slow_api, small_corpus):
+        body = small_corpus[0].frames[0].encode("ppm")
+        slow_api.handle("POST", "/search", body=body)
+        status, payload = _json(slow_api.handle("GET", "/debug/slow"))
+        assert status == 200
+        assert payload["slow_log"]["threshold_ms"] == 0.0001
+        (entry,) = [q for q in payload["queries"] if q["kind"] == "frame"]
+        assert entry["ms"] >= 0
+        assert entry["explain"]["kind"] == "frame"
+
+    def test_limit_param(self, slow_api, small_corpus):
+        body = small_corpus[0].frames[0].encode("ppm")
+        for top_k in ("3", "4", "5"):
+            slow_api.handle("POST", "/search", body=body,
+                            query={"top_k": top_k})
+        status, payload = _json(slow_api.handle("GET", "/debug/slow",
+                                                query={"limit": "2"}))
+        assert status == 200
+        assert len(payload["queries"]) == 2
+
+    def test_bad_limit_is_400(self, slow_api):
+        status, _ = _json(slow_api.handle("GET", "/debug/slow",
+                                          query={"limit": "0"}))
+        assert status == 400
+
+    def test_disabled_log_serves_empty(self, api):
+        """The default fixture threshold (500ms) never trips on tests."""
+        status, payload = _json(api.handle("GET", "/debug/slow"))
+        assert status == 200
+        assert payload["queries"] == []
