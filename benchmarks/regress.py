@@ -22,6 +22,11 @@ layer optimizes (ingest fan-out, batched distance scoring), and writes
   scatter-gather coordinator vs the single-store engine; rankings are
   byte-identical (asserted here and gated by ``scripts/shard_gate.py``),
   only the throughput trajectory is tracked
+- **concurrent_serving** -- sustained ops/sec through the asyncio
+  front-end over real sockets at a fixed concurrent-client count,
+  micro-batching on (coalesced ``query_batch`` calls) vs off
+  (``batch_max=1``); the overload/SLO gate lives in
+  ``scripts/load_gate.py``
 
 Usage::
 
@@ -43,6 +48,7 @@ import json
 import os
 import sys
 import tempfile
+import threading
 import time
 from typing import Callable, Dict, List, Optional
 
@@ -66,6 +72,7 @@ _TRACKED = [
     ("obs_overhead", "disabled", "ops_per_sec"),
     ("cold_start", "mmap", "ops_per_sec"),
     ("scatter_gather", "shards4", "ops_per_sec"),
+    ("concurrent_serving", "batched", "ops_per_sec"),
 ]
 
 
@@ -85,6 +92,52 @@ def _timed(fn: Callable[[], object], repeats: int) -> Dict[str, float]:
             "p95": round(float(np.percentile(arr, 95)) * 1000, 3),
         },
         "ops_per_sec": round(1.0 / p50, 3) if p50 > 0 else float("inf"),
+    }
+
+
+def _serving_drill(
+    server, body: bytes, clients: int, per_client: int
+) -> Dict[str, object]:
+    """Hammer a started asyncio server with keep-alive clients; ops/sec."""
+    import http.client
+
+    base = server.start_in_thread()
+    netloc = base.split("//", 1)[1]
+    results: List[Optional[List]] = [None] * clients
+
+    def drill(slot: int) -> None:
+        conn = http.client.HTTPConnection(netloc, timeout=60)
+        local = []
+        try:
+            for _ in range(per_client):
+                t0 = time.perf_counter()
+                conn.request("POST", "/search?top_k=20", body=body)
+                response = conn.getresponse()
+                response.read()
+                local.append((response.status, time.perf_counter() - t0))
+        finally:
+            conn.close()
+        results[slot] = local
+
+    threads = [
+        threading.Thread(target=drill, args=(i,)) for i in range(clients)
+    ]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - t0
+    flat = [o for worker in results if worker for o in worker]
+    arr = np.asarray([lat for _, lat in flat])
+    return {
+        "requests": len(flat),
+        "errors": sum(1 for status, _ in flat if status != 200),
+        "ops_per_sec": round(len(flat) / wall, 3),
+        "latency_ms": {
+            "p50": round(float(np.percentile(arr, 50)) * 1000, 3),
+            "p95": round(float(np.percentile(arr, 95)) * 1000, 3),
+        },
     }
 
 
@@ -409,6 +462,60 @@ def run_benchmarks(
         f"scatter_gather  single p50 {single['latency_ms']['p50']:8.1f}ms   "
         f"4-shard p50 {shards4['latency_ms']['p50']:8.1f}ms   "
         f"speedup {sg_speedup:.2f}x"
+    )
+
+    # -- concurrent serving: asyncio front-end, micro-batching on vs off ------
+    # Real sockets, fixed concurrent-client count, result cache off so every
+    # request does full extraction + scoring.  "unbatched" pins batch_max=1
+    # (each request scores alone); "batched" lets the micro-batcher coalesce
+    # the concurrent stream into query_batch calls.  Rankings are identical
+    # either way (property-tested in tests/serving); this row tracks only
+    # sustained throughput.  The SLO/overload gate is scripts/load_gate.py.
+    from repro.serving import make_async_server
+
+    serving_clients = 6
+    per_client = max(4, repeats * 2)
+    system.attach_engine(
+        SearchEngine(
+            system.config.with_(batch_distances=True, query_cache_size=0),
+            system._store,
+            system._index,
+        )
+    )
+    body = query_image.encode("ppm")
+    base_config = system.config
+    serving: Dict[str, object] = {
+        "clients": serving_clients,
+        "requests_per_client": per_client,
+    }
+    try:
+        for mode, window_ms, batch_max in (
+            ("unbatched", 0.0, 1),
+            ("batched", 3.0, 8),
+        ):
+            # the server reads its batcher knobs from system.config at build
+            system.config = base_config.with_(
+                batch_window_ms=window_ms, batch_max=batch_max
+            )
+            server = make_async_server(system)
+            try:
+                serving[mode] = _serving_drill(
+                    server, body, serving_clients, per_client
+                )
+            finally:
+                server.stop()
+    finally:
+        system.config = base_config
+    serving["batch_speedup"] = round(
+        serving["batched"]["ops_per_sec"]
+        / max(1e-9, serving["unbatched"]["ops_per_sec"]),
+        2,
+    )
+    result["concurrent_serving"] = serving
+    print(
+        f"concurrent_serving  unbatched {serving['unbatched']['ops_per_sec']:7.1f} ops/s   "
+        f"batched {serving['batched']['ops_per_sec']:7.1f} ops/s   "
+        f"speedup {serving['batch_speedup']:.2f}x"
     )
 
     result["ingest"] = ingest

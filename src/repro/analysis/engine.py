@@ -98,6 +98,7 @@ class LintConfig:
         ("repro.core",),
         ("repro.sharding",),
         ("repro.web", "repro.eval", "repro.analysis"),
+        ("repro.serving",),
         ("repro.cli",),
         ("repro.__main__",),
     )

@@ -25,9 +25,11 @@ R16   sql-dataflow                dynamic SQL cannot flow into execute() sites
 R17   obs-coverage                public entry points reach a span or metric
 R18   resource-hygiene            open()/connect() handles have a visible owner
 R19   unused-import               module-level imports bind names that are used
+R20   async-no-blocking           async def bodies never call blocking APIs
 ====  ==========================  ==============================================
 """
 
+from repro.analysis.rules.asyncblocking import AsyncBlockingRule
 from repro.analysis.rules.concurrency import ConcurrencySafetyRule
 from repro.analysis.rules.errors import DbErrorHierarchyRule
 from repro.analysis.rules.exports import ExportsRule
@@ -69,4 +71,5 @@ __all__ = [
     "ObsCoverageRule",
     "ResourceHygieneRule",
     "UnusedImportRule",
+    "AsyncBlockingRule",
 ]

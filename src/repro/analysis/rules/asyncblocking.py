@@ -1,0 +1,111 @@
+"""Rule R20: no blocking calls inside ``async def`` bodies.
+
+One blocking call on the event loop stalls every queued request at
+once: the micro-batcher stops draining, admission control sheds load it
+should never have seen, and the latency SLO dies quietly.  Blocking
+work belongs on an executor thread (``loop.run_in_executor``), behind
+``asyncio.sleep``, or in the synchronous layers below the front-end.
+
+The rule walks every ``async def`` in the project model and flags
+direct calls to the blocking families this codebase actually has:
+``time.sleep``, synchronous ``socket`` / ``sqlite3`` module calls, and
+``WorkerPool`` fan-out (``.map()`` / ``parallel_map``), which blocks
+until the slowest worker returns.  Nested ``def``\\ s and lambdas are
+skipped -- they are deferred bodies, not loop-time execution (a nested
+sync helper is its own call-graph node, and a lambda is usually the
+very thing being shipped to an executor).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Dict, Iterable, List, Tuple
+
+from repro.analysis.engine import Finding, LintConfig, ModelRule, register_rule
+from repro.analysis.project import ProjectModel, dotted
+
+__all__ = ["AsyncBlockingRule"]
+
+#: blocking stdlib modules: any direct call into them from async code stalls
+#: the loop (socket/sqlite3 have no awaitable API; time.sleep by definition)
+_BLOCKING_MODULES = frozenset({"socket", "sqlite3"})
+
+_HINTS = {
+    "sleep": "use `await asyncio.sleep(...)` instead",
+    "socket": "use asyncio streams (open_connection/start_server) or run_in_executor",
+    "sqlite3": "run the database call via loop.run_in_executor",
+    "map": (
+        "WorkerPool fan-out blocks until the slowest worker; "
+        "run it via loop.run_in_executor"
+    ),
+}
+
+
+@register_rule
+class AsyncBlockingRule(ModelRule):
+    """R20: async bodies never call time.sleep / socket / sqlite3 / pool map."""
+
+    rule_id = "R20"
+    title = "async-no-blocking"
+    fix_hint = (
+        "move the blocking call off the event loop: await asyncio.sleep for "
+        "waits, loop.run_in_executor for sync IO and WorkerPool fan-out"
+    )
+
+    def check_model(self, model: ProjectModel, config: LintConfig) -> Iterable[Finding]:
+        for qual in sorted(model.functions):
+            info = model.functions[qual]
+            if not isinstance(info.node, ast.AsyncFunctionDef):
+                continue
+            sym = model.symbols.get(info.module)
+            imports = sym.imports if sym is not None else {}
+            module = model.modules[info.module]
+            where = f"{info.cls}.{info.name}" if info.cls else info.name
+            for node, label, hint in self._blocking_calls(info.node, imports):
+                yield self.finding_at(
+                    module.path,
+                    node,
+                    f"async def {where}() calls blocking {label}; it stalls "
+                    f"the event loop and every queued request -- {hint}",
+                )
+
+    def _blocking_calls(
+        self, func: ast.AsyncFunctionDef, imports: Dict[str, str]
+    ) -> List[Tuple[ast.AST, str, str]]:
+        def resolve(name: str) -> str:
+            """Local name -> dotted target through the module's imports."""
+            head, _, rest = name.partition(".")
+            target = imports.get(head, head)
+            return f"{target}.{rest}" if rest else target
+
+        out: List[Tuple[ast.AST, str, str]] = []
+        stack: List[ast.AST] = list(ast.iter_child_nodes(func))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue  # deferred bodies: not executed on the loop here
+            if isinstance(node, ast.Call):
+                out.extend(self._classify(node, resolve))
+            stack.extend(ast.iter_child_nodes(node))
+        out.sort(key=lambda item: getattr(item[0], "lineno", 0))
+        return out
+
+    @staticmethod
+    def _classify(
+        node: ast.Call, resolve: Callable[[str], str]
+    ) -> List[Tuple[ast.AST, str, str]]:
+        target = dotted(node.func)
+        if not target:
+            return []
+        resolved = resolve(target)
+        head = resolved.partition(".")[0]
+        tail = resolved.rsplit(".", 1)[-1]
+        if resolved == "time.sleep":
+            return [(node, "time.sleep()", _HINTS["sleep"])]
+        if head in _BLOCKING_MODULES:
+            return [(node, f"{resolved}()", _HINTS[head])]
+        if tail == "parallel_map" or (
+            tail == "map" and isinstance(node.func, ast.Attribute)
+        ):
+            return [(node, f"{target}()", _HINTS["map"])]
+        return []

@@ -97,6 +97,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--shards", default=None, metavar="DIR",
                    help="serve queries scatter-gather from the shard set "
                         "in DIR (written by 'repro shard split')")
+    p.add_argument("--async", dest="async_serving", action="store_true",
+                   help="serve through the asyncio front-end with query "
+                        "micro-batching and admission control "
+                        "(see docs/serving.md)")
 
     p = sub.add_parser(
         "shard",
@@ -311,12 +315,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:  # pragma: no cover - blocking 
         system = VideoRetrievalSystem.open(args.library, config)
     else:
         system = _open_system(args.library, admin_password=args.admin_password)
-    server, port = make_server(system, port=args.port)
     sharded = f", {system.config.shards} shards" if args.shards else ""
-    print(f"serving {args.library} on http://127.0.0.1:{port} "
-          f"({system.n_videos()} videos{sharded})")
     try:
-        server.serve_forever()
+        if args.async_serving:
+            from repro.serving import make_async_server
+
+            async_server = make_async_server(system, port=args.port)
+            print(f"serving {args.library} on http://127.0.0.1:{args.port} "
+                  f"({system.n_videos()} videos{sharded}, asyncio batching)")
+            async_server.serve_blocking()
+        else:
+            server, port = make_server(system, port=args.port)
+            print(f"serving {args.library} on http://127.0.0.1:{port} "
+                  f"({system.n_videos()} videos{sharded})")
+            server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:

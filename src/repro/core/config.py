@@ -117,6 +117,24 @@ class SystemConfig:
     #: serve a partial ranking when a shard fails / its breaker is open
     #: (surfaced via ``SearchResults.degraded_shards``); False escalates
     shard_partial_ok: bool = True
+    # asyncio serving front-end (repro.serving): a bounded queue feeds a
+    # micro-batcher that coalesces concurrent search requests into one
+    # batched scoring call (one scatter per shard when sharded)
+    #: micro-batching window in milliseconds: the batcher waits this long
+    #: after the first queued request for batchmates (0 = drain-only, no
+    #: artificial wait)
+    batch_window_ms: float = 2.0
+    #: max requests coalesced into one batched scoring call
+    batch_max: int = 8
+    #: queued-request ceiling: requests arriving beyond it are shed with
+    #: HTTP 429 + Retry-After instead of queueing without bound
+    serving_queue_limit: int = 128
+    #: queue depth at which admitted requests degrade (fewer features,
+    #: lower ``ann_nprobe``) before any shedding starts; 0 disables the
+    #: degrade rung of the ladder
+    serving_degrade_depth: int = 64
+    #: features a load-degraded request keeps (front of ``features``)
+    serving_degrade_features: int = 2
     # admin authentication (None = open access)
     admin_password: Optional[str] = None
 
@@ -190,6 +208,21 @@ class SystemConfig:
                 f"shard_paths holds {len(self.shard_paths)} paths "
                 f"but shards={self.shards}"
             )
+        if self.batch_window_ms < 0:
+            raise ValueError("batch_window_ms must be >= 0 (0 = drain-only)")
+        if self.batch_max < 1:
+            raise ValueError("batch_max must be >= 1")
+        if self.serving_queue_limit < 1:
+            raise ValueError("serving_queue_limit must be >= 1")
+        if self.serving_degrade_depth < 0:
+            raise ValueError("serving_degrade_depth must be >= 0 (0 = disabled)")
+        if self.serving_degrade_depth > self.serving_queue_limit:
+            raise ValueError(
+                "serving_degrade_depth must not exceed serving_queue_limit "
+                "(degrade must kick in before shedding)"
+            )
+        if self.serving_degrade_features < 1:
+            raise ValueError("serving_degrade_features must be >= 1")
         if self.shards > 1 and self.ann:
             raise ValueError(
                 "ann is not supported with sharded serving (shards > 1): "

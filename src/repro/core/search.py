@@ -15,9 +15,9 @@ from __future__ import annotations
 
 import copy
 import time
-from dataclasses import replace
+from dataclasses import dataclass, field, replace
 from functools import partial
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -35,8 +35,10 @@ from repro.obs import NULL_OBS, Obs, log
 from repro.resilience import (
     NULL_POLICIES,
     CircuitOpenError,
+    Deadline,
     DeadlineExceeded,
     ResiliencePolicies,
+    armed_deadline,
 )
 from repro.runtime import WorkerPool, resolve_workers
 from repro.similarity.dp import dtw_distance, sequence_similarity
@@ -44,7 +46,7 @@ from repro.similarity.fusion import CombinedScorer, FeatureWeights, normalize_sc
 from repro.video.generator import SyntheticVideo
 from repro.video.keyframes import KeyFrameExtractor
 
-__all__ = ["SearchEngine", "VideoMatch"]
+__all__ = ["QueryRequest", "SearchEngine", "VideoMatch"]
 
 #: histogram edges for candidate-set sizes (counts, not seconds)
 _COUNT_BUCKETS = (
@@ -91,6 +93,93 @@ def _stable_topk(fused: np.ndarray, k: int) -> np.ndarray:
         tied = np.nonzero(fused == boundary)[0][: k - strictly.size]
         sel = np.concatenate([strictly, tied])
     return sel[np.lexsort((sel, fused[sel]))]
+
+
+@dataclass
+class QueryRequest:
+    """One query of a :meth:`SearchEngine.query_batch` call.
+
+    Exactly one of ``image`` (a frame query) or ``query_vectors`` (a
+    precomputed-vector query, the feedback loop's shape) must be set.
+    ``deadline`` is an *already ticking* budget -- the serving layer
+    creates it at admission time so queue wait counts -- armed around the
+    request's per-request stages.  ``nprobe`` overrides ``ann_nprobe``
+    for this request only (the admission controller's degrade ladder).
+    """
+
+    image: Optional[Image] = None
+    query_vectors: Optional[Dict[str, FeatureVector]] = None
+    features: Optional[Sequence[str]] = None
+    top_k: int = 20
+    use_index: Optional[bool] = None
+    candidate_ids: Optional[Sequence[int]] = None
+    weights: Optional[Dict[str, float]] = None
+    deadline: Optional[Deadline] = None
+    nprobe: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if (self.image is None) == (self.query_vectors is None):
+            raise ValueError("exactly one of image / query_vectors is required")
+
+    @property
+    def kind(self) -> str:
+        return "frame" if self.image is not None else "vectors"
+
+
+@dataclass
+class _QueryPlan:
+    """One request's resolved scoring work, between plan and rank.
+
+    :meth:`SearchEngine._plan_vectors` resolves candidates and scoring
+    flags into a plan, :meth:`SearchEngine._score_plan` turns it into raw
+    per-feature distances, :meth:`SearchEngine._rank_plan` fuses and
+    ranks.  The split exists so :meth:`SearchEngine.query_batch` can run
+    several plans through one scoring pass (one scatter per shard for
+    the sharded engine) while keeping every per-query kernel call
+    identical to serial execution.  The sharded coordinator reuses the
+    same carrier with its own fields (``candidate_arr`` .. ``merge_t0``).
+    """
+
+    query_vectors: Dict[str, FeatureVector]
+    names: List[str]
+    top_k: int
+    weights: Optional[Dict[str, float]]
+    n_total: int = 0
+    explain: Optional[Dict[str, object]] = None
+    #: early result for an empty candidate set (skips score/rank)
+    empty: Optional[SearchResults] = None
+    batched: bool = False
+    fast: bool = False
+    # single-store scoring state
+    candidate_ids: Optional[List[int]] = None
+    full_store: bool = False
+    records: Optional[List[FrameRecord]] = None
+    rows: Optional[np.ndarray] = None
+    distance_ms: Optional[Dict[str, float]] = None
+    # sharded scoring state (ShardedSearchEngine only)
+    candidate_arr: Optional[np.ndarray] = None
+    positions: Optional[Dict[int, np.ndarray]] = None
+    payloads: Optional[List[Tuple[int, tuple]]] = None
+    degraded_shards: List[int] = field(default_factory=list)
+    shard_meta: Optional[Dict[int, Dict[str, object]]] = None
+    merge_t0: float = 0.0
+
+
+@dataclass
+class _BatchEntry:
+    """One :meth:`SearchEngine.query_batch` request's in-flight state."""
+
+    index: int = -1
+    #: resolved before scoring (cache hit / empty candidate set)
+    results: Optional[SearchResults] = None
+    plan: Optional[_QueryPlan] = None
+    #: "bypass"/"off" when the vectors-level cache is not consulted
+    cache_mode: Optional[str] = None
+    #: vectors-level cache key (None = no put on finish)
+    key: Optional[tuple] = None
+    generation: int = 0
+    #: frame-level wrapper state (None for vector queries)
+    frame: Optional[Dict[str, object]] = None
 
 
 class VideoMatch:
@@ -194,6 +283,23 @@ class SearchEngine:
         """Build/probe counters of the IVF index (None when disabled)."""
         return self.ann.stats.as_dict() if self.ann is not None else None
 
+    def _copy_results(self, results: SearchResults, cache: str) -> SearchResults:
+        """Fresh wrapper + per-hit dict copies, so callers can't mutate a
+        cached entry through the returned object."""
+        hits = [replace(h, per_feature=dict(h.per_feature)) for h in results.hits]
+        explain = copy.deepcopy(results.explain)
+        if explain is not None:
+            explain["cache"] = cache
+        return SearchResults(
+            hits,
+            n_candidates=results.n_candidates,
+            n_total=results.n_total,
+            degraded=results.degraded,
+            degraded_features=list(results.degraded_features),
+            degraded_shards=list(results.degraded_shards),
+            explain=explain,
+        )
+
     def _cached_results(self, key, builder) -> SearchResults:
         """Run ``builder`` through the query cache (generation-checked)."""
         if not self._query_cache.enabled:
@@ -204,21 +310,7 @@ class SearchEngine:
         if not hit:
             results = builder()
             self._query_cache.put(key, generation, results)
-        # fresh wrapper + per-hit dict copies, so callers can't mutate the
-        # cached entry through the returned object
-        hits = [replace(h, per_feature=dict(h.per_feature)) for h in results.hits]
-        explain = copy.deepcopy(results.explain)
-        if explain is not None:
-            explain["cache"] = "hit" if hit else "miss"
-        return SearchResults(
-            hits,
-            n_candidates=results.n_candidates,
-            n_total=results.n_total,
-            degraded=results.degraded,
-            degraded_features=list(results.degraded_features),
-            degraded_shards=list(results.degraded_shards),
-            explain=explain,
-        )
+        return self._copy_results(results, "hit" if hit else "miss")
 
     def _record_query(
         self,
@@ -372,22 +464,31 @@ class SearchEngine:
             raise last_error  # nothing survived: degradation is impossible
         return query_vectors, degraded
 
-    def _ann_probe(self, query_vectors: Dict[str, FeatureVector]):
+    def _ann_probe(
+        self,
+        query_vectors: Dict[str, FeatureVector],
+        nprobe: Optional[int] = None,
+    ):
         """IVF probe through the ANN circuit breaker.
 
         Returns the candidate ids, or None for the exact brute-force
         fallback -- taken when the breaker is open or the probe fails
-        (the failure feeds the breaker's window).
+        (the failure feeds the breaker's window).  ``nprobe`` overrides
+        ``config.ann_nprobe`` (the serving degrade ladder widens recall
+        back out once pressure drops).
         """
         if self.ann is None:
             return None
+        if nprobe is None:
+            nprobe = self.config.ann_nprobe
+        nprobe = max(1, min(int(nprobe), self.config.ann_cells))
         if not self._policies.enabled:
-            return self.ann.probe(query_vectors, self.config.ann_nprobe)
+            return self.ann.probe(query_vectors, nprobe)
         breaker = self._policies.ann_breaker
         try:
             breaker.guard()
             self._policies.fire("ann.probe")
-            ids = self.ann.probe(query_vectors, self.config.ann_nprobe)
+            ids = self.ann.probe(query_vectors, nprobe)
         except CircuitOpenError:
             self._policies.note_fallback("ann_brute_force")
             self._log.warning("search.ann_breaker_open", fallback="brute_force")
@@ -431,28 +532,16 @@ class SearchEngine:
         self._record_query("vectors", t0, results.n_candidates, results, span)
         return results
 
-    def _vectors_entry(
+    def _vectors_key(
         self,
         query_vectors: Dict[str, FeatureVector],
+        names: List[str],
         top_k: int,
         candidate_ids: Optional[Sequence[int]],
         weights: Optional[Dict[str, float]],
-    ) -> SearchResults:
-        """Validation + cache wrapping shared by frame and vector queries."""
-        names = [n for n in query_vectors if n in self.extractors]
-        if not names:
-            raise ValueError("query_vectors holds no configured features")
-        # armed faults bypass the cache: a cached answer could outlive
-        # (or hide) the chaos run
-        if not self._query_cache.enabled or self._policies.faults.armed:
-            results = self._query_with_vectors(
-                query_vectors, names, top_k, candidate_ids, weights
-            )
-            if results.explain is not None:
-                results.explain["cache"] = (
-                    "bypass" if self._policies.faults.armed else "off"
-                )
-            return results
+        nprobe: Optional[int] = None,
+    ) -> tuple:
+        """The vectors-level query-cache key (shared serial / batched)."""
         key = (
             "vectors",
             digest_vectors({n: query_vectors[n] for n in names}),
@@ -465,10 +554,42 @@ class SearchEngine:
             if candidate_ids is None
             else digest_array(np.asarray(candidate_ids, dtype=np.int64)),
         )
+        # an nprobe override (the serving degrade ladder) computes a
+        # different candidate set; only then does it widen the key
+        if nprobe is not None:
+            key = key + (("nprobe", int(nprobe)),)
+        return key
+
+    def _vectors_entry(
+        self,
+        query_vectors: Dict[str, FeatureVector],
+        top_k: int,
+        candidate_ids: Optional[Sequence[int]],
+        weights: Optional[Dict[str, float]],
+        nprobe: Optional[int] = None,
+    ) -> SearchResults:
+        """Validation + cache wrapping shared by frame and vector queries."""
+        names = [n for n in query_vectors if n in self.extractors]
+        if not names:
+            raise ValueError("query_vectors holds no configured features")
+        # armed faults bypass the cache: a cached answer could outlive
+        # (or hide) the chaos run
+        if not self._query_cache.enabled or self._policies.faults.armed:
+            results = self._query_with_vectors(
+                query_vectors, names, top_k, candidate_ids, weights, nprobe
+            )
+            if results.explain is not None:
+                results.explain["cache"] = (
+                    "bypass" if self._policies.faults.armed else "off"
+                )
+            return results
+        key = self._vectors_key(
+            query_vectors, names, top_k, candidate_ids, weights, nprobe
+        )
         return self._cached_results(
             key,
             lambda: self._query_with_vectors(
-                query_vectors, names, top_k, candidate_ids, weights
+                query_vectors, names, top_k, candidate_ids, weights, nprobe
             ),
         )
 
@@ -479,13 +600,32 @@ class SearchEngine:
         top_k: int,
         candidate_ids: Optional[Sequence[int]],
         weights: Optional[Dict[str, float]],
+        nprobe: Optional[int] = None,
     ) -> SearchResults:
+        plan = self._plan_vectors(
+            query_vectors, names, top_k, candidate_ids, weights, nprobe
+        )
+        if plan.empty is not None:
+            return plan.empty
+        per_feature = self._score_plan(plan)
+        return self._rank_plan(plan, per_feature)
+
+    def _plan_vectors(
+        self,
+        query_vectors: Dict[str, FeatureVector],
+        names: List[str],
+        top_k: int,
+        candidate_ids: Optional[Sequence[int]],
+        weights: Optional[Dict[str, float]],
+        nprobe: Optional[int] = None,
+    ) -> _QueryPlan:
+        """Resolve candidates + scoring flags into a :class:`_QueryPlan`."""
         self._policies.check_stage("search.score")
         full_store = False
         ann_probed = False
         if candidate_ids is None:
             if self.ann is not None:
-                candidate_ids = self._ann_probe(query_vectors)
+                candidate_ids = self._ann_probe(query_vectors, nprobe)
                 ann_probed = candidate_ids is not None
             if candidate_ids is None:
                 candidate_ids = self.store.frame_ids()
@@ -501,49 +641,97 @@ class SearchEngine:
             "n_candidates": len(candidate_ids),
             "ann": {"enabled": self.ann is not None, "probed": ann_probed},
         }
+        plan = _QueryPlan(
+            query_vectors=query_vectors,
+            names=list(names),
+            top_k=int(top_k),
+            weights=weights,
+            n_total=n_total,
+            explain=explain,
+            candidate_ids=candidate_ids,
+            full_store=full_store,
+        )
         if not candidate_ids:
-            return SearchResults([], n_candidates=0, n_total=n_total, explain=explain)
-
-        batched = self.config.batch_distances
-        fast = accel.fast_paths_enabled()
-        prepared_scoring = batched and fast
-        records: Optional[List[FrameRecord]] = None
-        rows: Optional[np.ndarray] = None
-        if not batched or not fast:
+            plan.empty = SearchResults(
+                [], n_candidates=0, n_total=n_total, explain=explain
+            )
+            return plan
+        plan.batched = self.config.batch_distances
+        plan.fast = accel.fast_paths_enabled()
+        if not plan.batched or not plan.fast:
             # the scalar path needs the records; the reference batched path
             # materializes them too, replicating the pre-acceleration code
-            records = [self.store.get(fid) for fid in candidate_ids]
-        elif prepared_scoring and not full_store:
+            plan.records = [self.store.get(fid) for fid in candidate_ids]
+        elif not full_store:
             # one binary search maps candidate ids to stack rows for every
             # feature (preparation commutes with row gathers)
-            rows = self.store.matrix_rows(candidate_ids)
+            plan.rows = self.store.matrix_rows(candidate_ids)
+        return plan
+
+    def _score_plan(self, plan: _QueryPlan) -> Dict[str, np.ndarray]:
+        """Raw per-feature distances over the plan's candidate set.
+
+        Every kernel call is identical to the pre-split code, so serial
+        and batched executions of the same query score byte-for-byte the
+        same arrays.
+        """
+        prepared_scoring = plan.batched and plan.fast
         per_feature: Dict[str, np.ndarray] = {}
         distance_ms: Dict[str, float] = {}
-        for name in names:
+        for name in plan.names:
             t_dist = time.perf_counter()
             extractor = self.extractors[name]
-            qv = query_vectors[name]
+            qv = plan.query_vectors[name]
             if prepared_scoring:
                 # the id-sorted prepared stack is cached per generation;
                 # only subsets pay a gather
                 prepared = self._prepared_matrix(name)
-                if rows is not None:
-                    prepared = prepared[rows]
+                if plan.rows is not None:
+                    prepared = prepared[plan.rows]
                 per_feature[name] = extractor.batch_distance_prepared(qv, prepared)
-            elif batched:
+            elif plan.batched:
                 # reference batched path: raw stack + per-call preprocessing
                 matrix = self.store.feature_matrix(
-                    name, None if full_store else candidate_ids
+                    name, None if plan.full_store else plan.candidate_ids
                 )
                 per_feature[name] = extractor.batch_distance(qv, matrix)
             else:
                 per_feature[name] = np.array(
-                    [extractor.distance(qv, rec.features[name]) for rec in records]
+                    [
+                        extractor.distance(qv, rec.features[name])
+                        for rec in plan.records
+                    ]
                 )
             dt = time.perf_counter() - t_dist
             distance_ms[name] = round(dt * 1000.0, 3)
             self._m_distance_seconds.labels(feature=name).observe(dt)
+        plan.distance_ms = distance_ms
+        return per_feature
 
+    def _score_plans(self, plans: Sequence[_QueryPlan]) -> List[object]:
+        """Score several plans; per-plan exceptions are captured in place.
+
+        The base engine loops :meth:`_score_plan` (the per-query kernels
+        already share the generation-cached prepared stacks, so the batch
+        win here is amortized per-request overhead); the sharded engine
+        overrides this with one scatter per shard covering every plan.
+        One poisoned plan must not fail its batchmates: its slot holds
+        the exception instead of a distance dict.
+        """
+        out: List[object] = []
+        for plan in plans:
+            try:
+                out.append(self._score_plan(plan))
+            except Exception as exc:  # noqa: BLE001 - isolation by contract
+                out.append(exc)
+        return out
+
+    def _rank_plan(
+        self, plan: _QueryPlan, per_feature: Dict[str, np.ndarray]
+    ) -> SearchResults:
+        """Fusion + stable top-k over the plan's scored distances."""
+        names = plan.names
+        weights = plan.weights
         t_fuse = time.perf_counter()
         if len(names) == 1:
             fused = np.asarray(per_feature[names[0]], dtype=np.float64)
@@ -552,20 +740,22 @@ class SearchEngine:
                 weights = {n: self.config.weight_of(n) for n in names}
             fused = CombinedScorer(FeatureWeights(weights)).fuse(per_feature)
         t_fuse = time.perf_counter() - t_fuse
-        explain["timings_ms"] = {
-            "distance": distance_ms,
+        plan.explain["timings_ms"] = {
+            "distance": plan.distance_ms,
             "fusion": round(t_fuse * 1000.0, 3),
         }
         self._m_fusion_seconds.observe(t_fuse)
 
-        if fast:
-            order = _stable_topk(fused, max(0, top_k))
+        if plan.fast:
+            order = _stable_topk(fused, max(0, plan.top_k))
         else:
-            order = np.argsort(fused, kind="stable")[: max(0, top_k)]
+            order = np.argsort(fused, kind="stable")[: max(0, plan.top_k)]
         hits = []
         for i in order:
             record = (
-                records[i] if records is not None else self.store.get(candidate_ids[i])
+                plan.records[i]
+                if plan.records is not None
+                else self.store.get(plan.candidate_ids[i])
             )
             hits.append(
                 RetrievalResult(
@@ -579,8 +769,250 @@ class SearchEngine:
                 )
             )
         return SearchResults(
-            hits, n_candidates=len(candidate_ids), n_total=n_total, explain=explain
+            hits,
+            n_candidates=len(plan.candidate_ids),
+            n_total=plan.n_total,
+            explain=plan.explain,
         )
+
+    # -- micro-batched execution -------------------------------------------------
+
+    def query_batch(self, requests: Sequence[QueryRequest]) -> List[object]:
+        """Execute several frame/vector queries as one micro-batch.
+
+        Returns a list aligned with ``requests`` whose elements are
+        either :class:`SearchResults` or the exception that request
+        raised: exceptions are isolated per request, so a poisoned query
+        never fails its batchmates.  Rankings are byte-identical to
+        running each request through :meth:`query_frame` /
+        :meth:`query_with_vectors` serially -- the batch amortizes
+        per-request overhead (and the sharded engine's per-shard IPC,
+        one scatter per shard per batch) but every per-query distance
+        kernel runs with identical inputs, never a stacked multi-query
+        kernel whose float reduction order could drift.
+
+        Each request's ``deadline`` (if any) is armed around its
+        per-request stages -- cache lookup, pruning, extraction,
+        ranking; the shared scoring pass checks each deadline
+        immediately before scoring and expires overrun requests without
+        dispatching them.
+        """
+        outcomes: List[object] = [None] * len(requests)
+        t0 = time.perf_counter()
+        with self._obs.span("search.query_batch", size=len(requests)) as span:
+            pending: List[_BatchEntry] = []
+            for i, req in enumerate(requests):
+                try:
+                    with armed_deadline(req.deadline), self._policies.request_scope():
+                        self._policies.fire("serving.request")
+                        entry = self._prepare_batch_request(req)
+                except Exception as exc:  # per-request isolation by contract
+                    outcomes[i] = exc
+                    continue
+                entry.index = i
+                if entry.results is not None:
+                    outcomes[i] = entry.results
+                else:
+                    pending.append(entry)
+            to_score: List[_BatchEntry] = []
+            for entry in pending:
+                deadline = requests[entry.index].deadline
+                if deadline is not None:
+                    try:
+                        deadline.check("search.batch_score")
+                    except DeadlineExceeded as exc:
+                        outcomes[entry.index] = exc
+                        continue
+                to_score.append(entry)
+            scored = self._score_plans([e.plan for e in to_score]) if to_score else []
+            for entry, per_feature in zip(to_score, scored):
+                if isinstance(per_feature, Exception):
+                    outcomes[entry.index] = per_feature
+                    continue
+                req = requests[entry.index]
+                try:
+                    with armed_deadline(req.deadline), self._policies.request_scope():
+                        outcomes[entry.index] = self._finish_batch_request(
+                            entry, per_feature
+                        )
+                except Exception as exc:  # per-request isolation by contract
+                    outcomes[entry.index] = exc
+            span.annotate(scored=len(to_score))
+            for req, outcome in zip(requests, outcomes):
+                if isinstance(outcome, SearchResults):
+                    self._record_query(req.kind, t0, outcome.n_candidates, outcome, span)
+        return outcomes
+
+    def _prepare_batch_request(self, req: QueryRequest) -> _BatchEntry:
+        """Per-request admission: cache lookups, pruning, extraction, plan."""
+        if req.image is not None:
+            return self._prepare_frame_request(req)
+        return self._prepare_vectors_entry(
+            req.query_vectors, req.top_k, req.candidate_ids, req.weights, req.nprobe
+        )
+
+    def _prepare_frame_request(self, req: QueryRequest) -> _BatchEntry:
+        """Frame-query admission, mirroring :meth:`query_frame` stage for stage."""
+        names = self._resolve_features(req.features)
+        use_index = self.config.use_index if req.use_index is None else req.use_index
+        bypass = not self._query_cache.enabled or self._policies.faults.armed
+        frame_key: Optional[tuple] = None
+        generation = 0
+        if not bypass:
+            generation = self.store.generation
+            frame_key = (
+                "frame",
+                digest_array(req.image.pixels),
+                tuple(names),
+                req.top_k,
+                use_index,
+            )
+            if req.nprobe is not None:
+                frame_key = frame_key + (("nprobe", int(req.nprobe)),)
+            cached = self._query_cache.get(frame_key, generation)
+            if cached is not None:
+                return _BatchEntry(results=self._copy_results(cached, "hit"))
+        self._policies.check_stage("search.prune")
+        if use_index:
+            with self._obs.span("search.index.prune"):
+                candidate_ids: Optional[List[int]] = sorted(
+                    self.index.candidates(req.image)
+                )
+            n_total = len(self.store)
+            if n_total:
+                self._m_pruning.observe(1.0 - len(candidate_ids) / n_total)
+        else:
+            candidate_ids = None
+        self._policies.check_stage("search.extract")
+        with self._obs.span("search.extract"):
+            query_vectors, degraded = self._extract_degradable(req.image, names)
+        ann_probed: Optional[bool] = None
+        if self.ann is not None and candidate_ids is not None:
+            with self._obs.span("search.ann.probe"):
+                ann_ids = self._ann_probe(query_vectors, req.nprobe)
+            ann_probed = ann_ids is not None
+            if ann_ids is not None:
+                wanted = set(ann_ids)
+                candidate_ids = [fid for fid in candidate_ids if fid in wanted]
+        entry = self._prepare_vectors_entry(
+            query_vectors, req.top_k, candidate_ids, None, req.nprobe
+        )
+        frame_state: Dict[str, object] = {
+            "key": frame_key,
+            "generation": generation,
+            "degraded": degraded,
+            "use_index": use_index,
+            "ann_probed": ann_probed,
+            "mode": (
+                ("bypass" if self._policies.faults.armed else "off")
+                if bypass
+                else None
+            ),
+        }
+        if entry.results is not None:
+            # the inner vectors entry resolved (cache hit / no candidates):
+            # apply the frame-level wrapper now, nothing left to score
+            entry.results = self._finish_frame_entry(frame_state, entry.results)
+        else:
+            entry.frame = frame_state
+        return entry
+
+    def _prepare_vectors_entry(
+        self,
+        query_vectors: Dict[str, FeatureVector],
+        top_k: int,
+        candidate_ids: Optional[Sequence[int]],
+        weights: Optional[Dict[str, float]],
+        nprobe: Optional[int] = None,
+    ) -> _BatchEntry:
+        """Deferred-scoring twin of :meth:`_vectors_entry`."""
+        names = [n for n in query_vectors if n in self.extractors]
+        if not names:
+            raise ValueError("query_vectors holds no configured features")
+        entry = _BatchEntry()
+        if not self._query_cache.enabled or self._policies.faults.armed:
+            entry.cache_mode = "bypass" if self._policies.faults.armed else "off"
+            plan = self._plan_vectors(
+                query_vectors, names, top_k, candidate_ids, weights, nprobe
+            )
+            if plan.empty is not None:
+                if plan.empty.explain is not None:
+                    plan.empty.explain["cache"] = entry.cache_mode
+                entry.results = plan.empty
+            else:
+                entry.plan = plan
+            return entry
+        entry.generation = self.store.generation
+        entry.key = self._vectors_key(
+            query_vectors, names, top_k, candidate_ids, weights, nprobe
+        )
+        cached = self._query_cache.get(entry.key, entry.generation)
+        if cached is not None:
+            entry.results = self._copy_results(cached, "hit")
+            entry.key = None
+            return entry
+        plan = self._plan_vectors(
+            query_vectors, names, top_k, candidate_ids, weights, nprobe
+        )
+        if plan.empty is not None:
+            self._query_cache.put(entry.key, entry.generation, plan.empty)
+            entry.results = self._copy_results(plan.empty, "miss")
+            entry.key = None
+        else:
+            entry.plan = plan
+        return entry
+
+    def _finish_batch_request(
+        self, entry: _BatchEntry, per_feature: Dict[str, np.ndarray]
+    ) -> SearchResults:
+        """Rank + cache-put + wrapper stages after the shared scoring pass."""
+        results = self._rank_plan(entry.plan, per_feature)
+        results = self._finish_vectors_entry(entry, results)
+        if entry.frame is not None:
+            results = self._finish_frame_entry(entry.frame, results)
+        return results
+
+    def _finish_vectors_entry(
+        self, entry: _BatchEntry, results: SearchResults
+    ) -> SearchResults:
+        if entry.cache_mode is not None:
+            if results.explain is not None:
+                results.explain["cache"] = entry.cache_mode
+            return results
+        self._query_cache.put(entry.key, entry.generation, results)
+        return self._copy_results(results, "miss")
+
+    def _finish_frame_entry(
+        self, frame_state: Dict[str, object], results: SearchResults
+    ) -> SearchResults:
+        """Frame-level annotations + frame-key cache put (mirrors
+        :meth:`_query_frame`'s tail and :meth:`query_frame`'s wrapping)."""
+        degraded = frame_state["degraded"]
+        if degraded:
+            results.degraded = True
+            results.degraded_features = degraded
+        explain = results.explain
+        if explain is not None:
+            explain["kind"] = "frame"
+            explain["index"] = {
+                "used": bool(frame_state["use_index"]),
+                "pruning_ratio": round(results.pruning_fraction, 6),
+            }
+            if frame_state["ann_probed"] is not None:
+                explain["ann"] = {
+                    "enabled": True,
+                    "probed": frame_state["ann_probed"],
+                }
+            if degraded:
+                explain["degraded_features"] = list(degraded)
+        if frame_state["key"] is not None:
+            self._query_cache.put(
+                frame_state["key"], frame_state["generation"], results
+            )
+            results = self._copy_results(results, "miss")
+        elif explain is not None:
+            explain["cache"] = frame_state["mode"]
+        return results
 
     # -- video query ---------------------------------------------------------------
 

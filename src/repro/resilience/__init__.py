@@ -27,6 +27,7 @@ from typing import Callable, Iterator, Optional
 from repro.obs import NULL_OBS, Obs
 from repro.resilience.deadline import (
     Deadline,
+    armed_deadline,
     check_deadline,
     current_deadline,
     deadline_scope,
@@ -60,6 +61,7 @@ __all__ = [
     "CircuitBreaker",
     "BREAKER_STATES",
     "Deadline",
+    "armed_deadline",
     "deadline_scope",
     "current_deadline",
     "check_deadline",

@@ -22,7 +22,13 @@ from typing import Callable, Iterator, Optional
 
 from repro.resilience.errors import DeadlineExceeded
 
-__all__ = ["Deadline", "deadline_scope", "current_deadline", "check_deadline"]
+__all__ = [
+    "Deadline",
+    "armed_deadline",
+    "deadline_scope",
+    "current_deadline",
+    "check_deadline",
+]
 
 
 class Deadline:
@@ -79,6 +85,26 @@ def deadline_scope(
     token = _CURRENT.set(Deadline(budget, clock=clock))
     try:
         yield _CURRENT.get()
+    finally:
+        _CURRENT.reset(token)
+
+
+@contextlib.contextmanager
+def armed_deadline(deadline: Optional[Deadline]) -> Iterator[Optional[Deadline]]:
+    """Install an *existing* :class:`Deadline` for the ``with`` block.
+
+    Unlike :func:`deadline_scope`, the budget's clock started when the
+    object was built -- the async serving front-end creates the deadline
+    at admission time, so the queue wait and the batching window both
+    count against the request's budget, not just the scoring work.
+    ``deadline=None`` is a no-op scope.
+    """
+    if deadline is None:
+        yield _CURRENT.get()
+        return
+    token = _CURRENT.set(deadline)
+    try:
+        yield deadline
     finally:
         _CURRENT.reset(token)
 

@@ -10,6 +10,7 @@ an infrastructure failure can plausibly occur::
     snapshot.open       one mmap snapshot open (-> SQL-rebuild fallback)
     snapshot.compact    one snapshot compaction (WAL fold + rewrite)
     shard.query         one scatter-gather shard dispatch (-> partial result)
+    serving.request     one admitted async-serving search request
     extractor.<name>    one query-side feature extraction (e.g. extractor.gabor)
 
 Tests and chaos runs *arm* points with a spec string (the ``REPRO_FAULTS``
@@ -62,6 +63,7 @@ KNOWN_POINTS = frozenset(
         "snapshot.open",
         "snapshot.compact",
         "shard.query",
+        "serving.request",
     }
 )
 

@@ -1,0 +1,35 @@
+"""``repro.serving``: the asyncio front-end with query micro-batching.
+
+Three pieces over the blocking :mod:`repro.web` stack:
+
+- :mod:`repro.serving.admission` -- the degrade-before-shed ladder: a
+  bounded queue depth decides whether a request is accepted as-is,
+  accepted degraded (fewer features, lower ``ann_nprobe``), or shed with
+  HTTP 429 + Retry-After;
+- :mod:`repro.serving.batcher` -- the micro-batcher: concurrent search
+  requests arriving within ``batch_window_ms`` (up to ``batch_max``)
+  coalesce into one :meth:`~repro.core.search.SearchEngine.query_batch`
+  call -- one batched scoring pass against the store, one scatter per
+  shard for the sharded engine -- with rankings byte-identical to serial
+  execution;
+- :mod:`repro.serving.server` -- a minimal asyncio HTTP/1.1 server:
+  ``POST /search`` flows through admission + batching, every other
+  route delegates to the blocking :class:`~repro.web.api.CbvrApi` in an
+  executor thread.
+
+See ``docs/serving.md`` for the queueing model, batching semantics, the
+shed/degrade ladder, and the SLO runbook.
+"""
+
+from repro.serving.admission import AdmissionController, DegradeDecision, OverloadedError
+from repro.serving.batcher import MicroBatcher
+from repro.serving.server import AsyncCbvrServer, make_async_server
+
+__all__ = [
+    "AdmissionController",
+    "DegradeDecision",
+    "OverloadedError",
+    "MicroBatcher",
+    "AsyncCbvrServer",
+    "make_async_server",
+]

@@ -33,6 +33,7 @@ from repro.core.search import (
     SearchEngine,
     VideoMatch,
     _extract_query_features,
+    _QueryPlan,
     _stable_topk,
 )
 from repro.core.snapshots import init_worker_snapshot, open_snapshot_store
@@ -52,6 +53,7 @@ from repro.runtime import PoolTask, WorkerPool
 from repro.sharding.worker import (
     drain_worker_metrics,
     score_vectors_shard,
+    score_vectors_shard_batch,
     score_video_shard,
 )
 from repro.similarity.fusion import CombinedScorer, FeatureWeights, normalize_scores
@@ -298,42 +300,53 @@ class ShardedSearchEngine(SearchEngine):
 
     # -- frame / vector queries ------------------------------------------------
 
-    def _query_with_vectors(
+    def _plan_vectors(
         self,
         query_vectors,
         names: List[str],
         top_k: int,
         candidate_ids,
         weights,
-    ) -> SearchResults:
+        nprobe=None,
+    ) -> _QueryPlan:
+        """Split the candidate set by owning shard into scatter payloads."""
         self._policies.check_stage("search.score")
         if candidate_ids is None:
             candidate_arr = self._global_ids
         else:
             candidate_arr = np.asarray(list(candidate_ids), dtype=np.int64)
         n_total = len(self.store)
+        plan = _QueryPlan(
+            query_vectors=query_vectors,
+            names=list(names),
+            top_k=int(top_k),
+            weights=weights,
+            n_total=n_total,
+        )
         if not candidate_arr.size:
-            return SearchResults(
-                [], n_candidates=0, n_total=n_total,
-                explain={
-                    "kind": "vectors",
-                    "features": list(names),
-                    "top_k": int(top_k),
-                    "n_total": n_total,
-                    "n_candidates": 0,
-                    "sharded": {"shards": self.n_shards, "dispatched": 0},
-                },
+            plan.explain = {
+                "kind": "vectors",
+                "features": list(names),
+                "top_k": int(top_k),
+                "n_total": n_total,
+                "n_candidates": 0,
+                "sharded": {"shards": self.n_shards, "dispatched": 0},
+            }
+            plan.empty = SearchResults(
+                [], n_candidates=0, n_total=n_total, explain=plan.explain
             )
+            return plan
 
         # the scoring flags are resolved here, once, and shipped to every
         # worker, so coordinator and shards pick the same distance kernel
-        batched = self.config.batch_distances
-        fast = accel.fast_paths_enabled()
+        plan.batched = self.config.batch_distances
+        plan.fast = accel.fast_paths_enabled()
+        plan.candidate_arr = candidate_arr
         if candidate_arr is self._global_ids:
             owners = self._row_shard
         else:
             owners = self._row_shard[self.store.matrix_rows(candidate_arr)]
-        payloads = []
+        payloads: List[Tuple[int, tuple]] = []
         positions: Dict[int, np.ndarray] = {}
         for s in range(self.n_shards):
             pos = np.nonzero(owners == s)[0]
@@ -347,16 +360,81 @@ class ShardedSearchEngine(SearchEngine):
             else:
                 send = [int(fid) for fid in ids]
             payloads.append(
-                (s, (self._paths[s], query_vectors, list(names), send, batched, fast))
+                (s, (query_vectors, list(names), send, plan.batched, plan.fast))
             )
             positions[s] = pos
+        plan.payloads = payloads
+        plan.positions = positions
+        return plan
+
+    def _score_plan(self, plan: _QueryPlan) -> Dict[str, np.ndarray]:
+        """One scatter for one plan (the serial query path)."""
+        payloads = [(s, (self._paths[s],) + args) for s, args in plan.payloads]
         gathered, degraded, shard_meta = self._scatter(score_vectors_shard, payloads)
+        return self._merge_gathered(plan, gathered, degraded, shard_meta)
+
+    def _score_plans(self, plans) -> List[object]:
+        """One scatter per shard covering *every* plan in the batch.
+
+        Each shard worker loops the identical single-query scoring code
+        per plan (see ``score_vectors_shard_batch``), so the returned
+        arrays are byte-identical to per-plan dispatch -- the batch only
+        collapses N IPC round trips per shard into one.  A shard failure
+        degrades every batchmate that dispatched to it, exactly as N
+        serial queries hitting the same dead shard would.
+        """
+        per_shard_args: Dict[int, List[tuple]] = {}
+        slot: Dict[Tuple[int, int], int] = {}
+        for pi, plan in enumerate(plans):
+            for s, args in plan.payloads:
+                bucket = per_shard_args.setdefault(s, [])
+                slot[(s, pi)] = len(bucket)
+                bucket.append(args)
+        payloads = [
+            (s, (self._paths[s], queries))
+            for s, queries in sorted(per_shard_args.items())
+        ]
+        try:
+            gathered, degraded, shard_meta = self._scatter(
+                score_vectors_shard_batch, payloads
+            )
+        except Exception as exc:  # every shard down / partial_ok off
+            return [exc for _ in plans]
+        out: List[object] = []
+        for pi, plan in enumerate(plans):
+            gathered_local: Dict[int, object] = {}
+            meta_local: Dict[int, Dict[str, object]] = {}
+            for s in plan.positions:
+                if s in gathered:
+                    gathered_local[s] = gathered[s][slot[(s, pi)]]
+                if s in shard_meta:
+                    meta_local[s] = dict(shard_meta[s])
+            degraded_local = [s for s in degraded if s in plan.positions]
+            try:
+                out.append(
+                    self._merge_gathered(
+                        plan, gathered_local, degraded_local, meta_local
+                    )
+                )
+            except Exception as exc:  # per-plan isolation by contract
+                out.append(exc)
+        return out
+
+    def _merge_gathered(
+        self,
+        plan: _QueryPlan,
+        gathered: Dict[int, object],
+        degraded: List[int],
+        shard_meta: Dict[int, Dict[str, object]],
+    ) -> Dict[str, np.ndarray]:
+        """Reassemble shard replies into global-order per-feature arrays."""
+        names = plan.names
+        positions = plan.positions
         for s, pos in positions.items():
             meta = shard_meta.get(s)
             if meta is not None:
                 meta["candidates"] = int(pos.size)
-
-        t_merge = time.perf_counter()
+        plan.merge_t0 = time.perf_counter()
         # reassemble each feature's raw distances in global candidate order
         per_feature: Dict[str, np.ndarray] = {}
         for s, shard_values in gathered.items():
@@ -365,28 +443,38 @@ class ShardedSearchEngine(SearchEngine):
                 dest = per_feature.get(name)
                 if dest is None:
                     dest = per_feature[name] = np.empty(
-                        candidate_arr.size, dtype=shard_values[name].dtype
+                        plan.candidate_arr.size, dtype=shard_values[name].dtype
                     )
                 dest[pos] = shard_values[name]
         if degraded:
             # compact over the surviving positions: exactly the arrays a
             # store holding only the surviving partitions would produce
             keep = np.sort(np.concatenate([positions[s] for s in gathered]))
-            candidate_arr = candidate_arr[keep]
+            plan.candidate_arr = plan.candidate_arr[keep]
             for name in names:
                 per_feature[name] = per_feature[name][keep]
-        # from here on this is the base engine's fusion + ranking tail,
-        # verbatim: one global normalization over the candidate set
+        plan.degraded_shards = degraded
+        plan.shard_meta = shard_meta
+        return per_feature
+
+    def _rank_plan(
+        self, plan: _QueryPlan, per_feature: Dict[str, np.ndarray]
+    ) -> SearchResults:
+        """The base engine's fusion + ranking tail, verbatim: one global
+        normalization over the candidate set."""
+        names = plan.names
+        weights = plan.weights
+        candidate_arr = plan.candidate_arr
         if len(names) == 1:
             fused = np.asarray(per_feature[names[0]], dtype=np.float64)
         else:
             if weights is None:
                 weights = {n: self.config.weight_of(n) for n in names}
             fused = CombinedScorer(FeatureWeights(weights)).fuse(per_feature)
-        if fast:
-            order = _stable_topk(fused, max(0, top_k))
+        if plan.fast:
+            order = _stable_topk(fused, max(0, plan.top_k))
         else:
-            order = np.argsort(fused, kind="stable")[: max(0, top_k)]
+            order = np.argsort(fused, kind="stable")[: max(0, plan.top_k)]
         hits = []
         for i in order:
             record = self.store.get(int(candidate_arr[i]))
@@ -401,28 +489,30 @@ class ShardedSearchEngine(SearchEngine):
                     per_feature={n: float(per_feature[n][i]) for n in names},
                 )
             )
-        merge_s = time.perf_counter() - t_merge
+        merge_s = time.perf_counter() - plan.merge_t0
         self._m_merge_seconds.observe(merge_s)
+        shard_meta = plan.shard_meta
         explain: Dict[str, object] = {
             "kind": "vectors",
             "features": list(names),
-            "top_k": int(top_k),
-            "n_total": n_total,
+            "top_k": int(plan.top_k),
+            "n_total": plan.n_total,
             "n_candidates": int(candidate_arr.size),
             "sharded": {
                 "shards": self.n_shards,
-                "dispatched": len(payloads),
+                "dispatched": len(plan.payloads),
                 "merge_ms": round(merge_s * 1000.0, 3),
                 "per_shard": [shard_meta[s] for s in sorted(shard_meta)],
             },
         }
-        if degraded:
-            explain["degraded_shards"] = list(degraded)
+        if plan.degraded_shards:
+            explain["degraded_shards"] = list(plan.degraded_shards)
+        plan.explain = explain
         return SearchResults(
             hits,
             n_candidates=int(candidate_arr.size),
-            n_total=n_total,
-            degraded_shards=degraded,
+            n_total=plan.n_total,
+            degraded_shards=plan.degraded_shards,
             explain=explain,
         )
 

@@ -48,6 +48,7 @@ from repro.snapshot import Snapshot
 __all__ = [
     "ShardReply",
     "score_vectors_shard",
+    "score_vectors_shard_batch",
     "score_video_shard",
     "drain_worker_metrics",
     "reset_worker_state",
@@ -330,6 +331,63 @@ def _score_vectors(
             time.perf_counter() - t_dist
         )
     return per_feature, len(candidate_ids)
+
+
+def score_vectors_shard_batch(
+    path: str,
+    queries: Sequence[tuple],
+    obs_ctx: Optional[Mapping[str, object]] = None,
+) -> ShardReply:
+    """Raw distances for several micro-batched queries, one round trip.
+
+    ``queries`` holds one ``(query_vectors, names, candidate_ids,
+    batched, fast)`` tuple per batched request; the reply's value is the
+    list of per-feature distance dicts in the same order.  Each query
+    runs through the *identical* single-query scoring code
+    (:func:`_score_vectors`) -- the batch collapses per-request IPC, it
+    never stacks query vectors into one multi-query kernel, so every
+    returned array is byte-identical to a ``score_vectors_shard``
+    dispatch for the same query.
+    """
+    ctx = obs_ctx or {}
+    sampled = bool(ctx.get("sampled"))
+    metrics = _metrics(bool(ctx.get("metrics")))
+    shard = ctx.get("shard")
+    t0 = time.perf_counter()
+
+    def run() -> Tuple[List[Dict[str, np.ndarray]], int]:
+        values: List[Dict[str, np.ndarray]] = []
+        total = 0
+        for query_vectors, names, candidate_ids, batched, fast in queries:
+            per_feature, n_rows = _score_vectors(
+                path, query_vectors, names, candidate_ids, batched, fast,
+                metrics, sampled,
+            )
+            values.append(per_feature)
+            total += n_rows
+        return values, total
+
+    span_dict: Optional[Dict[str, object]] = None
+    if sampled:
+        with capture_subtree(
+            "shard.score_vectors_batch", ctx, shard=shard, queries=len(queries)
+        ) as root:
+            values, total = run()
+            root.annotate(rows=total)
+        span_dict = root.to_dict()
+    else:
+        values, total = run()
+    elapsed = time.perf_counter() - t0
+    metrics.queries.labels(kind="vectors_batch").inc()
+    metrics.seconds.labels(kind="vectors_batch").observe(elapsed)
+    metrics.rows.observe(total)
+    _log.debug(
+        "shard.score_vectors_batch", shard=shard, queries=len(queries),
+        rows=total, ms=round(elapsed * 1000.0, 2),
+    )
+    with _metrics_lock:
+        delta = metrics.delta()
+    return ShardReply(value=values, span=span_dict, metrics=delta)
 
 
 def score_video_shard(

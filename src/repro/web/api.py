@@ -21,7 +21,13 @@ from repro.obs import log
 from repro.resilience import CircuitOpenError, DeadlineExceeded, RetryExhausted
 from repro.video.codec import RvfError, RvfReader
 
-__all__ = ["CbvrApi", "ApiError"]
+__all__ = [
+    "CbvrApi",
+    "ApiError",
+    "error_response_for",
+    "parse_search_request",
+    "search_payload",
+]
 
 #: Prometheus text exposition content type
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
@@ -80,6 +86,71 @@ def _error_response(status: int, message: str, error_type: str, **extra) -> Resp
     return _json_response(status, payload)
 
 
+# pure mapping shared by two instrumented dispatch loops, not an entry point
+def error_response_for(  # reprolint: disable=R17
+    exc: Exception,
+) -> Optional[Tuple[Response, Dict[str, str]]]:
+    """Map a known exception onto ``(response, extra_headers)``.
+
+    The one error ladder both front-ends share (the blocking
+    :class:`CbvrApi` dispatch and the asyncio server in
+    :mod:`repro.serving`), so a deadline overrun is a 504 and an open
+    breaker a 503 + Retry-After no matter which door the request came
+    through.  Returns None for unhandled exception types (the caller
+    logs and wraps those as 500s).
+    """
+    if isinstance(exc, ApiError):
+        return _error_response(exc.status, exc.message, "api_error"), {}
+    if isinstance(exc, AuthenticationError):
+        return _error_response(401, str(exc), "authentication"), {}
+    if isinstance(exc, DeadlineExceeded):
+        return _error_response(504, str(exc), "deadline_exceeded"), {}
+    if isinstance(exc, CircuitOpenError):
+        retry_after = max(1, math.ceil(exc.retry_after))
+        response = _error_response(
+            503, str(exc), "circuit_open", retry_after=retry_after
+        )
+        return response, {"Retry-After": str(retry_after)}
+    if isinstance(exc, RetryExhausted):
+        return _error_response(503, str(exc), "retry_exhausted"), {}
+    if isinstance(exc, (DatabaseError, RvfError, ImageFormatError, ValueError, KeyError)):
+        return _error_response(400, str(exc), "bad_request"), {}
+    return None
+
+
+def parse_search_request(body: bytes, query: Dict[str, str]):
+    """Decode a ``POST /search`` request's image + knobs.
+
+    Returns ``(image, feature_list, top_k, explain)``; raises
+    :class:`ApiError` / :class:`ImageFormatError` / :class:`ValueError`
+    for the 400 ladder.  Shared by the blocking and asyncio front-ends
+    so both parse identically.
+    """
+    if not body:
+        raise ApiError(400, "search requires an image body (PPM/PGM/BMP)")
+    image = decode_image(body)
+    top_k = int(query.get("top_k", "20"))
+    features = query.get("features")
+    feature_list = features.split(",") if features else None
+    explain = query.get("explain") in ("1", "true", "yes")
+    return image, feature_list, top_k, explain
+
+
+# pure formatting shared by two instrumented dispatch loops, not an entry point
+def search_payload(results, explain: bool) -> Dict[str, object]:  # reprolint: disable=R17
+    """The ``POST /search`` response body for one ``SearchResults``."""
+    payload: Dict[str, object] = {
+        "n_candidates": results.n_candidates,
+        "degraded": results.degraded,
+        "degraded_features": results.degraded_features,
+        "degraded_shards": results.degraded_shards,
+        "results": results.to_rows(),
+    }
+    if explain:
+        payload["explain"] = results.explain
+    return payload
+
+
 class CbvrApi:
     """Routes requests onto a retrieval system."""
 
@@ -131,29 +202,17 @@ class CbvrApi:
         try:
             with self.system.resilience.request_scope():
                 response = self._route(method, path, body, headers, query)
-        except ApiError as exc:
-            response = _error_response(exc.status, exc.message, "api_error")
-        except AuthenticationError as exc:
-            response = _error_response(401, str(exc), "authentication")
-        except DeadlineExceeded as exc:
-            response = _error_response(504, str(exc), "deadline_exceeded")
-        except CircuitOpenError as exc:
-            retry_after = max(1, math.ceil(exc.retry_after))
-            response = _error_response(
-                503, str(exc), "circuit_open", retry_after=retry_after
-            )
-            extra_headers["Retry-After"] = str(retry_after)
-        except RetryExhausted as exc:
-            response = _error_response(503, str(exc), "retry_exhausted")
-        except (DatabaseError, RvfError, ImageFormatError, ValueError, KeyError) as exc:
-            response = _error_response(400, str(exc), "bad_request")
         except Exception as exc:  # noqa: BLE001 -- last-resort envelope, never a bare 500
-            self._log.error(
-                "web.unhandled", path=path, error=f"{type(exc).__name__}: {exc}"
-            )
-            response = _error_response(
-                500, f"internal error: {type(exc).__name__}: {exc}", "internal"
-            )
+            mapped = error_response_for(exc)
+            if mapped is not None:
+                response, extra_headers = mapped
+            else:
+                self._log.error(
+                    "web.unhandled", path=path, error=f"{type(exc).__name__}: {exc}"
+                )
+                response = _error_response(
+                    500, f"internal error: {type(exc).__name__}: {exc}", "internal"
+                )
         elapsed = time.perf_counter() - t0
         route = _normalize_route(path)
         self._m_requests.labels(
@@ -314,23 +373,9 @@ class CbvrApi:
         )
 
     def _search(self, body: bytes, query: Dict[str, str]) -> Response:
-        if not body:
-            raise ApiError(400, "search requires an image body (PPM/PGM/BMP)")
-        image = decode_image(body)
-        top_k = int(query.get("top_k", "20"))
-        features = query.get("features")
-        feature_list = features.split(",") if features else None
+        image, feature_list, top_k, explain = parse_search_request(body, query)
         results = self.system.search(image, features=feature_list, top_k=top_k)
-        payload = {
-            "n_candidates": results.n_candidates,
-            "degraded": results.degraded,
-            "degraded_features": results.degraded_features,
-            "degraded_shards": results.degraded_shards,
-            "results": results.to_rows(),
-        }
-        if query.get("explain") in ("1", "true", "yes"):
-            payload["explain"] = results.explain
-        return _json_response(200, payload)
+        return _json_response(200, search_payload(results, explain))
 
     # -- admin endpoints --------------------------------------------------------------
 

@@ -93,7 +93,7 @@ class TestConfig:
         assert not LintEngine(config).rules
 
     def test_default_runs_all_rules(self):
-        assert len(LintEngine().rules) == len(all_rules()) == 19
+        assert len(LintEngine().rules) == len(all_rules()) == 20
 
     def test_with_rules_builds_new_config(self):
         config = LintConfig().with_rules(select=["R1", "R4"])

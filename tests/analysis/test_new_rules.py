@@ -1,4 +1,4 @@
-"""Fixture tests for the whole-program rules R14-R19."""
+"""Fixture tests for the whole-program rules R14-R20."""
 
 from tests.analysis.test_rules import run_rule, run_rule_project
 
@@ -607,3 +607,107 @@ class TestR19UnusedImport:
             "from pkg.sub import thing\n", path="pkg/__init__.py", module="pkg"
         )
         assert not engine.lint_modules([mod]).findings
+
+
+class TestR20AsyncBlocking:
+    def test_time_sleep_in_async_def_fires(self):
+        findings = run_rule(
+            "R20",
+            """
+            import time
+
+            async def handler():
+                time.sleep(0.1)
+            """,
+        )
+        assert [f.rule_id for f in findings] == ["R20"]
+        assert "time.sleep" in findings[0].message
+        assert "asyncio.sleep" in findings[0].message
+
+    def test_direct_imported_sleep_fires(self):
+        findings = run_rule(
+            "R20",
+            """
+            from time import sleep as snooze
+
+            async def handler():
+                snooze(1)
+            """,
+        )
+        assert len(findings) == 1
+
+    def test_sync_socket_and_sqlite_fire(self):
+        findings = run_rule(
+            "R20",
+            """
+            import socket
+            import sqlite3
+
+            async def handler(path):
+                conn = socket.create_connection(("h", 80))
+                db = sqlite3.connect(path)
+                return conn, db
+            """,
+        )
+        assert [f.rule_id for f in findings] == ["R20", "R20"]
+        assert "socket.create_connection" in findings[0].message
+        assert "sqlite3.connect" in findings[1].message
+
+    def test_pool_map_in_async_def_fires(self):
+        findings = run_rule(
+            "R20",
+            """
+            async def handler(pool, work):
+                return pool.map(len, work)
+            """,
+        )
+        assert len(findings) == 1
+        assert "slowest worker" in findings[0].message
+
+    def test_asyncio_sleep_and_executor_are_clean(self):
+        assert not run_rule(
+            "R20",
+            """
+            import asyncio
+
+            async def handler(loop, fn):
+                await asyncio.sleep(0.1)
+                return await loop.run_in_executor(None, fn)
+            """,
+        )
+
+    def test_sync_def_is_out_of_scope(self):
+        assert not run_rule(
+            "R20",
+            """
+            import time
+
+            def not_async():
+                time.sleep(0.1)
+            """,
+        )
+
+    def test_nested_def_and_lambda_are_deferred_bodies(self):
+        assert not run_rule(
+            "R20",
+            """
+            import time
+
+            async def handler(loop):
+                def blocking_probe():
+                    time.sleep(0.1)
+
+                return await loop.run_in_executor(None, lambda: time.sleep(0.2))
+            """,
+        )
+
+    def test_suppression_comment_works(self):
+        assert not run_rule(
+            "R20",
+            """
+            import time
+
+            async def handler():
+                time.sleep(0.1)  # reprolint: disable=R20
+            """,
+        )

@@ -20,4 +20,4 @@ def test_reprolint_is_clean_on_own_source():
 def test_full_tree_was_actually_scanned():
     report = lint_paths([PACKAGE_DIR])
     assert report.n_files >= 70, "package scan looks truncated"
-    assert report.n_rules == 19
+    assert report.n_rules == 20

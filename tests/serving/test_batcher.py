@@ -1,0 +1,163 @@
+"""MicroBatcher edge cases, engine-free.
+
+A stub ``execute`` stands in for ``engine.query_batch`` so these tests
+pin the queueing mechanics alone: window expiry with a single request,
+``batch_max`` overflow splitting, cancelled and deadline-expired
+requests leaving the batch before dispatch, and per-request exception
+isolation (one poisoned query never fails its batchmates).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from types import SimpleNamespace
+
+import pytest
+
+from repro.resilience import Deadline, DeadlineExceeded
+from repro.serving import MicroBatcher
+
+
+def _request(deadline=None):
+    """The only attribute the batcher reads off a request is ``deadline``."""
+    return SimpleNamespace(deadline=deadline)
+
+
+class _Recorder:
+    """An ``execute`` stub recording batch sizes and echoing requests."""
+
+    def __init__(self, outcome=None):
+        self.batches = []
+        self._outcome = outcome
+
+    def __call__(self, requests):
+        self.batches.append(len(requests))
+        if self._outcome is not None:
+            return self._outcome(requests)
+        return [("ok", id(r)) for r in requests]
+
+
+async def _with_batcher(execute, window_ms, batch_max, body):
+    batcher = MicroBatcher(execute, window_ms=window_ms, batch_max=batch_max)
+    await batcher.start()
+    try:
+        return await body(batcher)
+    finally:
+        await batcher.stop()
+
+
+def test_single_request_dispatches_after_window_expiry():
+    recorder = _Recorder()
+
+    async def body(batcher):
+        return await batcher.submit(_request())
+
+    result = asyncio.run(_with_batcher(recorder, 20.0, 8, body))
+    assert result[0] == "ok"
+    assert recorder.batches == [1]
+
+
+def test_batch_max_overflow_splits_into_multiple_batches():
+    recorder = _Recorder()
+
+    async def body(batcher):
+        return await asyncio.gather(*(batcher.submit(_request()) for _ in range(10)))
+
+    results = asyncio.run(_with_batcher(recorder, 50.0, 4, body))
+    assert len(results) == 10 and all(r[0] == "ok" for r in results)
+    assert sum(recorder.batches) == 10
+    assert max(recorder.batches) <= 4
+    assert len(recorder.batches) >= 3
+
+
+def test_cancelled_request_leaves_the_batch():
+    recorder = _Recorder()
+
+    async def body(batcher):
+        doomed = asyncio.ensure_future(batcher.submit(_request()))
+        survivor = asyncio.ensure_future(batcher.submit(_request()))
+        await asyncio.sleep(0)  # both queued, window still open
+        doomed.cancel()
+        result = await survivor
+        with pytest.raises(asyncio.CancelledError):
+            await doomed
+        return result
+
+    result = asyncio.run(_with_batcher(recorder, 100.0, 8, body))
+    assert result[0] == "ok"
+    assert recorder.batches == [1]
+
+
+def test_expired_deadline_fails_in_queue_without_dispatch():
+    recorder = _Recorder()
+
+    async def body(batcher):
+        expired = Deadline(1e-9)
+        await asyncio.sleep(0.001)  # guarantee the budget is burnt
+        doomed = asyncio.ensure_future(batcher.submit(_request(deadline=expired)))
+        survivor = asyncio.ensure_future(batcher.submit(_request()))
+        result = await survivor
+        with pytest.raises(DeadlineExceeded) as err:
+            await doomed
+        assert err.value.stage == "serving.queue"
+        return result
+
+    result = asyncio.run(_with_batcher(recorder, 100.0, 8, body))
+    assert result[0] == "ok"
+    assert recorder.batches == [1]  # the expired request never reached execute
+
+
+def test_poisoned_request_does_not_fail_batchmates():
+    def poison_first(requests):
+        return [ValueError("poisoned")] + [("ok", i) for i in range(1, len(requests))]
+
+    recorder = _Recorder(outcome=poison_first)
+
+    async def body(batcher):
+        futures = [asyncio.ensure_future(batcher.submit(_request())) for _ in range(4)]
+        return await asyncio.gather(*futures, return_exceptions=True)
+
+    results = asyncio.run(_with_batcher(recorder, 100.0, 8, body))
+    assert recorder.batches == [4]
+    assert isinstance(results[0], ValueError)
+    assert [r[0] for r in results[1:]] == ["ok", "ok", "ok"]
+
+
+def test_engine_level_failure_fails_the_whole_batch():
+    def explode(requests):
+        raise RuntimeError("store is gone")
+
+    recorder = _Recorder(outcome=explode)
+
+    async def body(batcher):
+        futures = [asyncio.ensure_future(batcher.submit(_request())) for _ in range(3)]
+        return await asyncio.gather(*futures, return_exceptions=True)
+
+    results = asyncio.run(_with_batcher(recorder, 50.0, 8, body))
+    assert all(isinstance(r, RuntimeError) for r in results)
+
+
+def test_drain_only_mode_batches_whatever_is_queued():
+    recorder = _Recorder()
+
+    async def body(batcher):
+        return await asyncio.gather(*(batcher.submit(_request()) for _ in range(5)))
+
+    results = asyncio.run(_with_batcher(recorder, 0.0, 8, body))
+    assert len(results) == 5
+    assert sum(recorder.batches) == 5
+
+
+def test_stop_fails_requests_queued_behind_shutdown():
+    async def body():
+        batcher = MicroBatcher(lambda requests: [("ok", 0)], window_ms=0.0, batch_max=1)
+        await batcher.start()
+        # The shutdown sentinel enqueues first; the request lands behind it
+        # and must fail loudly instead of hanging its client forever.
+        stop_task = asyncio.ensure_future(batcher.stop())
+        doomed = asyncio.ensure_future(batcher.submit(_request()))
+        await stop_task
+        with pytest.raises(RuntimeError, match="batcher stopped"):
+            await doomed
+
+    asyncio.run(body())

@@ -1,0 +1,148 @@
+"""The asyncio front-end over real sockets: happy path, blocking-route
+parity, overload shedding (429 + Retry-After, counters matching), and
+deadline overruns mapping to 504."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from repro.core.config import SystemConfig
+
+
+def _search_body(harness):
+    return harness.system.any_key_frame().encode("ppm")
+
+
+def _burst(harness, n, path, body):
+    results = [None] * n
+
+    def worker(i):
+        results[i] = harness.request("POST", path, body=body)
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return results
+
+
+def test_search_matches_blocking_api(harness):
+    body = _search_body(harness)
+    status, _, payload = harness.request("POST", "/search?top_k=5", body=body)
+    assert status == 200
+    blocking = harness.server.api.handle("POST", "/search", body=body, query={"top_k": "5"})
+    reference = json.loads(blocking[2])
+    assert payload["results"] == reference["results"]
+    assert payload["n_candidates"] == reference["n_candidates"]
+
+
+def test_keep_alive_and_cache_interplay(harness):
+    body = _search_body(harness)
+    conn = harness.connection()
+    try:
+        status, _, first = harness.request(
+            "POST", "/search?top_k=3&explain=1", body=body, conn=conn
+        )
+        assert status == 200
+        status, _, second = harness.request(
+            "POST", "/search?top_k=3&explain=1", body=body, conn=conn
+        )
+        assert status == 200
+        assert second["explain"]["cache"] == "hit"
+        assert [r["frame_id"] for r in first["results"]] == [
+            r["frame_id"] for r in second["results"]
+        ]
+    finally:
+        conn.close()
+
+
+def test_concurrent_burst_all_succeed_and_batch(harness):
+    body = _search_body(harness)
+    batches_before = harness.metric_value("repro_serving_batches_total")
+    results = _burst(harness, 8, "/search?top_k=4", body)
+    assert all(r[0] == 200 for r in results)
+    first = results[0][2]["results"]
+    assert all(r[2]["results"] == first for r in results)
+    assert harness.metric_value("repro_serving_batches_total") > batches_before
+
+
+def test_blocking_routes_served_by_executor(harness):
+    status, _, payload = harness.request("GET", "/videos")
+    assert status == 200
+    assert len(payload["videos"]) == harness.system.n_videos()
+    status, _, _ = harness.request("GET", "/nope")
+    assert status == 404
+
+
+def test_bad_request_maps_to_400(harness):
+    status, _, _ = harness.request("POST", "/search", body=b"not an image")
+    assert status == 400
+    status, _, payload = harness.request("POST", "/search", body=b"")
+    assert status == 400
+    assert payload["error_type"] in ("api_error", "bad_request")
+
+
+def test_overload_sheds_429_never_5xx(make_harness):
+    """A saturating burst against a tiny queue: every response is 200 or
+    429, every 429 carries Retry-After, nothing hangs, and the server's
+    shed counter equals the client-observed rejection count."""
+    config = SystemConfig(
+        workers=1,
+        serving_queue_limit=2,
+        serving_degrade_depth=0,
+        batch_window_ms=150.0,
+        batch_max=2,
+    )
+    harness = make_harness(config, n_videos=2)
+    body = harness.system.any_key_frame().encode("ppm")
+    results = _burst(harness, 16, "/search?top_k=3", body)
+    statuses = [r[0] for r in results]
+    assert set(statuses) <= {200, 429}
+    assert 200 in statuses
+    shed_observed = statuses.count(429)
+    assert shed_observed > 0
+    for status, headers, payload in results:
+        if status == 429:
+            assert int(headers["retry-after"]) >= 1
+            assert payload["error_type"] == "overloaded"
+    assert harness.metric_value("repro_serving_shed_total") == shed_observed
+
+
+def test_degraded_admission_under_load(make_harness):
+    config = SystemConfig(
+        workers=1,
+        serving_queue_limit=32,
+        serving_degrade_depth=1,
+        serving_degrade_features=1,
+        batch_window_ms=100.0,
+        batch_max=4,
+    )
+    harness = make_harness(config, n_videos=2)
+    body = harness.system.any_key_frame().encode("ppm")
+    results = _burst(harness, 12, "/search?top_k=3&explain=1", body)
+    assert all(r[0] == 200 for r in results)
+    degraded = [r for r in results if r[1].get("x-degraded") == "load"]
+    assert degraded, "expected at least one load-degraded admission"
+    for _, _, payload in degraded:
+        assert payload["explain"]["features"] == list(config.features[:1])
+
+
+def test_queue_wait_burns_request_deadline_to_504(make_harness):
+    config = SystemConfig(
+        workers=1,
+        resilience=True,
+        serving_queue_limit=64,
+        serving_degrade_depth=0,
+        batch_window_ms=120.0,  # the window alone out-waits the budget
+        batch_max=8,
+    )
+    harness = make_harness(config, n_videos=2)
+    # Armed after ingest so only serving pays the (tiny) budget.
+    harness.system.resilience.request_deadline = 0.02
+    body = harness.system.any_key_frame().encode("ppm")
+    status, _, payload = harness.request("POST", "/search?top_k=3", body=body)
+    assert status == 504
+    assert payload["error_type"] == "deadline_exceeded"
+    assert "serving.queue" in payload["error"]
